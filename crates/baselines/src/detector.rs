@@ -1,0 +1,79 @@
+//! The common anomaly-detector interface all baselines implement.
+
+use vehigan_tensor::Tensor;
+
+/// An unsupervised anomaly detector over flattened snapshots.
+///
+/// Detectors are fitted on benign data only and score test samples with
+/// *higher = more anomalous*, matching VehiGAN's `s(x) = −D(x)` convention
+/// so all detectors share the same evaluation harness.
+pub trait AnomalyDetector: Send {
+    /// Fits the detector on benign samples, shape `[n, d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 2-D or `n < 2`.
+    fn fit(&mut self, x: &Tensor);
+
+    /// Anomaly scores for samples, shape `[n, d]`. Requires a prior `fit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `fit` or on a dimension mismatch.
+    fn score_batch(&mut self, x: &Tensor) -> Vec<f32>;
+
+    /// Short detector name for reports, e.g. `"PCA"`.
+    fn name(&self) -> &'static str;
+}
+
+/// Flattens snapshot windows `[n, w, f, 1]` (or any `[n, …]`) to `[n, d]`.
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_tensor::Tensor;
+/// use vehigan_baselines::flatten_windows;
+///
+/// let x = Tensor::zeros(&[4, 10, 12, 1]);
+/// assert_eq!(flatten_windows(&x).shape(), &[4, 120]);
+/// ```
+pub fn flatten_windows(x: &Tensor) -> Tensor {
+    let n = x.shape()[0];
+    let d: usize = x.shape()[1..].iter().product();
+    x.reshape(&[n, d])
+}
+
+/// Extracts row `i` of a `[n, d]` tensor as `f64` values.
+pub(crate) fn row_f64(x: &Tensor, i: usize) -> Vec<f64> {
+    let d = x.shape()[1];
+    x.as_slice()[i * d..(i + 1) * d]
+        .iter()
+        .map(|&v| v as f64)
+        .collect()
+}
+
+/// All rows of a `[n, d]` tensor as `f64` vectors.
+pub(crate) fn rows_f64(x: &Tensor) -> Vec<Vec<f64>> {
+    assert_eq!(x.ndim(), 2, "expected [n, d] samples, got {:?}", x.shape());
+    (0..x.shape()[0]).map(|i| row_f64(x, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_keeps_batch_dim() {
+        let x = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[2, 3, 2, 1]);
+        let flat = flatten_windows(&x);
+        assert_eq!(flat.shape(), &[2, 6]);
+        assert_eq!(flat.as_slice()[6], 6.0);
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let rows = rows_f64(&x);
+        assert_eq!(rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+}

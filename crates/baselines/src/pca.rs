@@ -1,0 +1,140 @@
+//! PCA outlier detection (§IV-B.1, [27]).
+//!
+//! Fits the benign covariance spectrum and scores samples by the sum of
+//! squared projections onto the eigenvectors weighted by inverse
+//! eigenvalue — the Mahalanobis distance in the eigenbasis. Deviations
+//! along minor (low-variance) components, which benign physics never
+//! exercises, dominate the score.
+
+use crate::detector::{rows_f64, AnomalyDetector};
+use crate::linalg::{dot, SymMatrix};
+use vehigan_tensor::Tensor;
+
+/// PCA-based outlier detector.
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_baselines::{AnomalyDetector, PcaDetector};
+/// use vehigan_tensor::Tensor;
+///
+/// // Benign data lives on the x-axis; the outlier is off-axis.
+/// let train = Tensor::from_vec(vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0, 0.0], &[4, 2]);
+/// let mut pca = PcaDetector::new();
+/// pca.fit(&train);
+/// let scores = pca.score_batch(&Tensor::from_vec(vec![2.5, 0.0, 2.5, 5.0], &[2, 2]));
+/// assert!(scores[1] > scores[0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct PcaDetector {
+    mean: Vec<f64>,
+    eigenvalues: Vec<f64>,
+    eigenvectors: Vec<Vec<f64>>,
+}
+
+impl PcaDetector {
+    /// Creates an unfitted detector.
+    pub fn new() -> Self {
+        PcaDetector::default()
+    }
+
+    fn fitted(&self) -> bool {
+        !self.eigenvectors.is_empty()
+    }
+}
+
+impl AnomalyDetector for PcaDetector {
+    fn fit(&mut self, x: &Tensor) {
+        let rows = rows_f64(x);
+        let (cov, mean) = SymMatrix::covariance(&rows);
+        let (vals, vecs) = cov.eigen();
+        self.mean = mean;
+        // Floor tiny/negative eigenvalues so inverse weighting stays sane.
+        let floor = vals.first().copied().unwrap_or(1.0).abs().max(1e-12) * 1e-6;
+        self.eigenvalues = vals.into_iter().map(|v| v.max(floor)).collect();
+        self.eigenvectors = vecs;
+    }
+
+    fn score_batch(&mut self, x: &Tensor) -> Vec<f32> {
+        assert!(self.fitted(), "PcaDetector::score_batch before fit");
+        rows_f64(x)
+            .into_iter()
+            .map(|row| {
+                let centered: Vec<f64> =
+                    row.iter().zip(&self.mean).map(|(&v, &m)| v - m).collect();
+                let score: f64 = self
+                    .eigenvectors
+                    .iter()
+                    .zip(&self.eigenvalues)
+                    .map(|(vec, &lambda)| {
+                        let proj = dot(&centered, vec);
+                        proj * proj / lambda
+                    })
+                    .sum();
+                score as f32
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "PCA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Correlated benign data: y ≈ 2x. Outliers break the correlation.
+    fn correlated_data(n: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            let x: f32 = rng.gen_range(-1.0..1.0);
+            let noise: f32 = rng.gen_range(-0.01..0.01);
+            data.push(x);
+            data.push(2.0 * x + noise);
+        }
+        Tensor::from_vec(data, &[n, 2])
+    }
+
+    #[test]
+    fn detects_correlation_violations() {
+        let mut pca = PcaDetector::new();
+        pca.fit(&correlated_data(500, 1));
+        // In-manifold point vs off-manifold point of the same magnitude.
+        let queries = Tensor::from_vec(vec![0.5, 1.0, 0.5, -1.0], &[2, 2]);
+        let scores = pca.score_batch(&queries);
+        assert!(
+            scores[1] > scores[0] * 10.0,
+            "off-manifold {} vs on-manifold {}",
+            scores[1],
+            scores[0]
+        );
+    }
+
+    #[test]
+    fn benign_scores_are_small() {
+        let mut pca = PcaDetector::new();
+        let train = correlated_data(500, 2);
+        pca.fit(&train);
+        let scores = pca.score_batch(&correlated_data(100, 3));
+        // Mahalanobis² of in-distribution 2-D data ≈ χ²(2), mean 2.
+        let mean: f32 = scores.iter().sum::<f32>() / scores.len() as f32;
+        assert!(mean < 10.0, "mean benign score {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn score_before_fit_panics() {
+        let mut pca = PcaDetector::new();
+        let _ = pca.score_batch(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn name_is_pca() {
+        assert_eq!(PcaDetector::new().name(), "PCA");
+    }
+}

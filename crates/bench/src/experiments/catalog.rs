@@ -1,0 +1,37 @@
+//! Table I / attack-catalog experiment: prints the threat matrix and the
+//! 35 in-scope attacks.
+
+use crate::harness::write_csv;
+use vehigan_vasp::{Attack, AttackKind, TargetField};
+
+/// Prints the Table I attack matrix and writes `results/table1_catalog.csv`.
+pub fn run() {
+    println!("Table I — attack matrix (kind × targeted field)");
+    println!("{:<16} {}", "kind", "fields");
+    for kind in AttackKind::ALL {
+        let fields: Vec<&str> = TargetField::ALL
+            .iter()
+            .filter(|&&f| Attack::new(kind, f).is_ok())
+            .map(|f| match f {
+                TargetField::Position => "Position",
+                TargetField::Speed => "Speed",
+                TargetField::Acceleration => "Accel",
+                TargetField::Heading => "Heading",
+                TargetField::YawRate => "YawRate",
+                TargetField::HeadingYawRate => "Heading&YawRate",
+            })
+            .collect();
+        println!("{kind:<16?} {}", fields.join(", "));
+    }
+    let catalog = Attack::catalog();
+    println!("\n{} in-scope attacks (Table III order):", catalog.len());
+    let rows: Vec<String> = catalog
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            println!("  {:>2}. {}{}", i + 1, a, if a.is_advanced() { "  [advanced]" } else { "" });
+            format!("{},{},{:?},{:?},{}", i + 1, a, a.kind(), a.field(), a.is_advanced())
+        })
+        .collect();
+    write_csv("table1_catalog.csv", "index,name,kind,field,advanced", &rows);
+}

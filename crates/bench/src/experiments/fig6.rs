@@ -1,0 +1,42 @@
+//! Fig 6: anatomy of one AFP attack — the gradient of the critic score on
+//! a benign window, its sign pattern, and the resulting ±ε perturbation.
+
+use crate::harness::{write_csv, Harness};
+use vehigan_core::adversarial::{afp_attack, score_gradient};
+use vehigan_features::FEATURE_NAMES;
+
+/// Runs Fig 6 on the first benign test window (ε = 0.01) and writes
+/// `results/fig6_gradient.csv` with one row per time step × feature.
+pub fn run(harness: &mut Harness) {
+    let eps = 0.01f32;
+    let x = harness.benign_windows.x.take(&[0]);
+    let member = &mut harness.pipeline.vehigan.members_mut()[0];
+    let grad = score_gradient(member.wgan.critic_mut(), &x);
+    let adv = afp_attack(member.wgan.critic_mut(), &x, eps);
+
+    let before = member.wgan.score_batch(&x)[0];
+    let after = member.wgan.score_batch(&adv)[0];
+
+    let w = harness.benign_windows.window();
+    let f = harness.benign_windows.features();
+    println!("Fig 6 — AFP perturbation anatomy (window 0, ε = {eps})");
+    println!("anomaly score: {before:.4} → {after:.4} (threshold {:.4})", member.threshold);
+    println!("gradient sign pattern (+ = value pushed up), rows = time steps:");
+    let mut rows = Vec::with_capacity(w * f);
+    for t in 0..w {
+        let mut line = String::new();
+        for j in 0..f {
+            let g = grad.get(&[0, t, j, 0]);
+            let b = x.get(&[0, t, j, 0]);
+            let a = adv.get(&[0, t, j, 0]);
+            line.push(if g > 0.0 { '+' } else if g < 0.0 { '-' } else { '.' });
+            rows.push(format!("{t},{},{g:.6},{b:.6},{a:.6}", FEATURE_NAMES[j]));
+        }
+        println!("  t{t:<2} {line}");
+    }
+    write_csv("fig6_gradient.csv", "time,feature,gradient,benign,adversarial", &rows);
+    assert!(
+        after > before,
+        "AFP must raise the anomaly score (got {before} → {after})"
+    );
+}

@@ -1,0 +1,103 @@
+//! Hyperparameter probe (not a paper figure): trains single WGANs across
+//! epoch/clip/lr settings and reports detection power, threshold margins,
+//! and FGSM sensitivity. Used to calibrate the quick-scale defaults.
+
+use crate::harness::{rate_above, Scale};
+use vehigan_core::adversarial::afp_attack;
+use vehigan_core::{LipschitzMode, Wgan, WganConfig};
+use vehigan_features::{build_windows, fit_scaler, WindowConfig};
+use vehigan_metrics::{auroc, percentile};
+use vehigan_sim::TrafficSimulator;
+use vehigan_vasp::{Attack, DatasetBuilder, DatasetConfig};
+
+/// Trains single WGANs over a small config sweep and prints diagnostics.
+pub fn run() {
+    let pc = Scale::Quick.pipeline_config();
+    let fleet = TrafficSimulator::new(pc.sim.clone()).run();
+    let n = fleet.len();
+    let train_fleet = &fleet[..n / 2];
+    let test_fleet = &fleet[n / 2..];
+    let builder = DatasetBuilder::new(train_fleet, DatasetConfig::default());
+    let benign = builder.benign_dataset();
+    let scaler = fit_scaler(&benign, pc.window.representation);
+    let wcfg = WindowConfig { stride: 4, ..WindowConfig::default() };
+    let train = build_windows(&benign, wcfg, &scaler);
+    let test_builder = DatasetBuilder::new(test_fleet, DatasetConfig::default());
+    let test_benign = build_windows(&test_builder.benign_dataset(), wcfg, &scaler);
+    let attacks = [
+        "RandomPosition",
+        "RandomSpeed",
+        "OppositeHeading",
+        "RandomYawRate",
+        "HighHeadingYawRate",
+        "ConstantSpeed",
+    ];
+    let test_sets: Vec<_> = attacks
+        .iter()
+        .map(|n| {
+            let a = Attack::by_name(n).unwrap();
+            build_windows(&test_builder.attack_dataset(a), wcfg, &scaler)
+        })
+        .collect();
+    eprintln!("[probe] {} train windows", train.len());
+
+    println!(
+        "{:>5} {:>9} {:>7} {:>7} {:>9} {:>8} {:>8} {:>8} {:>7}",
+        "ep", "lipschitz", "lr", "layers", "auroc", "fnr@99", "fpr@99", "afpFPR", "secs"
+    );
+    for &(epochs, lipschitz, gain, lr, layers) in &[
+        (4usize, LipschitzMode::GradientPenalty { lambda: 10.0 }, 4.0f32, 1e-4f32, 5usize),
+        (4, LipschitzMode::GradientPenalty { lambda: 10.0 }, 4.0, 3e-4, 5),
+        (8, LipschitzMode::GradientPenalty { lambda: 10.0 }, 4.0, 1e-4, 5),
+        (4, LipschitzMode::GradientPenalty { lambda: 3.0 }, 4.0, 1e-4, 5),
+        (4, LipschitzMode::Spectral, 4.0, 1e-4, 5),
+    ] {
+        let n_critic = 2usize;
+        let start = std::time::Instant::now();
+        let config = WganConfig {
+            noise_dim: 32,
+            layers,
+            epochs,
+            batch_size: 64,
+            learning_rate: lr,
+            lipschitz,
+            g_output_gain: gain,
+            n_critic,
+            seed: 7,
+            ..WganConfig::default()
+        };
+        let mut wgan = Wgan::new(config);
+        wgan.train(&train.x);
+        let train_scores = wgan.score_batch(&train.x);
+        let tau = percentile(&train_scores, 99.0);
+        let benign_scores = wgan.score_batch(&test_benign.x);
+        let fpr = rate_above(&benign_scores, tau);
+
+        let mut auroc_sum = 0.0;
+        let mut fnr_sum = 0.0;
+        for ds in &test_sets {
+            let scores = wgan.score_batch(&ds.x);
+            auroc_sum += auroc(&scores, &ds.labels);
+            let mal: Vec<f32> = scores
+                .iter()
+                .zip(&ds.labels)
+                .filter(|(_, &l)| l)
+                .map(|(&s, _)| s)
+                .collect();
+            fnr_sum += 1.0 - rate_above(&mal, tau);
+        }
+        // FGSM AFP on a benign subsample.
+        let idx: Vec<usize> = (0..test_benign.len().min(200)).collect();
+        let xb = test_benign.x.take(&idx);
+        let adv = afp_attack(wgan.critic_mut(), &xb, 0.01);
+        let afp_fpr = rate_above(&wgan.score_batch(&adv), tau);
+
+        println!(
+            "{epochs:>5} {:>9} gain={gain:<4} {lr:>7} {layers:>7} {:>9.3} {:>8.3} {fpr:>8.3} {afp_fpr:>8.3} {:>7.1}",
+            format!("{lipschitz:?}"),
+            auroc_sum / test_sets.len() as f64,
+            fnr_sum / test_sets.len() as f64,
+            start.elapsed().as_secs_f64(),
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Shared experiment harness: scale presets, trained-system setup, the
+//! per-model score cache, and CSV output helpers.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use vehigan_core::{GridConfig, Pipeline, PipelineConfig};
+use vehigan_features::{WindowConfig, WindowDataset};
+use vehigan_sim::SimConfig;
+use vehigan_vasp::Attack;
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CPU-minutes scale: 12-model zoo, small fleet. Preserves every
+    /// experimental shape; default.
+    Quick,
+    /// Paper-parameter scale: 60-model zoo (5 noise dims × 3 layer counts
+    /// × 4 epoch budgets), larger fleet. Hours of CPU.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `"quick"` / `"paper"`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The pipeline configuration for this scale.
+    pub fn pipeline_config(self) -> PipelineConfig {
+        match self {
+            Scale::Quick => PipelineConfig {
+                sim: SimConfig {
+                    n_vehicles: 32,
+                    duration_s: 120.0,
+                    seed: 42,
+                    ..SimConfig::default()
+                },
+                window: WindowConfig {
+                    stride: 4,
+                    ..WindowConfig::default()
+                },
+                grid: GridConfig::quick(),
+                top_m: 10,
+                deploy_k: 5,
+                zoo_threads: num_threads(),
+                ..PipelineConfig::quick()
+            },
+            Scale::Paper => PipelineConfig {
+                sim: SimConfig {
+                    n_vehicles: 150,
+                    duration_s: 600.0,
+                    seed: 42,
+                    ..SimConfig::default()
+                },
+                window: WindowConfig {
+                    stride: 2,
+                    ..WindowConfig::default()
+                },
+                grid: GridConfig::paper(),
+                top_m: 10,
+                deploy_k: 5,
+                zoo_threads: num_threads(),
+                ..PipelineConfig::quick()
+            },
+        }
+    }
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// A trained system plus cached per-member scores on every Table III
+/// attack — computed once, reused by Figs 3/4/7 and Table III.
+pub struct Harness {
+    /// The trained pipeline (zoo + selected ensemble).
+    pub pipeline: Pipeline,
+    /// The 35-attack catalog in Table III order.
+    pub attacks: Vec<Attack>,
+    /// Labelled test windows per attack (aligned with `attacks`).
+    pub attack_windows: Vec<WindowDataset>,
+    /// Benign test windows.
+    pub benign_windows: WindowDataset,
+    /// `member_scores[member][attack]` — each selected member's anomaly
+    /// scores on each attack dataset.
+    pub member_scores: Vec<Vec<Vec<f32>>>,
+    /// `member_benign[member]` — each member's scores on benign test data.
+    pub member_benign: Vec<Vec<f32>>,
+}
+
+impl Harness {
+    /// Trains the system at `scale` and populates the score cache.
+    pub fn build(scale: Scale) -> Harness {
+        eprintln!("[harness] training pipeline at {scale:?} scale…");
+        let mut pipeline = Pipeline::run(scale.pipeline_config());
+        eprintln!(
+            "[harness] zoo={} models, selected top-{}; building attack campaign…",
+            pipeline.zoo.len(),
+            pipeline.vehigan.m()
+        );
+        let attacks = Attack::catalog();
+        let attack_windows: Vec<WindowDataset> = attacks
+            .iter()
+            .map(|&a| pipeline.test_attack_windows(a))
+            .collect();
+        let benign_windows = pipeline.test_benign_windows();
+
+        eprintln!("[harness] caching per-member scores on {} attacks…", attacks.len());
+        let m = pipeline.vehigan.m();
+        let mut member_scores = Vec::with_capacity(m);
+        let mut member_benign = Vec::with_capacity(m);
+        for i in 0..m {
+            let member = &mut pipeline.vehigan.members_mut()[i];
+            let per_attack: Vec<Vec<f32>> = attack_windows
+                .iter()
+                .map(|ds| member.wgan.score_batch(&ds.x))
+                .collect();
+            member_benign.push(member.wgan.score_batch(&benign_windows.x));
+            member_scores.push(per_attack);
+        }
+        Harness {
+            pipeline,
+            attacks,
+            attack_windows,
+            benign_windows,
+            member_scores,
+            member_benign,
+        }
+    }
+
+    /// Ensemble scores on attack dataset `attack_idx` using member subset
+    /// `members` (mean of cached member scores).
+    pub fn ensemble_attack_scores(&self, members: &[usize], attack_idx: usize) -> Vec<f32> {
+        mean_rows(members.iter().map(|&i| &self.member_scores[i][attack_idx]))
+    }
+
+    /// Ensemble scores on benign test data for a member subset.
+    pub fn ensemble_benign_scores(&self, members: &[usize]) -> Vec<f32> {
+        mean_rows(members.iter().map(|&i| &self.member_benign[i]))
+    }
+
+    /// Ensemble threshold for a member subset (mean of member τ).
+    pub fn ensemble_threshold(&self, members: &[usize]) -> f32 {
+        let sum: f32 = members
+            .iter()
+            .map(|&i| self.pipeline.vehigan.members()[i].threshold)
+            .sum();
+        sum / members.len() as f32
+    }
+}
+
+fn mean_rows<'a>(rows: impl Iterator<Item = &'a Vec<f32>>) -> Vec<f32> {
+    let mut acc: Vec<f32> = Vec::new();
+    let mut count = 0usize;
+    for row in rows {
+        if acc.is_empty() {
+            acc = vec![0.0; row.len()];
+        }
+        for (a, &v) in acc.iter_mut().zip(row) {
+            *a += v;
+        }
+        count += 1;
+    }
+    assert!(count > 0, "mean of zero rows");
+    for a in &mut acc {
+        *a /= count as f32;
+    }
+    acc
+}
+
+/// The results directory (`results/` at the workspace root).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes CSV rows (first row = header) to `results/<name>`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let mut out = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    out.push_str(header);
+    out.push('\n');
+    for row in rows {
+        out.push_str(row);
+        out.push('\n');
+    }
+    let path = results_dir().join(name);
+    fs::write(&path, out).expect("write results csv");
+    eprintln!("[harness] wrote {}", path.display());
+}
+
+/// Fraction of scores above a threshold (the FPR when scores are benign).
+pub fn rate_above(scores: &[f32], threshold: f32) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().filter(|&&s| s > threshold).count() as f64 / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn rate_above_counts() {
+        assert_eq!(rate_above(&[0.1, 0.6, 0.9], 0.5), 2.0 / 3.0);
+        assert_eq!(rate_above(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn mean_rows_averages() {
+        let a = vec![1.0f32, 3.0];
+        let b = vec![3.0f32, 5.0];
+        let m = mean_rows([&a, &b].into_iter());
+        assert_eq!(m, vec![2.0, 4.0]);
+    }
+}

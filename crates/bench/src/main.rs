@@ -1,0 +1,113 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! vehigan-bench <experiment> [--scale quick|paper]
+//! ```
+//!
+//! Experiments: `catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b
+//! fig8 table3 all`.
+
+use vehigan_bench::experiments::{ablation, catalog, fig3, fig4, fig5, fig6, fig7, fig8, table3};
+use vehigan_bench::harness::{Harness, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vehigan-bench <experiment> [--scale quick|paper]\n\
+         experiments: catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 table3 adv ablation probe all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let experiment = args[0].as_str();
+    let mut scale = Scale::Quick;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(v) = args.get(i + 1) else { usage() };
+                let Some(s) = Scale::parse(v) else { usage() };
+                scale = s;
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    // Experiments that need no trained system.
+    match experiment {
+        "catalog" => {
+            catalog::run();
+            return;
+        }
+        "ablation" => {
+            ablation::run();
+            return;
+        }
+        "probe" => {
+            vehigan_bench::experiments::probe::run();
+            return;
+        }
+        "fig8" => {
+            fig8::run();
+            return;
+        }
+        _ => {}
+    }
+
+    let mut harness = Harness::build(scale);
+    let section = |title: &str| println!("\n=== {title} ===");
+    match experiment {
+        "fig3" => fig3::run(&mut harness),
+        "fig4" => fig4::run(&mut harness),
+        "fig5a" => fig5::run_5a(&mut harness),
+        "fig5b" => fig5::run_5b(&mut harness),
+        "fig5c" => fig5::run_5c(&mut harness),
+        "fig6" => fig6::run(&mut harness),
+        "fig7a" => {
+            fig7::run_7a(&mut harness);
+        }
+        "fig7b" => {
+            fig7::run_7b(&mut harness);
+        }
+        "table3" => table3::run(&mut harness),
+        // Composite: all adversarial experiments on one trained harness.
+        "adv" => {
+            fig5::run_5a(&mut harness);
+            fig5::run_5b(&mut harness);
+            fig5::run_5c(&mut harness);
+            fig6::run(&mut harness);
+            fig7::run_7a(&mut harness);
+            fig7::run_7b(&mut harness);
+        }
+        "all" => {
+            section("Table I (catalog)");
+            catalog::run();
+            section("Fig 3");
+            fig3::run(&mut harness);
+            section("Fig 4");
+            fig4::run(&mut harness);
+            section("Fig 5a");
+            fig5::run_5a(&mut harness);
+            section("Fig 5b");
+            fig5::run_5b(&mut harness);
+            section("Fig 5c");
+            fig5::run_5c(&mut harness);
+            section("Fig 6");
+            fig6::run(&mut harness);
+            section("Fig 7a");
+            fig7::run_7a(&mut harness);
+            section("Fig 7b");
+            fig7::run_7b(&mut harness);
+            section("Table III");
+            table3::run(&mut harness);
+            section("Fig 8");
+            fig8::run();
+        }
+        _ => usage(),
+    }
+}

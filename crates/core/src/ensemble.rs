@@ -1,0 +1,336 @@
+//! The VEHIGAN ensemble detector (§III-A.2, §III-F).
+//!
+//! From the top-*m* candidate critics, each inference randomly deploys
+//! *k ≤ m* of them, averages their critic outputs into an ensemble score
+//! `s_ens(x) = −(1/k)·Σ D_i(x)`, and flags a vehicle when the score
+//! exceeds the mean of the deployed members' thresholds. The per-inference
+//! random subset is exactly what defeats single-surrogate adversarial
+//! transfer (Fig 7a).
+
+use crate::wgan::Wgan;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use vehigan_metrics::percentile;
+use vehigan_sim::VehicleId;
+use vehigan_tensor::Tensor;
+
+/// A calibrated ensemble member: a trained critic plus its detection
+/// threshold τ (p-th percentile of benign training scores).
+pub struct CriticMember {
+    /// Model identifier (from its config).
+    pub id: String,
+    /// The trained WGAN (critic used for scoring).
+    pub wgan: Wgan,
+    /// Detection threshold τ.
+    pub threshold: f32,
+    /// Pre-evaluation ADS (for reporting).
+    pub ads: f64,
+}
+
+impl std::fmt::Debug for CriticMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CriticMember({}, τ={:.4}, ADS={:.3})", self.id, self.threshold, self.ads)
+    }
+}
+
+impl CriticMember {
+    /// Calibrates a member's threshold at the `p`-th percentile of its
+    /// anomaly scores on benign training snapshots (§III-F).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benign` is empty or `p` outside `[0, 100]`.
+    pub fn calibrate(mut wgan: Wgan, ads: f64, benign: &Tensor, p: f64) -> Self {
+        let scores = wgan.score_batch(benign);
+        let threshold = percentile(&scores, p);
+        CriticMember {
+            id: wgan.config().id(),
+            wgan,
+            threshold,
+            ads,
+        }
+    }
+}
+
+/// The result of one ensemble inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleScore {
+    /// Per-snapshot ensemble anomaly scores.
+    pub scores: Vec<f32>,
+    /// The ensemble threshold (mean of deployed members' τ).
+    pub threshold: f32,
+    /// Which members were deployed.
+    pub members: Vec<usize>,
+}
+
+impl EnsembleScore {
+    /// Per-snapshot detection decisions (`score > threshold`).
+    pub fn detections(&self) -> Vec<bool> {
+        self.scores.iter().map(|&s| s > self.threshold).collect()
+    }
+}
+
+/// A misbehavior report (MBR) sent to the misbehavior authority (§I, §III-F).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MisbehaviorReport {
+    /// The suspected vehicle.
+    pub vehicle: VehicleId,
+    /// Ensemble anomaly score of the offending window.
+    pub score: f32,
+    /// Threshold it exceeded.
+    pub threshold: f32,
+    /// Members that produced the verdict.
+    pub members: Vec<usize>,
+    /// The offending snapshot (evidence), shape `[1, w, f, 1]`.
+    pub evidence: Tensor,
+}
+
+/// The `VEHIGAN_m^k` detector.
+///
+/// # Examples
+///
+/// See [`crate::Pipeline`] for an end-to-end construction; unit
+/// construction requires calibrated members.
+pub struct VehiGan {
+    members: Vec<CriticMember>,
+    k: usize,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for VehiGan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VehiGan(m={}, k={})", self.members.len(), self.k)
+    }
+}
+
+impl VehiGan {
+    /// Creates a `VEHIGAN_m^k` from `m` calibrated members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or `k` is not in `[1, m]`.
+    pub fn new(members: Vec<CriticMember>, k: usize, seed: u64) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        assert!(
+            k >= 1 && k <= members.len(),
+            "k must be in [1, m={}], got {k}",
+            members.len()
+        );
+        VehiGan {
+            members,
+            k,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The number of candidate members `m`.
+    pub fn m(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The number of members deployed per inference `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Changes `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in `[1, m]`.
+    pub fn set_k(&mut self, k: usize) {
+        assert!(k >= 1 && k <= self.members.len(), "k out of range");
+        self.k = k;
+    }
+
+    /// The calibrated members.
+    pub fn members(&self) -> &[CriticMember] {
+        &self.members
+    }
+
+    /// Mutable access to members (adversarial experiments need the
+    /// critics' gradients).
+    pub fn members_mut(&mut self) -> &mut [CriticMember] {
+        &mut self.members
+    }
+
+    /// Scores snapshots with a fresh random subset of `k` members (the
+    /// paper's per-inference randomization).
+    pub fn score_batch(&mut self, x: &Tensor) -> EnsembleScore {
+        let mut indices: Vec<usize> = (0..self.members.len()).collect();
+        indices.shuffle(&mut self.rng);
+        indices.truncate(self.k);
+        indices.sort_unstable();
+        self.score_with_members(&indices, x)
+    }
+
+    /// Scores snapshots with an explicit member subset (used by the
+    /// evaluation harness for deterministic sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of bounds.
+    pub fn score_with_members(&mut self, indices: &[usize], x: &Tensor) -> EnsembleScore {
+        assert!(!indices.is_empty(), "need at least one member");
+        let n = x.shape()[0];
+        let mut sum = vec![0.0f32; n];
+        let mut tau = 0.0f32;
+        for &i in indices {
+            let member = &mut self.members[i];
+            let scores = member.wgan.score_batch(x);
+            for (acc, s) in sum.iter_mut().zip(&scores) {
+                *acc += s;
+            }
+            tau += member.threshold;
+        }
+        let k = indices.len() as f32;
+        for s in &mut sum {
+            *s /= k;
+        }
+        EnsembleScore {
+            scores: sum,
+            threshold: tau / k,
+            members: indices.to_vec(),
+        }
+    }
+
+    /// Scores one vehicle's latest snapshot and, if it exceeds the
+    /// ensemble threshold, produces a misbehavior report for the MA.
+    pub fn check_vehicle(&mut self, vehicle: VehicleId, snapshot: &Tensor) -> Option<MisbehaviorReport> {
+        assert_eq!(snapshot.shape()[0], 1, "expected a single snapshot");
+        let result = self.score_batch(snapshot);
+        let score = result.scores[0];
+        (score > result.threshold).then(|| MisbehaviorReport {
+            vehicle,
+            score,
+            threshold: result.threshold,
+            members: result.members,
+            evidence: snapshot.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WganConfig;
+    use vehigan_tensor::init::{rand_uniform, seeded_rng};
+
+    fn benign(n: usize, seed: u64) -> Tensor {
+        let mut rng = seeded_rng(seed);
+        let base = rand_uniform(&[n, 1], -0.2, 0.2, &mut rng);
+        let mut data = Vec::with_capacity(n * 120);
+        for i in 0..n {
+            for j in 0..120 {
+                data.push(base.as_slice()[i] + 0.05 * (j as f32 * 0.4).cos());
+            }
+        }
+        Tensor::from_vec(data, &[n, 10, 12, 1])
+    }
+
+    fn member(seed: u64, train: &Tensor) -> CriticMember {
+        let config = WganConfig {
+            noise_dim: 8,
+            layers: 3,
+            epochs: 2,
+            batch_size: 32,
+            n_critic: 1,
+            seed,
+            ..WganConfig::default()
+        };
+        let mut wgan = Wgan::new(config);
+        wgan.train(train);
+        CriticMember::calibrate(wgan, 0.9, train, 99.0)
+    }
+
+    fn ensemble(m: usize, k: usize) -> VehiGan {
+        let train = benign(96, 0);
+        let members: Vec<CriticMember> = (0..m as u64).map(|s| member(s, &train)).collect();
+        VehiGan::new(members, k, 7)
+    }
+
+    #[test]
+    fn construction_validates_k() {
+        let v = ensemble(3, 2);
+        assert_eq!((v.m(), v.k()), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_exceeding_m_rejected() {
+        let _ = ensemble(2, 3);
+    }
+
+    #[test]
+    fn random_subsets_vary_across_inferences() {
+        let mut v = ensemble(4, 2);
+        let x = benign(4, 1);
+        let subsets: Vec<Vec<usize>> = (0..10).map(|_| v.score_batch(&x).members).collect();
+        assert!(subsets.iter().any(|s| s != &subsets[0]));
+        for s in &subsets {
+            assert_eq!(s.len(), 2);
+        }
+    }
+
+    #[test]
+    fn full_ensemble_score_is_member_mean() {
+        let mut v = ensemble(3, 3);
+        let x = benign(5, 2);
+        let all: Vec<usize> = (0..3).collect();
+        let ens = v.score_with_members(&all, &x);
+        let mut expected = vec![0.0f32; 5];
+        for i in 0..3 {
+            let s = v.members_mut()[i].wgan.score_batch(&x);
+            for (e, si) in expected.iter_mut().zip(&s) {
+                *e += si / 3.0;
+            }
+        }
+        for (a, b) in ens.scores.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ensemble_threshold_is_member_mean() {
+        let mut v = ensemble(3, 3);
+        let x = benign(2, 3);
+        let ens = v.score_with_members(&[0, 1, 2], &x);
+        let expect: f32 =
+            v.members().iter().map(|m| m.threshold).sum::<f32>() / 3.0;
+        assert!((ens.threshold - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn benign_fpr_is_low_after_calibration() {
+        let mut v = ensemble(3, 3);
+        let x = benign(200, 4);
+        let ens = v.score_with_members(&[0, 1, 2], &x);
+        let fpr = ens.detections().iter().filter(|&&d| d).count() as f64 / 200.0;
+        assert!(fpr < 0.1, "fpr={fpr}");
+    }
+
+    #[test]
+    fn garbage_triggers_reports() {
+        let mut v = ensemble(3, 2);
+        let mut rng = seeded_rng(9);
+        let garbage = rand_uniform(&[1, 10, 12, 1], -1.0, 1.0, &mut rng);
+        // Not guaranteed for every seed, but this configuration flags it.
+        let report = v.check_vehicle(VehicleId(7), &garbage);
+        if let Some(r) = report {
+            assert_eq!(r.vehicle, VehicleId(7));
+            assert!(r.score > r.threshold);
+            assert_eq!(r.evidence.shape(), &[1, 10, 12, 1]);
+        }
+    }
+
+    #[test]
+    fn detections_threshold_semantics() {
+        let es = EnsembleScore {
+            scores: vec![0.1, 0.9, 0.5],
+            threshold: 0.5,
+            members: vec![0],
+        };
+        assert_eq!(es.detections(), vec![false, true, false]);
+    }
+}

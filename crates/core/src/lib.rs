@@ -1,0 +1,45 @@
+//! # vehigan-core
+//!
+//! The primary contribution of the VehiGAN paper (ICDCS 2024): an
+//! adversarially robust, ensemble-WGAN misbehavior detection system for
+//! V2X networks.
+//!
+//! The training phase (Fig 2, top) trains a grid of Wasserstein GANs on
+//! benign `w × f` BSM snapshots ([`ModelZoo`]), pre-evaluates every critic
+//! on a validation set with representative attacks (average discriminative
+//! score, Eq. 4), and selects the top-*m* candidates. The testing phase
+//! (Fig 2, bottom) randomly deploys *k ≤ m* critics per inference
+//! ([`VehiGan`]), averages their scores, and reports vehicles whose score
+//! exceeds the calibrated threshold (§III-F).
+//!
+//! The [`adversarial`] module implements the paper's FGSM-based AFP/AFN
+//! attacks (Eqs. 6–7) in white-box, gray-box-transfer, and adaptive
+//! multi-model variants.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vehigan_core::{Pipeline, PipelineConfig};
+//! use vehigan_vasp::Attack;
+//! use vehigan_metrics::auroc;
+//!
+//! let mut pipeline = Pipeline::run(PipelineConfig::quick());
+//! let test = pipeline.test_attack_windows(Attack::by_name("HighSpeed").unwrap());
+//! let result = pipeline.vehigan.score_batch(&test.x);
+//! println!("HighSpeed AUROC: {:.3}", auroc(&result.scores, &test.labels));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adversarial;
+mod config;
+mod ensemble;
+mod pipeline;
+mod wgan;
+mod zoo;
+
+pub use config::{GridConfig, LipschitzMode, WganConfig};
+pub use ensemble::{CriticMember, EnsembleScore, MisbehaviorReport, VehiGan};
+pub use pipeline::{Pipeline, PipelineConfig};
+pub use wgan::{build_critic, build_generator, TrainStats, Wgan};
+pub use zoo::{DetectionScore, ModelZoo, ZooEntry};

@@ -1,0 +1,377 @@
+//! End-to-end VehiGAN pipeline: simulate → engineer features → train the
+//! zoo → pre-evaluate → select → calibrate → deploy (Fig 2).
+
+use crate::config::{GridConfig, WganConfig};
+use crate::ensemble::{CriticMember, VehiGan};
+use crate::wgan::Wgan;
+use crate::zoo::ModelZoo;
+use vehigan_features::{
+    build_windows, fit_scaler, MinMaxScaler, Representation, WindowConfig, WindowDataset,
+};
+use vehigan_sim::{SimConfig, TrafficSimulator, VehicleTrace};
+use vehigan_vasp::{Attack, DatasetBuilder, DatasetConfig};
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Traffic simulation parameters.
+    pub sim: SimConfig,
+    /// Attack dataset parameters (malicious fraction, policy, ranges).
+    pub dataset: DatasetConfig,
+    /// Snapshot windowing parameters.
+    pub window: WindowConfig,
+    /// WGAN hyperparameter grid.
+    pub grid: GridConfig,
+    /// Candidate pool size `m` (paper: 5–10).
+    pub top_m: usize,
+    /// Deployed subset size `k ≤ m`.
+    pub deploy_k: usize,
+    /// Threshold percentile `p` (paper: 99–99.99).
+    pub threshold_percentile: f64,
+    /// Attacks present in the validation set (the defender's
+    /// "representative anomalies", §III-E).
+    pub validation_attacks: Vec<Attack>,
+    /// Fraction of vehicles reserved for benign training.
+    pub train_fraction: f64,
+    /// Fraction of vehicles reserved for validation (the rest is test).
+    pub valid_fraction: f64,
+    /// Worker threads for zoo training.
+    pub zoo_threads: usize,
+    /// Ensemble randomization seed.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// One representative validation attack per targeted field.
+    pub fn default_validation_attacks() -> Vec<Attack> {
+        [
+            "RandomPosition",
+            "RandomSpeed",
+            "RandomAcceleration",
+            "OppositeHeading",
+            "RandomYawRate",
+            "HighHeadingYawRate",
+        ]
+        .iter()
+        .map(|n| Attack::by_name(n).expect("catalog name"))
+        .collect()
+    }
+
+    /// A CPU-friendly configuration that still exercises every stage.
+    pub fn quick() -> Self {
+        PipelineConfig {
+            sim: SimConfig {
+                n_vehicles: 24,
+                duration_s: 90.0,
+                seed: 0,
+                ..SimConfig::default()
+            },
+            dataset: DatasetConfig::default(),
+            window: WindowConfig {
+                stride: 3,
+                ..WindowConfig::default()
+            },
+            grid: GridConfig::quick(),
+            top_m: 5,
+            deploy_k: 3,
+            threshold_percentile: 99.0,
+            validation_attacks: Self::default_validation_attacks(),
+            train_fraction: 0.5,
+            valid_fraction: 0.25,
+            zoo_threads: 4,
+            seed: 0,
+        }
+    }
+
+    /// A demo configuration for the runnable examples: one small zoo run
+    /// per architecture (6 models), a 20-vehicle fleet — minutes of CPU
+    /// while still exercising every stage meaningfully.
+    pub fn demo() -> Self {
+        PipelineConfig {
+            sim: SimConfig {
+                n_vehicles: 20,
+                duration_s: 75.0,
+                seed: 0,
+                ..SimConfig::default()
+            },
+            window: WindowConfig {
+                stride: 4,
+                ..WindowConfig::default()
+            },
+            grid: GridConfig {
+                noise_dims: vec![8, 16, 32],
+                layer_counts: vec![4],
+                epoch_counts: vec![2, 4],
+                base: WganConfig {
+                    batch_size: 64,
+                    n_critic: 2,
+                    ..WganConfig::default()
+                },
+            },
+            top_m: 4,
+            deploy_k: 3,
+            ..Self::quick()
+        }
+    }
+
+    /// A minimal configuration for unit tests.
+    pub fn tiny() -> Self {
+        PipelineConfig {
+            sim: SimConfig {
+                n_vehicles: 12,
+                duration_s: 45.0,
+                seed: 0,
+                ..SimConfig::default()
+            },
+            window: WindowConfig {
+                stride: 3,
+                ..WindowConfig::default()
+            },
+            grid: GridConfig::tiny(),
+            top_m: 3,
+            deploy_k: 2,
+            ..Self::quick()
+        }
+    }
+}
+
+/// A fully trained VehiGAN system plus everything needed to evaluate it.
+pub struct Pipeline {
+    /// The configuration used.
+    pub config: PipelineConfig,
+    /// Scaler fitted on benign training rows.
+    pub scaler: MinMaxScaler,
+    /// Benign training windows.
+    pub train_windows: WindowDataset,
+    /// Validation datasets used for pre-evaluation.
+    pub validation: Vec<(Attack, WindowDataset)>,
+    /// The full trained zoo (retained: Fig 3 evaluates all models).
+    pub zoo: ModelZoo,
+    /// Indices of the selected top-`m` models within the zoo.
+    pub selected: Vec<usize>,
+    /// The deployed `VEHIGAN_m^k` ensemble.
+    pub vehigan: VehiGan,
+    /// Scaler for the raw 6-field representation (used by the `Base`
+    /// baselines of Table III).
+    pub raw_scaler: MinMaxScaler,
+    train_fleet: Vec<VehicleTrace>,
+    test_fleet: Vec<VehicleTrace>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Pipeline(zoo={}, selected={:?}, ensemble={:?})",
+            self.zoo.len(),
+            self.selected,
+            self.vehigan
+        )
+    }
+}
+
+impl Pipeline {
+    /// Runs the full training phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (empty splits, `top_m` larger
+    /// than the grid, `deploy_k > top_m`).
+    pub fn run(config: PipelineConfig) -> Pipeline {
+        assert!(config.top_m <= config.grid.len(), "top_m exceeds grid size");
+        assert!(config.deploy_k <= config.top_m, "deploy_k exceeds top_m");
+        assert!(
+            config.train_fraction > 0.0
+                && config.valid_fraction > 0.0
+                && config.train_fraction + config.valid_fraction < 1.0,
+            "fractions must leave room for a test split"
+        );
+
+        // 1. Simulate and split the fleet.
+        let fleet = TrafficSimulator::new(config.sim.clone()).run();
+        let n = fleet.len();
+        let n_train = ((n as f64 * config.train_fraction) as usize).max(1);
+        let n_valid = ((n as f64 * config.valid_fraction) as usize).max(1);
+        assert!(n_train + n_valid < n, "fleet too small for a 3-way split");
+        let train_fleet = fleet[..n_train].to_vec();
+        let valid_fleet = &fleet[n_train..n_train + n_valid];
+        let test_fleet = fleet[n_train + n_valid..].to_vec();
+
+        // 2. Features: fit the scalers on benign training data only.
+        let train_builder = DatasetBuilder::new(&train_fleet, config.dataset.clone());
+        let benign_train = train_builder.benign_dataset();
+        let scaler = fit_scaler(&benign_train, config.window.representation);
+        let raw_scaler = fit_scaler(&benign_train, Representation::Raw);
+        let train_windows = build_windows(&benign_train, config.window, &scaler);
+
+        // 3. Validation datasets with representative attacks.
+        let valid_builder = DatasetBuilder::new(valid_fleet, config.dataset.clone());
+        let validation: Vec<(Attack, WindowDataset)> = config
+            .validation_attacks
+            .iter()
+            .map(|&attack| {
+                let ds = valid_builder.attack_dataset(attack);
+                (attack, build_windows(&ds, config.window, &scaler))
+            })
+            .collect();
+
+        // 4. Train the zoo and pre-evaluate.
+        let mut zoo = ModelZoo::train(&config.grid, &train_windows.x, config.zoo_threads);
+        zoo.pre_evaluate(&validation);
+        let selected = zoo.top_m(config.top_m);
+
+        // 5. Calibrate thresholds for the selected critics (cloned via
+        //    serialization so the zoo stays intact for whole-zoo analyses).
+        let members: Vec<CriticMember> = selected
+            .iter()
+            .map(|&i| {
+                let entry = &zoo.entries()[i];
+                let clone = Wgan::from_critic_bytes(*entry.wgan.config(), &entry.wgan.critic_bytes())
+                    .expect("critic clone roundtrip");
+                CriticMember::calibrate(
+                    clone,
+                    entry.ads,
+                    &train_windows.x,
+                    config.threshold_percentile,
+                )
+            })
+            .collect();
+        let vehigan = VehiGan::new(members, config.deploy_k, config.seed);
+
+        Pipeline {
+            config,
+            scaler,
+            train_windows,
+            validation,
+            zoo,
+            selected,
+            vehigan,
+            raw_scaler,
+            train_fleet,
+            test_fleet,
+        }
+    }
+
+    /// The raw-representation window config (same `w`/stride, raw fields).
+    fn raw_window_config(&self) -> WindowConfig {
+        WindowConfig {
+            representation: Representation::Raw,
+            ..self.config.window
+        }
+    }
+
+    /// Benign training windows in the raw representation (for the `Base`
+    /// baselines).
+    pub fn train_benign_windows_raw(&self) -> WindowDataset {
+        let builder = DatasetBuilder::new(&self.train_fleet, self.config.dataset.clone());
+        build_windows(
+            &builder.benign_dataset(),
+            self.raw_window_config(),
+            &self.raw_scaler,
+        )
+    }
+
+    /// Raw-representation labelled test windows for one attack.
+    pub fn test_attack_windows_raw(&self, attack: Attack) -> WindowDataset {
+        let builder = DatasetBuilder::new(&self.test_fleet, self.config.dataset.clone());
+        build_windows(
+            &builder.attack_dataset(attack),
+            self.raw_window_config(),
+            &self.raw_scaler,
+        )
+    }
+
+    /// The held-out test fleet (never seen in training or selection).
+    pub fn test_fleet(&self) -> &[VehicleTrace] {
+        &self.test_fleet
+    }
+
+    /// Builds labelled test windows for one attack on the held-out fleet.
+    pub fn test_attack_windows(&self, attack: Attack) -> WindowDataset {
+        let builder = DatasetBuilder::new(&self.test_fleet, self.config.dataset.clone());
+        build_windows(
+            &builder.attack_dataset(attack),
+            self.config.window,
+            &self.scaler,
+        )
+    }
+
+    /// Builds benign test windows on the held-out fleet.
+    pub fn test_benign_windows(&self) -> WindowDataset {
+        let builder = DatasetBuilder::new(&self.test_fleet, self.config.dataset.clone());
+        build_windows(
+            &builder.benign_dataset(),
+            self.config.window,
+            &self.scaler,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use vehigan_metrics::auroc;
+
+    /// Pipeline training is the expensive part; share one instance.
+    fn pipeline() -> MutexGuard<'static, Pipeline> {
+        static SHARED: OnceLock<Mutex<Pipeline>> = OnceLock::new();
+        SHARED
+            .get_or_init(|| Mutex::new(Pipeline::run(PipelineConfig::tiny())))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn pipeline_trains_selects_and_deploys() {
+        let p = pipeline();
+        assert_eq!(p.zoo.len(), GridConfig::tiny().len());
+        assert_eq!(p.selected.len(), 3);
+        assert_eq!(p.vehigan.m(), 3);
+        assert_eq!(p.vehigan.k(), 2);
+        assert!(!p.test_fleet().is_empty());
+    }
+
+    #[test]
+    fn selected_models_have_best_ads() {
+        let p = pipeline();
+        let selected_min = p
+            .selected
+            .iter()
+            .map(|&i| p.zoo.entries()[i].ads)
+            .fold(f64::INFINITY, f64::min);
+        for (i, e) in p.zoo.entries().iter().enumerate() {
+            if !p.selected.contains(&i) {
+                assert!(e.ads <= selected_min + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_detects_gross_misbehavior_on_test_fleet() {
+        let mut p = pipeline();
+        let ds = p.test_attack_windows(Attack::by_name("RandomPosition").unwrap());
+        let all: Vec<usize> = (0..p.vehigan.m()).collect();
+        let result = p.vehigan.score_with_members(&all, &ds.x);
+        let score = auroc(&result.scores, &ds.labels);
+        assert!(score > 0.8, "AUROC {score} too low for RandomPosition");
+    }
+
+    #[test]
+    fn benign_test_fpr_is_bounded() {
+        let mut p = pipeline();
+        let ds = p.test_benign_windows();
+        let all: Vec<usize> = (0..p.vehigan.m()).collect();
+        let result = p.vehigan.score_with_members(&all, &ds.x);
+        let fpr = result.detections().iter().filter(|&&d| d).count() as f64 / ds.len() as f64;
+        assert!(fpr < 0.15, "fpr={fpr}");
+    }
+
+    #[test]
+    #[should_panic(expected = "deploy_k exceeds top_m")]
+    fn invalid_k_rejected() {
+        let mut c = PipelineConfig::tiny();
+        c.deploy_k = 10;
+        let _ = Pipeline::run(c);
+    }
+}

@@ -1,0 +1,692 @@
+//! A single Wasserstein GAN: generator 𝒢, critic 𝒟, and the training loop
+//! (§II-A, §III-D).
+//!
+//! Architectures mirror the paper's Keras models: 2-D CNNs with 2×2
+//! kernels and LeakyReLU; the generator projects noise to a half-size
+//! spatial seed, upsamples 2×, and convolves down to a single-channel
+//! `w × f` snapshot with `tanh` output; the critic stacks `same`-padding
+//! convolutions and ends in an unbounded scalar (no sigmoid — Wasserstein
+//! critics regress realism).
+//!
+//! Lipschitz enforcement is selectable ([`LipschitzMode`]): WGAN-GP via a
+//! finite-difference gradient penalty (default — drives `‖∇ₓD‖ → 1` at
+//! the data, the property that makes WGAN critics sharp anomaly scorers),
+//! the original WGAN *weight clipping* (Arjovsky et al. 2017), or
+//! *spectral normalization* of the weight matrices. DESIGN.md records the
+//! finite-difference construction: exact WGAN-GP needs second-order
+//! backprop, but the penalty's parameter gradient reduces to a
+//! directional derivative computable with two extra first-order passes.
+
+use crate::config::{LipschitzMode, WganConfig};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use vehigan_tensor::init::{randn, seeded_rng};
+use vehigan_tensor::layers::{Activation, Conv2D, Dense, Flatten, Padding, Reshape, UpSample2D};
+use vehigan_tensor::optim::{Optimizer, RmsProp};
+use vehigan_tensor::serialize::ModelFormatError;
+use vehigan_tensor::{Init, Sequential, Tensor};
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Estimated Wasserstein distance `mean D(real) − mean D(fake)`.
+    pub wasserstein: f32,
+    /// Mean critic output on real samples.
+    pub critic_real: f32,
+    /// Mean critic output on fake samples.
+    pub critic_fake: f32,
+}
+
+/// Channel width of critic conv layer `i` (8 → 16 → 32, capped).
+fn critic_channels(i: usize) -> usize {
+    (8 << i).min(32)
+}
+
+/// Builds the critic 𝒟 for a configuration.
+pub fn build_critic(config: &WganConfig, rng: &mut rand::rngs::StdRng) -> Sequential {
+    config.validate();
+    let n_convs = config.layers - 1;
+    let mut critic = Sequential::new();
+    let mut cin = 1;
+    for i in 0..n_convs {
+        let cout = critic_channels(i);
+        critic.push(Conv2D::new(cin, cout, (2, 2), Padding::Same, Init::HeUniform, rng));
+        critic.push(Activation::leaky_relu(config.leaky_alpha));
+        cin = cout;
+    }
+    critic.push(Flatten::new());
+    critic.push(Dense::new(
+        config.window * config.features * cin,
+        1,
+        Init::XavierUniform,
+        rng,
+    ));
+    critic
+}
+
+/// Builds the generator 𝒢 for a configuration.
+pub fn build_generator(config: &WganConfig, rng: &mut rand::rngs::StdRng) -> Sequential {
+    config.validate();
+    let (h2, w2) = (config.window / 2, config.features / 2);
+    let seed_channels = 16;
+    let mut g = Sequential::new();
+    g.push(Dense::new(
+        config.noise_dim,
+        h2 * w2 * seed_channels,
+        Init::HeUniform,
+        rng,
+    ));
+    g.push(Activation::leaky_relu(config.leaky_alpha));
+    g.push(Reshape::new(&[h2, w2, seed_channels]));
+    g.push(UpSample2D::new(2, 2));
+    // layers − 2 intermediate convs, then the output conv.
+    for _ in 0..config.layers.saturating_sub(2) {
+        g.push(Conv2D::new(
+            seed_channels,
+            seed_channels,
+            (2, 2),
+            Padding::Same,
+            Init::HeUniform,
+            rng,
+        ));
+        g.push(Activation::leaky_relu(config.leaky_alpha));
+    }
+    let mut out_conv = Conv2D::new(seed_channels, 1, (2, 2), Padding::Same, Init::XavierUniform, rng);
+    if config.g_output_gain != 1.0 {
+        use vehigan_tensor::layer::Layer;
+        for p in out_conv.params_mut() {
+            p.value.scale_in_place(config.g_output_gain);
+        }
+    }
+    g.push(out_conv);
+    g.push(Activation::tanh());
+    g
+}
+
+/// One Wasserstein GAN instance.
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_core::{Wgan, WganConfig};
+/// use vehigan_tensor::Tensor;
+///
+/// let config = WganConfig { epochs: 1, batch_size: 16, layers: 3, ..WganConfig::default() };
+/// let mut wgan = Wgan::new(config);
+/// let benign = Tensor::zeros(&[64, 10, 12, 1]);
+/// wgan.train(&benign);
+/// let scores = wgan.score_batch(&benign);
+/// assert_eq!(scores.len(), 64);
+/// ```
+pub struct Wgan {
+    config: WganConfig,
+    generator: Sequential,
+    critic: Sequential,
+    opt_g: RmsProp,
+    opt_d: RmsProp,
+    history: Vec<TrainStats>,
+    /// Power-iteration vectors for spectral normalization, one per
+    /// critic weight matrix (empty until first use).
+    sn_state: Vec<Vec<f32>>,
+}
+
+impl std::fmt::Debug for Wgan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Wgan({}, G={} params, D={} params, {} epochs trained)",
+            self.config.id(),
+            self.generator.num_params(),
+            self.critic.num_params(),
+            self.history.len()
+        )
+    }
+}
+
+impl Wgan {
+    /// Creates an untrained WGAN with freshly initialized networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`WganConfig::validate`]).
+    pub fn new(config: WganConfig) -> Self {
+        config.validate();
+        let mut rng = seeded_rng(config.seed);
+        let generator = build_generator(&config, &mut rng);
+        let critic = build_critic(&config, &mut rng);
+        let opt_g = RmsProp::new(config.learning_rate);
+        let opt_d = RmsProp::new(config.learning_rate);
+        Wgan {
+            config,
+            generator,
+            critic,
+            opt_g,
+            opt_d,
+            history: Vec::new(),
+            sn_state: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WganConfig {
+        &self.config
+    }
+
+    /// The training history (one entry per trained epoch).
+    pub fn history(&self) -> &[TrainStats] {
+        &self.history
+    }
+
+    /// Attaches a training history (used when materializing checkpoints
+    /// of a shared training run).
+    pub(crate) fn set_history(&mut self, history: Vec<TrainStats>) {
+        self.history = history;
+    }
+
+    /// Immutable access to the critic.
+    pub fn critic(&self) -> &Sequential {
+        &self.critic
+    }
+
+    /// Mutable access to the critic (needed for forward passes and input
+    /// gradients).
+    pub fn critic_mut(&mut self) -> &mut Sequential {
+        &mut self.critic
+    }
+
+    /// Trains for `config.epochs` epochs on benign snapshots `[n, w, f, 1]`.
+    ///
+    /// Per mini-batch the critic takes one step (real up, fake down, the
+    /// configured Lipschitz enforcement applied); every `n_critic` batches
+    /// the generator takes one adversarial step through the critic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the configured snapshot shape or holds
+    /// fewer than one batch.
+    pub fn train(&mut self, x: &Tensor) {
+        let epochs = self.config.epochs;
+        self.train_epochs(x, epochs);
+    }
+
+    /// Trains for an explicit number of epochs (used by the zoo to share
+    /// partially-trained models across epoch grid points).
+    pub fn train_epochs(&mut self, x: &Tensor, epochs: usize) {
+        assert_eq!(
+            &x.shape()[1..],
+            &[self.config.window, self.config.features, 1],
+            "training data shape {:?} does not match config ({}, {}, 1)",
+            x.shape(),
+            self.config.window,
+            self.config.features,
+        );
+        let n = x.shape()[0];
+        let b = self.config.batch_size.min(n);
+        assert!(n >= b && b > 0, "need at least one batch of data");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x7264);
+        let mut indices: Vec<usize> = (0..n).collect();
+
+        for _ in 0..epochs {
+            indices.shuffle(&mut rng);
+            let mut w_sum = 0.0f32;
+            let mut real_sum = 0.0f32;
+            let mut fake_sum = 0.0f32;
+            let mut n_batches = 0usize;
+            for (batch_idx, chunk) in indices.chunks(b).enumerate() {
+                if chunk.len() < 2 {
+                    continue;
+                }
+                let real = x.take(chunk);
+                let stats = self.critic_step(&real, &mut rng);
+                w_sum += stats.0 - stats.1;
+                real_sum += stats.0;
+                fake_sum += stats.1;
+                n_batches += 1;
+                if (batch_idx + 1) % self.config.n_critic == 0 {
+                    self.generator_step(chunk.len(), &mut rng);
+                }
+            }
+            let epoch = self.history.len();
+            let nb = n_batches.max(1) as f32;
+            self.history.push(TrainStats {
+                epoch,
+                wasserstein: w_sum / nb,
+                critic_real: real_sum / nb,
+                critic_fake: fake_sum / nb,
+            });
+        }
+    }
+
+    /// One critic update; returns `(mean D(real), mean D(fake))`.
+    fn critic_step(&mut self, real: &Tensor, rng: &mut rand::rngs::StdRng) -> (f32, f32) {
+        let bsz = real.shape()[0];
+        let z = randn(&[bsz, self.config.noise_dim], rng);
+        let fake = self.generator.forward(&z);
+        self.critic.zero_grad();
+        // Maximize mean D(real) − mean D(fake) ⇒ minimize the negative.
+        let out_real = self.critic.forward(real);
+        let g = Tensor::full(out_real.shape(), -1.0 / bsz as f32);
+        let _ = self.critic.backward(&g);
+        let out_fake = self.critic.forward(&fake);
+        let g = Tensor::full(out_fake.shape(), 1.0 / bsz as f32);
+        let _ = self.critic.backward(&g);
+        if let LipschitzMode::GradientPenalty { lambda } = self.config.lipschitz {
+            self.accumulate_gradient_penalty(real, &fake, lambda, rng);
+        }
+        self.opt_d.step(&mut self.critic.params_mut());
+        match self.config.lipschitz {
+            LipschitzMode::Clip => self.critic.clip_weights(self.config.clip),
+            LipschitzMode::Spectral => self.spectral_normalize(rng),
+            LipschitzMode::GradientPenalty { .. } => {}
+        }
+        (out_real.mean(), out_fake.mean())
+    }
+
+    /// Accumulates the WGAN-GP parameter gradients
+    /// `∇_θ λ·mean_i (‖∇ₓD(x̂ᵢ)‖ − 1)²` into the critic's gradient
+    /// buffers.
+    ///
+    /// The second-order term is evaluated by a finite-difference
+    /// directional derivative: with `vᵢ = ∇ₓD(x̂ᵢ)/‖·‖`,
+    /// `∇_θ ‖∇ₓD(x̂ᵢ)‖ ≈ ∇_θ [D(x̂ᵢ + h·vᵢ) − D(x̂ᵢ)] / h`, which needs
+    /// only first-order backprop.
+    fn accumulate_gradient_penalty(
+        &mut self,
+        real: &Tensor,
+        fake: &Tensor,
+        lambda: f32,
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        use rand::Rng;
+        let bsz = real.shape()[0];
+        let elems: usize = real.shape()[1..].iter().product();
+        // Random interpolates x̂ = α·real + (1 − α)·fake, α ~ U(0, 1).
+        let mut x_hat = real.clone();
+        {
+            let xh = x_hat.as_mut_slice();
+            let fk = fake.as_slice();
+            for i in 0..bsz {
+                let alpha: f32 = rng.gen_range(0.0..1.0);
+                for j in 0..elems {
+                    let idx = i * elems + j;
+                    xh[idx] = alpha * xh[idx] + (1.0 - alpha) * fk[idx];
+                }
+            }
+        }
+        // Input gradient per interpolate. This backward pollutes the
+        // parameter-gradient buffers with ∇_θ ΣD(x̂), so run it on a
+        // scratch clone of the critic.
+        let mut scratch = Sequential::from_bytes(&self.critic.to_bytes())
+            .expect("critic clone for gradient penalty");
+        let out = scratch.forward(&x_hat);
+        let grad_x = scratch.backward(&Tensor::ones(out.shape()));
+
+        // Per-sample norms nᵢ and penalty coefficients cᵢ = 2λ(nᵢ−1)/b.
+        let gx = grad_x.as_slice();
+        let mut coeffs = Vec::with_capacity(bsz);
+        let mut norms = Vec::with_capacity(bsz);
+        for i in 0..bsz {
+            let row = &gx[i * elems..(i + 1) * elems];
+            let n = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-8);
+            norms.push(n);
+            coeffs.push(2.0 * lambda * (n - 1.0) / bsz as f32);
+        }
+        // Probe points x̂ + h·v (v = unit gradient direction).
+        let h = 1e-3f32;
+        let mut x_probe = x_hat.clone();
+        {
+            let xp = x_probe.as_mut_slice();
+            for i in 0..bsz {
+                let inv = h / norms[i];
+                for j in 0..elems {
+                    let idx = i * elems + j;
+                    xp[idx] += gx[idx] * inv;
+                }
+            }
+        }
+        // ∇_θ GP ≈ Σᵢ (cᵢ/h)·[∇_θ D(x̂ᵢ + h·vᵢ) − ∇_θ D(x̂ᵢ)].
+        let mut g_plus = Tensor::zeros(&[bsz, 1]);
+        let mut g_minus = Tensor::zeros(&[bsz, 1]);
+        for i in 0..bsz {
+            g_plus.as_mut_slice()[i] = coeffs[i] / h;
+            g_minus.as_mut_slice()[i] = -coeffs[i] / h;
+        }
+        let _ = self.critic.forward(&x_probe);
+        let _ = self.critic.backward(&g_plus);
+        let _ = self.critic.forward(&x_hat);
+        let _ = self.critic.backward(&g_minus);
+    }
+
+    /// Rescales every critic weight matrix to spectral norm ≤ 1 using one
+    /// power-iteration step (the iteration vectors persist across steps,
+    /// so the estimate sharpens as training proceeds).
+    fn spectral_normalize(&mut self, rng: &mut rand::rngs::StdRng) {
+        use rand::Rng;
+        let mut params = self.critic.params_mut();
+        // Lazily initialize one u vector per 2-D parameter.
+        let n_mats = params.iter().filter(|p| p.value.ndim() == 2).count();
+        if self.sn_state.len() != n_mats {
+            self.sn_state = params
+                .iter()
+                .filter(|p| p.value.ndim() == 2)
+                .map(|p| {
+                    let rows = p.value.shape()[0];
+                    (0..rows).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+                })
+                .collect();
+        }
+        let mut mat_idx = 0;
+        for p in params.iter_mut() {
+            if p.value.ndim() != 2 {
+                continue;
+            }
+            let (rows, cols) = (p.value.shape()[0], p.value.shape()[1]);
+            let w = p.value.as_mut_slice();
+            let u = &mut self.sn_state[mat_idx];
+            mat_idx += 1;
+            // v = normalize(Wᵀ u)
+            let mut v = vec![0.0f32; cols];
+            for r in 0..rows {
+                let ur = u[r];
+                if ur == 0.0 {
+                    continue;
+                }
+                for c in 0..cols {
+                    v[c] += w[r * cols + c] * ur;
+                }
+            }
+            let vn = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+            for x in &mut v {
+                *x /= vn;
+            }
+            // u' = normalize(W v); σ = ‖W v‖
+            let mut wu = vec![0.0f32; rows];
+            for r in 0..rows {
+                let mut acc = 0.0;
+                for c in 0..cols {
+                    acc += w[r * cols + c] * v[c];
+                }
+                wu[r] = acc;
+            }
+            let sigma = wu.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+            for (ur, &x) in u.iter_mut().zip(&wu) {
+                *ur = x / sigma;
+            }
+            // Only shrink: enforcing σ ≤ 1 rather than σ = 1 keeps
+            // low-energy layers expressive.
+            if sigma > 1.0 {
+                let inv = 1.0 / sigma;
+                for x in w.iter_mut() {
+                    *x *= inv;
+                }
+            }
+        }
+    }
+
+    /// One generator update through the critic.
+    fn generator_step(&mut self, bsz: usize, rng: &mut rand::rngs::StdRng) {
+        let z = randn(&[bsz, self.config.noise_dim], rng);
+        let fake = self.generator.forward(&z);
+        self.critic.zero_grad();
+        let out = self.critic.forward(&fake);
+        // Maximize mean D(fake) ⇒ grad −1/b into the critic, then chain
+        // into the generator via the critic's input gradient.
+        let g = Tensor::full(out.shape(), -1.0 / bsz as f32);
+        let grad_fake = self.critic.backward(&g);
+        self.generator.zero_grad();
+        let _ = self.generator.backward(&grad_fake);
+        self.opt_g.step(&mut self.generator.params_mut());
+        // Critic grads from this pass are discarded by its next zero_grad.
+    }
+
+    /// Anomaly scores `s(x) = −D(x)` for snapshots `[n, w, f, 1]` (Eq. 5).
+    pub fn score_batch(&mut self, x: &Tensor) -> Vec<f32> {
+        let out = self.critic.forward(x);
+        out.as_slice().iter().map(|&v| -v).collect()
+    }
+
+    /// Generates `n` fake snapshots from fresh noise.
+    pub fn generate(&mut self, n: usize, rng: &mut rand::rngs::StdRng) -> Tensor {
+        let z = randn(&[n, self.config.noise_dim], rng);
+        self.generator.forward(&z)
+    }
+
+    /// Serializes the critic (all a deployment needs) to bytes.
+    pub fn critic_bytes(&self) -> Vec<u8> {
+        self.critic.to_bytes()
+    }
+
+    /// Restores a critic-only WGAN for inference from serialized bytes.
+    ///
+    /// The generator is rebuilt untrained (scoring never touches it).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bytes are not a valid model file.
+    pub fn from_critic_bytes(config: WganConfig, bytes: &[u8]) -> Result<Self, ModelFormatError> {
+        let critic = Sequential::from_bytes(bytes)?;
+        let mut rng = seeded_rng(config.seed);
+        let generator = build_generator(&config, &mut rng);
+        Ok(Wgan {
+            opt_g: RmsProp::new(config.learning_rate),
+            opt_d: RmsProp::new(config.learning_rate),
+            config,
+            generator,
+            critic,
+            history: Vec::new(),
+            sn_state: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vehigan_tensor::init::rand_uniform;
+
+    fn quick_config() -> WganConfig {
+        WganConfig {
+            noise_dim: 8,
+            layers: 3,
+            epochs: 2,
+            batch_size: 32,
+            n_critic: 2,
+            ..WganConfig::default()
+        }
+    }
+
+    /// Synthetic "benign" manifold: smooth low-amplitude snapshots.
+    fn benign_snapshots(n: usize, seed: u64) -> Tensor {
+        let mut rng = seeded_rng(seed);
+        let base = rand_uniform(&[n, 1], -0.3, 0.3, &mut rng);
+        let mut data = Vec::with_capacity(n * 120);
+        for i in 0..n {
+            let level = base.as_slice()[i];
+            for j in 0..120 {
+                data.push(level + 0.05 * ((j as f32) * 0.3).sin());
+            }
+        }
+        Tensor::from_vec(data, &[n, 10, 12, 1])
+    }
+
+    #[test]
+    fn networks_have_declared_shapes() {
+        let config = quick_config();
+        let mut rng = seeded_rng(0);
+        let g = build_generator(&config, &mut rng);
+        let d = build_critic(&config, &mut rng);
+        assert_eq!(g.output_shape(&[config.noise_dim]), vec![10, 12, 1]);
+        assert_eq!(d.output_shape(&[10, 12, 1]), vec![1]);
+    }
+
+    #[test]
+    fn layer_count_scales_critic_depth() {
+        let mut rng = seeded_rng(0);
+        let d6 = build_critic(&WganConfig { layers: 6, ..quick_config() }, &mut rng);
+        let d8 = build_critic(&WganConfig { layers: 8, ..quick_config() }, &mut rng);
+        let convs = |m: &Sequential| m.layer_names().iter().filter(|n| **n == "Conv2D").count();
+        assert_eq!(convs(&d6), 5);
+        assert_eq!(convs(&d8), 7);
+    }
+
+    #[test]
+    fn generator_output_is_tanh_bounded() {
+        let mut wgan = Wgan::new(quick_config());
+        let mut rng = seeded_rng(1);
+        let fake = wgan.generate(4, &mut rng);
+        assert_eq!(fake.shape(), &[4, 10, 12, 1]);
+        assert!(fake.max() <= 1.0 && fake.min() >= -1.0);
+    }
+
+    #[test]
+    fn training_runs_and_records_history() {
+        let mut wgan = Wgan::new(quick_config());
+        let x = benign_snapshots(64, 2);
+        wgan.train(&x);
+        assert_eq!(wgan.history().len(), 2);
+        for s in wgan.history() {
+            assert!(s.wasserstein.is_finite());
+        }
+    }
+
+    #[test]
+    fn critic_weights_stay_clipped_after_training() {
+        let mut wgan = Wgan::new(WganConfig {
+            lipschitz: LipschitzMode::Clip,
+            ..quick_config()
+        });
+        let x = benign_snapshots(64, 3);
+        wgan.train(&x);
+        let clip = wgan.config().clip;
+        for p in wgan.critic().params() {
+            assert!(p.value.max() <= clip && p.value.min() >= -clip);
+        }
+    }
+
+    #[test]
+    fn spectral_mode_bounds_singular_values() {
+        let mut wgan = Wgan::new(WganConfig {
+            lipschitz: LipschitzMode::Spectral,
+            ..quick_config()
+        });
+        let x = benign_snapshots(64, 3);
+        wgan.train(&x);
+        // Power-iterate each weight matrix to estimate sigma <= ~1.
+        for p in wgan.critic().params() {
+            if p.value.ndim() != 2 {
+                continue;
+            }
+            let (rows, cols) = (p.value.shape()[0], p.value.shape()[1]);
+            let w = p.value.as_slice();
+            let mut u = vec![1.0f32; rows];
+            let mut sigma = 0.0f32;
+            for _ in 0..30 {
+                let mut v = vec![0.0f32; cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        v[c] += w[r * cols + c] * u[r];
+                    }
+                }
+                let vn = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+                v.iter_mut().for_each(|x| *x /= vn);
+                let mut wu = vec![0.0f32; rows];
+                for r in 0..rows {
+                    wu[r] = (0..cols).map(|c| w[r * cols + c] * v[c]).sum();
+                }
+                sigma = wu.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let un = sigma.max(1e-12);
+                u = wu.iter().map(|x| x / un).collect();
+            }
+            assert!(sigma <= 1.2, "sigma {sigma} exceeds bound");
+        }
+    }
+
+    #[test]
+    fn gradient_penalty_tightens_input_gradients() {
+        // After GP training the critic's gradient norm at data points
+        // must sit near 1 (the defining property of WGAN-GP).
+        let mut wgan = Wgan::new(WganConfig {
+            epochs: 4,
+            ..quick_config()
+        });
+        let x = benign_snapshots(128, 21);
+        wgan.train(&x);
+        let probe = benign_snapshots(16, 22);
+        let out = wgan.critic_mut().forward(&probe);
+        let grads = wgan.critic_mut().backward(&Tensor::ones(out.shape()));
+        let elems: usize = probe.shape()[1..].iter().product();
+        let mut mean_norm = 0.0f32;
+        for i in 0..16 {
+            let row = &grads.as_slice()[i * elems..(i + 1) * elems];
+            mean_norm += row.iter().map(|v| v * v).sum::<f32>().sqrt() / 16.0;
+        }
+        assert!(
+            (0.2..5.0).contains(&mean_norm),
+            "GP should keep gradient norms near 1, got {mean_norm}"
+        );
+    }
+
+    #[test]
+    fn trained_critic_separates_benign_from_garbage() {
+        let config = WganConfig {
+            epochs: 6,
+            ..quick_config()
+        };
+        let mut wgan = Wgan::new(config);
+        let x = benign_snapshots(256, 4);
+        wgan.train(&x);
+        let benign_scores = wgan.score_batch(&benign_snapshots(32, 5));
+        // Garbage: saturated random snapshots far off the manifold.
+        let mut rng = seeded_rng(6);
+        let garbage = rand_uniform(&[32, 10, 12, 1], -1.0, 1.0, &mut rng);
+        let garbage_scores = wgan.score_batch(&garbage);
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(
+            mean(&garbage_scores) > mean(&benign_scores),
+            "garbage {} vs benign {}",
+            mean(&garbage_scores),
+            mean(&benign_scores)
+        );
+    }
+
+    #[test]
+    fn score_is_negative_critic_output() {
+        let mut wgan = Wgan::new(quick_config());
+        let x = benign_snapshots(8, 7);
+        let out = wgan.critic_mut().forward(&x);
+        let scores = wgan.score_batch(&x);
+        for (s, o) in scores.iter().zip(out.as_slice()) {
+            assert_eq!(*s, -o);
+        }
+    }
+
+    #[test]
+    fn critic_serialization_roundtrip_preserves_scores() {
+        let mut wgan = Wgan::new(quick_config());
+        let x = benign_snapshots(64, 8);
+        wgan.train(&x);
+        let bytes = wgan.critic_bytes();
+        let mut back = Wgan::from_critic_bytes(quick_config(), &bytes).unwrap();
+        assert_eq!(wgan.score_batch(&x), back.score_batch(&x));
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let x = benign_snapshots(64, 9);
+        let mut a = Wgan::new(quick_config());
+        let mut b = Wgan::new(quick_config());
+        a.train(&x);
+        b.train(&x);
+        assert_eq!(a.score_batch(&x), b.score_batch(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match config")]
+    fn wrong_shape_rejected() {
+        let mut wgan = Wgan::new(quick_config());
+        wgan.train(&Tensor::zeros(&[16, 8, 8, 1]));
+    }
+}

@@ -1,0 +1,393 @@
+//! The model zoo: grid-search training, pre-evaluation, and top-*m*
+//! candidate selection (§III-D, §III-E).
+
+use crate::config::{GridConfig, WganConfig};
+use crate::wgan::Wgan;
+use parking_lot::Mutex;
+use vehigan_features::WindowDataset;
+use vehigan_metrics::{auprc, auroc};
+use vehigan_tensor::Tensor;
+use vehigan_vasp::Attack;
+
+/// The detection-score metric used for pre-evaluation (§III-E: "DS can be
+/// any commonly used metrics used to evaluate a classifier, such as
+/// AUROC, AUPRC, etc.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum DetectionScore {
+    /// Area under the ROC curve (the paper's reported metric).
+    #[default]
+    Auroc,
+    /// Area under the precision–recall curve (better under heavy class
+    /// imbalance).
+    Auprc,
+}
+
+impl DetectionScore {
+    /// Evaluates the metric on anomaly scores and labels.
+    pub fn evaluate(self, scores: &[f32], labels: &[bool]) -> f64 {
+        match self {
+            DetectionScore::Auroc => auroc(scores, labels),
+            DetectionScore::Auprc => auprc(scores, labels),
+        }
+    }
+}
+
+/// One trained zoo member with its pre-evaluation results.
+pub struct ZooEntry {
+    /// The trained WGAN.
+    pub wgan: Wgan,
+    /// Detection score (AUROC) per validation attack, filled by
+    /// [`ModelZoo::pre_evaluate`].
+    pub per_attack: Vec<(Attack, f64)>,
+    /// Average discriminative score across validation attacks (Eq. 4).
+    pub ads: f64,
+}
+
+impl std::fmt::Debug for ZooEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ZooEntry({}, ADS={:.3})", self.wgan.config().id(), self.ads)
+    }
+}
+
+/// A collection of grid-trained WGANs.
+///
+/// # Examples
+///
+/// ```no_run
+/// use vehigan_core::{GridConfig, ModelZoo};
+/// use vehigan_tensor::Tensor;
+///
+/// let train = Tensor::zeros(&[256, 10, 12, 1]);
+/// let zoo = ModelZoo::train(&GridConfig::tiny(), &train, 2);
+/// assert_eq!(zoo.len(), GridConfig::tiny().len());
+/// ```
+pub struct ModelZoo {
+    entries: Vec<ZooEntry>,
+}
+
+impl std::fmt::Debug for ModelZoo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ModelZoo({} entries)", self.entries.len())
+    }
+}
+
+impl ModelZoo {
+    /// Trains every configuration of the grid on benign snapshots
+    /// `[n, w, f, 1]`, using up to `threads` worker threads.
+    ///
+    /// Configurations differing **only in epoch count** are produced as
+    /// checkpoints of a single training run (the paper's 60 instances are
+    /// 15 architecture runs × 4 epoch checkpoints), so a 5×3×4 grid costs
+    /// 15 trainings to the maximum epoch budget, not 60 from scratch.
+    ///
+    /// Each run is fully determined by its group's seed, so the zoo is
+    /// reproducible regardless of thread scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty or `threads == 0`.
+    pub fn train(grid: &GridConfig, train: &Tensor, threads: usize) -> Self {
+        let configs = grid.expand();
+        assert!(!configs.is_empty(), "empty hyperparameter grid");
+        assert!(threads > 0, "need at least one worker thread");
+
+        // Group by everything except the epoch budget: one training run
+        // per group, checkpointed at each requested epoch count.
+        let mut groups: Vec<(WganConfig, Vec<(usize, usize)>)> = Vec::new();
+        for (idx, config) in configs.iter().enumerate() {
+            let key = WganConfig {
+                epochs: 0,
+                seed: 0,
+                ..*config
+            };
+            match groups.iter_mut().find(|(k, _)| {
+                WganConfig {
+                    epochs: 0,
+                    seed: 0,
+                    ..*k
+                } == key
+            }) {
+                Some((_, members)) => members.push((idx, config.epochs)),
+                None => groups.push((*config, vec![(idx, config.epochs)])),
+            }
+        }
+        for (_, members) in &mut groups {
+            members.sort_by_key(|&(_, epochs)| epochs);
+        }
+
+        let work: Mutex<Vec<(WganConfig, Vec<(usize, usize)>)>> = Mutex::new(groups);
+        let results: Mutex<Vec<(usize, Wgan)>> = Mutex::new(Vec::new());
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let item = work.lock().pop();
+                    let Some((base, members)) = item else { break };
+                    // Seed the run from the group's first grid entry so
+                    // checkpoints share one trajectory.
+                    let run_seed = members
+                        .first()
+                        .map(|&(idx, _)| idx)
+                        .expect("nonempty group");
+                    let run_config = WganConfig {
+                        seed: base.seed ^ (run_seed as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ..base
+                    };
+                    let mut wgan = Wgan::new(run_config);
+                    let mut trained = 0usize;
+                    for &(idx, epochs) in &members {
+                        wgan.train_epochs(train, epochs - trained);
+                        trained = epochs;
+                        let checkpoint_config = WganConfig {
+                            epochs,
+                            ..run_config
+                        };
+                        let mut checkpoint =
+                            Wgan::from_critic_bytes(checkpoint_config, &wgan.critic_bytes())
+                                .expect("checkpoint roundtrip");
+                        checkpoint.set_history(wgan.history().to_vec());
+                        results.lock().push((idx, checkpoint));
+                    }
+                });
+            }
+        })
+        .expect("zoo training thread panicked");
+
+        let mut trained = results.into_inner();
+        trained.sort_by_key(|(idx, _)| *idx);
+        ModelZoo {
+            entries: trained
+                .into_iter()
+                .map(|(_, wgan)| ZooEntry {
+                    wgan,
+                    per_attack: Vec::new(),
+                    ads: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds a zoo from already-trained models (e.g. deserialized).
+    pub fn from_models(models: Vec<Wgan>) -> Self {
+        ModelZoo {
+            entries: models
+                .into_iter()
+                .map(|wgan| ZooEntry {
+                    wgan,
+                    per_attack: Vec::new(),
+                    ads: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the zoo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The zoo entries.
+    pub fn entries(&self) -> &[ZooEntry] {
+        &self.entries
+    }
+
+    /// Mutable access to the entries (e.g. for scoring).
+    pub fn entries_mut(&mut self) -> &mut [ZooEntry] {
+        &mut self.entries
+    }
+
+    /// Pre-evaluates every model on labelled validation datasets with the
+    /// default AUROC detection score; ADS is the mean over attacks
+    /// (Eq. 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `validation` is empty or a dataset lacks both classes.
+    pub fn pre_evaluate(&mut self, validation: &[(Attack, WindowDataset)]) {
+        self.pre_evaluate_with(validation, DetectionScore::Auroc);
+    }
+
+    /// Pre-evaluates with an explicit detection-score metric (§III-E lets
+    /// the defender choose AUROC, AUPRC, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `validation` is empty or a dataset lacks both classes.
+    pub fn pre_evaluate_with(
+        &mut self,
+        validation: &[(Attack, WindowDataset)],
+        metric: DetectionScore,
+    ) {
+        assert!(!validation.is_empty(), "need at least one validation attack");
+        for entry in &mut self.entries {
+            let mut per_attack = Vec::with_capacity(validation.len());
+            let mut sum = 0.0;
+            for (attack, dataset) in validation {
+                let scores = entry.wgan.score_batch(&dataset.x);
+                let ds = metric.evaluate(&scores, &dataset.labels);
+                per_attack.push((*attack, ds));
+                sum += ds;
+            }
+            entry.ads = sum / validation.len() as f64;
+            entry.per_attack = per_attack;
+        }
+    }
+
+    /// Indices of the top-`m` models by ADS (descending). Requires a prior
+    /// [`ModelZoo::pre_evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero or exceeds the zoo size.
+    pub fn top_m(&self, m: usize) -> Vec<usize> {
+        assert!(m >= 1 && m <= self.entries.len(), "m must be in [1, {}]", self.entries.len());
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.entries[b]
+                .ads
+                .partial_cmp(&self.entries[a].ads)
+                .expect("finite ADS")
+        });
+        order.truncate(m);
+        order
+    }
+
+    /// Removes and returns the models at `indices` (order preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or duplicated.
+    pub fn take_models(self, indices: &[usize]) -> Vec<ZooEntry> {
+        let mut seen = vec![false; self.entries.len()];
+        for &i in indices {
+            assert!(i < seen.len(), "index {i} out of bounds");
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        let mut slots: Vec<Option<ZooEntry>> = self.entries.into_iter().map(Some).collect();
+        indices
+            .iter()
+            .map(|&i| slots[i].take().expect("checked above"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vehigan_tensor::init::{rand_uniform, seeded_rng};
+
+    fn benign(n: usize, seed: u64) -> Tensor {
+        let mut rng = seeded_rng(seed);
+        let base = rand_uniform(&[n, 1], -0.2, 0.2, &mut rng);
+        let mut data = Vec::with_capacity(n * 120);
+        for i in 0..n {
+            for j in 0..120 {
+                data.push(base.as_slice()[i] + 0.05 * (j as f32 * 0.4).cos());
+            }
+        }
+        Tensor::from_vec(data, &[n, 10, 12, 1])
+    }
+
+    fn synthetic_validation(seed: u64) -> Vec<(Attack, WindowDataset)> {
+        // Benign windows + saturated-garbage "attack" windows.
+        let mut rng = seeded_rng(seed);
+        let b = benign(40, seed);
+        let garbage = rand_uniform(&[40, 10, 12, 1], -1.0, 1.0, &mut rng);
+        let mut data = b.as_slice().to_vec();
+        data.extend_from_slice(garbage.as_slice());
+        let x = Tensor::from_vec(data, &[80, 10, 12, 1]);
+        let labels: Vec<bool> = (0..80).map(|i| i >= 40).collect();
+        let vehicles = vec![vehigan_sim::VehicleId(0); 80];
+        vec![(
+            Attack::by_name("RandomSpeed").unwrap(),
+            WindowDataset { x, labels, vehicles },
+        )]
+    }
+
+    fn tiny_zoo() -> ModelZoo {
+        let train = benign(128, 0);
+        ModelZoo::train(&GridConfig::tiny(), &train, 2)
+    }
+
+    #[test]
+    fn trains_all_grid_points() {
+        let zoo = tiny_zoo();
+        assert_eq!(zoo.len(), GridConfig::tiny().len());
+        for e in zoo.entries() {
+            assert!(!e.wgan.history().is_empty());
+        }
+    }
+
+    #[test]
+    fn parallel_training_is_deterministic() {
+        let train = benign(128, 0);
+        let mut a = ModelZoo::train(&GridConfig::tiny(), &train, 1);
+        let mut b = ModelZoo::train(&GridConfig::tiny(), &train, 3);
+        let probe = benign(8, 1);
+        for (ea, eb) in a.entries_mut().iter_mut().zip(b.entries_mut()) {
+            assert_eq!(ea.wgan.score_batch(&probe), eb.wgan.score_batch(&probe));
+        }
+    }
+
+    #[test]
+    fn pre_evaluation_fills_ads() {
+        let mut zoo = tiny_zoo();
+        zoo.pre_evaluate(&synthetic_validation(1));
+        for e in zoo.entries() {
+            assert_eq!(e.per_attack.len(), 1);
+            assert!(e.ads >= 0.0 && e.ads <= 1.0);
+        }
+    }
+
+    #[test]
+    fn auprc_metric_also_works() {
+        let mut zoo = tiny_zoo();
+        zoo.pre_evaluate_with(&synthetic_validation(4), DetectionScore::Auprc);
+        for e in zoo.entries() {
+            assert!(e.ads > 0.0 && e.ads <= 1.0);
+        }
+    }
+
+    #[test]
+    fn detection_score_metrics_agree_on_perfect_ranking() {
+        let scores = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(DetectionScore::Auroc.evaluate(&scores, &labels), 1.0);
+        assert!((DetectionScore::Auprc.evaluate(&scores, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_m_is_sorted_by_ads() {
+        let mut zoo = tiny_zoo();
+        zoo.pre_evaluate(&synthetic_validation(2));
+        let top = zoo.top_m(3);
+        assert_eq!(top.len(), 3);
+        for w in top.windows(2) {
+            assert!(zoo.entries()[w[0]].ads >= zoo.entries()[w[1]].ads);
+        }
+    }
+
+    #[test]
+    fn take_models_preserves_order() {
+        let mut zoo = tiny_zoo();
+        zoo.pre_evaluate(&synthetic_validation(3));
+        let top = zoo.top_m(2);
+        let expect_ids: Vec<String> =
+            top.iter().map(|&i| zoo.entries()[i].wgan.config().id()).collect();
+        let taken = zoo.take_models(&top);
+        let got_ids: Vec<String> = taken.iter().map(|e| e.wgan.config().id()).collect();
+        assert_eq!(expect_ids, got_ids);
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be in")]
+    fn top_m_bounds_checked() {
+        let zoo = tiny_zoo();
+        let _ = zoo.top_m(zoo.len() + 1);
+    }
+}

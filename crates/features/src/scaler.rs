@@ -1,0 +1,122 @@
+//! Min–max feature scaling.
+//!
+//! WGAN generators emit `tanh`-bounded values, so snapshots are scaled to
+//! `[-1, 1]` using statistics fitted **on benign training data only** (the
+//! defender never sees attack data at fit time).
+
+/// A per-column min–max scaler mapping fitted ranges to `[-1, 1]`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MinMaxScaler {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on rows of equal width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a scaler on zero rows");
+        let width = rows[0].len();
+        let mut min = vec![f64::INFINITY; width];
+        let mut max = vec![f64::NEG_INFINITY; width];
+        for row in rows {
+            assert_eq!(row.len(), width, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                min[j] = min[j].min(v);
+                max[j] = max[j].max(v);
+            }
+        }
+        // Guard constant columns.
+        for j in 0..width {
+            if (max[j] - min[j]).abs() < 1e-12 {
+                max[j] = min[j] + 1.0;
+            }
+        }
+        MinMaxScaler { min, max }
+    }
+
+    /// Number of feature columns.
+    pub fn width(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Scales one value of column `j` into `[-1, 1]` (clamped: test-time
+    /// values outside the fitted range — e.g. attack extremes — saturate,
+    /// like any bounded sensor encoding would).
+    pub fn transform_value(&self, j: usize, v: f64) -> f64 {
+        let t = 2.0 * (v - self.min[j]) / (self.max[j] - self.min[j]) - 1.0;
+        t.clamp(-1.0, 1.0)
+    }
+
+    /// Inverse of [`MinMaxScaler::transform_value`] (for un-clamped inputs).
+    pub fn inverse_value(&self, j: usize, t: f64) -> f64 {
+        (t + 1.0) / 2.0 * (self.max[j] - self.min[j]) + self.min[j]
+    }
+
+    /// Scales a full row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the fitted width.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.width(), "row width mismatch");
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| self.transform_value(j, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_fitted_range_to_unit_interval() {
+        let rows = vec![vec![0.0, -10.0], vec![10.0, 10.0], vec![5.0, 0.0]];
+        let s = MinMaxScaler::fit(&rows);
+        assert_eq!(s.transform_value(0, 0.0), -1.0);
+        assert_eq!(s.transform_value(0, 10.0), 1.0);
+        assert_eq!(s.transform_value(0, 5.0), 0.0);
+        assert_eq!(s.transform_value(1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let s = MinMaxScaler::fit(&[vec![0.0], vec![1.0]]);
+        assert_eq!(s.transform_value(0, 100.0), 1.0);
+        assert_eq!(s.transform_value(0, -100.0), -1.0);
+    }
+
+    #[test]
+    fn constant_column_does_not_blow_up() {
+        let s = MinMaxScaler::fit(&[vec![3.0], vec![3.0]]);
+        let t = s.transform_value(0, 3.0);
+        assert!(t.is_finite());
+        assert_eq!(t, -1.0);
+    }
+
+    #[test]
+    fn inverse_roundtrips_in_range() {
+        let s = MinMaxScaler::fit(&[vec![-5.0, 2.0], vec![5.0, 8.0]]);
+        for v in [-5.0, -1.0, 0.0, 3.3, 5.0] {
+            let t = s.transform_value(0, v);
+            assert!((s.inverse_value(0, t) - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transform_row_matches_per_value() {
+        let s = MinMaxScaler::fit(&[vec![0.0, 0.0], vec![2.0, 4.0]]);
+        assert_eq!(s.transform_row(&[1.0, 1.0]), vec![0.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_fit_panics() {
+        let _ = MinMaxScaler::fit(&[]);
+    }
+}

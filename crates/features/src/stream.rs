@@ -1,0 +1,200 @@
+//! Streaming window maintenance for the testing phase.
+//!
+//! On the OBU/RSU, VehiGAN keeps only the most recent `w` messages per
+//! vehicle and refreshes that vehicle's snapshot on every arriving BSM
+//! (§III-C). [`WindowBuffer`] implements exactly that per-vehicle buffer;
+//! [`StreamTracker`] multiplexes buffers across all observed pseudonyms.
+
+use crate::decompose::decompose_pair;
+use crate::scaler::MinMaxScaler;
+use std::collections::{HashMap, VecDeque};
+use vehigan_sim::{Bsm, VehicleId};
+use vehigan_tensor::Tensor;
+
+/// Rolling feature-window buffer for one vehicle.
+#[derive(Debug, Clone)]
+pub struct WindowBuffer {
+    window: usize,
+    scaler: MinMaxScaler,
+    prev: Option<Bsm>,
+    rows: VecDeque<Vec<f64>>,
+}
+
+impl WindowBuffer {
+    /// Creates a buffer producing `window × scaler.width()` snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 2`.
+    pub fn new(window: usize, scaler: MinMaxScaler) -> Self {
+        assert!(window >= 2, "window must be at least 2");
+        WindowBuffer {
+            window,
+            scaler,
+            prev: None,
+            rows: VecDeque::new(),
+        }
+    }
+
+    /// Ingests one BSM; returns the refreshed snapshot `[1, w, f, 1]` once
+    /// enough messages have arrived.
+    pub fn push(&mut self, bsm: &Bsm) -> Option<Tensor> {
+        if let Some(prev) = self.prev {
+            let row = decompose_pair(&prev, bsm);
+            self.rows
+                .push_back(self.scaler.transform_row(&row.values));
+            if self.rows.len() > self.window {
+                self.rows.pop_front();
+            }
+        }
+        self.prev = Some(*bsm);
+        self.snapshot()
+    }
+
+    /// The current snapshot, if the buffer is full.
+    pub fn snapshot(&self) -> Option<Tensor> {
+        if self.rows.len() < self.window {
+            return None;
+        }
+        let f = self.scaler.width();
+        let mut data = Vec::with_capacity(self.window * f);
+        for row in &self.rows {
+            data.extend(row.iter().map(|&v| v as f32));
+        }
+        Some(Tensor::from_vec(data, &[1, self.window, f, 1]))
+    }
+
+    /// Number of buffered feature rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows are buffered yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Per-vehicle window buffers keyed by pseudonym.
+#[derive(Debug)]
+pub struct StreamTracker {
+    window: usize,
+    scaler: MinMaxScaler,
+    buffers: HashMap<VehicleId, WindowBuffer>,
+}
+
+impl StreamTracker {
+    /// Creates a tracker with the given window length and scaler.
+    pub fn new(window: usize, scaler: MinMaxScaler) -> Self {
+        StreamTracker {
+            window,
+            scaler,
+            buffers: HashMap::new(),
+        }
+    }
+
+    /// Ingests a BSM, returning the sender's refreshed snapshot if ready.
+    pub fn push(&mut self, bsm: &Bsm) -> Option<Tensor> {
+        let buffer = self
+            .buffers
+            .entry(bsm.vehicle_id)
+            .or_insert_with(|| WindowBuffer::new(self.window, self.scaler.clone()));
+        buffer.push(bsm)
+    }
+
+    /// Number of vehicles currently tracked.
+    pub fn num_vehicles(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Drops a vehicle's state (e.g. after a pseudonym change).
+    pub fn forget(&mut self, id: VehicleId) {
+        self.buffers.remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{build_windows, fit_scaler, Representation, WindowConfig};
+    use vehigan_sim::{SimConfig, TrafficSimulator};
+    use vehigan_vasp::{DatasetBuilder, DatasetConfig};
+
+    fn setup() -> (Vec<vehigan_sim::VehicleTrace>, MinMaxScaler) {
+        let fleet = TrafficSimulator::new(SimConfig {
+            n_vehicles: 3,
+            duration_s: 20.0,
+            seed: 2,
+            ..SimConfig::default()
+        })
+        .run();
+        let builder = DatasetBuilder::new(&fleet, DatasetConfig::default());
+        let scaler = fit_scaler(&builder.benign_dataset(), Representation::Engineered);
+        (fleet, scaler)
+    }
+
+    #[test]
+    fn buffer_warms_up_then_emits() {
+        let (fleet, scaler) = setup();
+        let mut buf = WindowBuffer::new(10, scaler);
+        let mut emitted = 0;
+        for (i, bsm) in fleet[0].iter().enumerate() {
+            let snap = buf.push(bsm);
+            if i < 10 {
+                assert!(snap.is_none(), "emitted too early at {i}");
+            } else {
+                assert!(snap.is_some());
+                emitted += 1;
+            }
+        }
+        assert!(emitted > 0);
+    }
+
+    #[test]
+    fn streaming_matches_batch_windows() {
+        // The last streaming snapshot must equal the last batch window
+        // (stride 1) of the same trace.
+        let (fleet, scaler) = setup();
+        let builder = DatasetBuilder::new(&fleet[..1], DatasetConfig::default());
+        let batch = build_windows(
+            &builder.benign_dataset(),
+            WindowConfig::default(),
+            &scaler,
+        );
+        let mut buf = WindowBuffer::new(10, scaler);
+        let mut last = None;
+        for bsm in &fleet[0] {
+            if let Some(snap) = buf.push(bsm) {
+                last = Some(snap);
+            }
+        }
+        let last = last.expect("stream emitted nothing");
+        let batch_last = batch.x.take(&[batch.len() - 1]);
+        assert_eq!(last.as_slice(), batch_last.as_slice());
+    }
+
+    #[test]
+    fn tracker_separates_vehicles() {
+        let (fleet, scaler) = setup();
+        let mut tracker = StreamTracker::new(10, scaler);
+        // Interleave messages from all vehicles by timestamp order.
+        let mut all: Vec<&Bsm> = fleet.iter().flat_map(|t| &t.bsms).collect();
+        all.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).unwrap());
+        for bsm in all {
+            tracker.push(bsm);
+        }
+        assert_eq!(tracker.num_vehicles(), 3);
+    }
+
+    #[test]
+    fn forget_drops_state() {
+        let (fleet, scaler) = setup();
+        let mut tracker = StreamTracker::new(10, scaler);
+        for bsm in fleet[0].iter().take(20) {
+            tracker.push(bsm);
+        }
+        assert_eq!(tracker.num_vehicles(), 1);
+        tracker.forget(fleet[0].id);
+        assert_eq!(tracker.num_vehicles(), 0);
+    }
+}

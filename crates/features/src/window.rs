@@ -1,0 +1,305 @@
+//! Sliding-window snapshot assembly.
+//!
+//! VehiGAN's models consume 2-D snapshots `x ∈ ℝ^{w×f}`: `w` consecutive
+//! feature rows of a single vehicle (paper: `w = 10`, `f = 12`). This
+//! module turns labelled traces into batched snapshot tensors
+//! `[n, w, f, 1]` (NHWC with one channel) ready for training or scoring.
+
+use crate::decompose::{decompose_trace, raw_trace, NUM_FEATURES, NUM_RAW_FEATURES};
+use crate::scaler::MinMaxScaler;
+use vehigan_sim::VehicleId;
+use vehigan_tensor::Tensor;
+use vehigan_vasp::MisbehaviorDataset;
+
+/// Which feature representation windows are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Representation {
+    /// The 12 physics-guided features of Table II (`Vehi-` detectors).
+    Engineered,
+    /// The 6 raw fields (`Base` detectors).
+    Raw,
+}
+
+impl Representation {
+    /// Feature count `f` of this representation.
+    pub fn width(self) -> usize {
+        match self {
+            Representation::Engineered => NUM_FEATURES,
+            Representation::Raw => NUM_RAW_FEATURES,
+        }
+    }
+}
+
+/// Windowing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WindowConfig {
+    /// Window length `w` in messages (paper: 10).
+    pub window: usize,
+    /// Stride between consecutive training windows (1 = fully overlapping).
+    pub stride: usize,
+    /// Feature representation.
+    pub representation: Representation,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            window: 10,
+            stride: 1,
+            representation: Representation::Engineered,
+        }
+    }
+}
+
+/// A batched snapshot dataset.
+#[derive(Debug, Clone)]
+pub struct WindowDataset {
+    /// Snapshots, shape `[n, w, f, 1]`, scaled to `[-1, 1]`.
+    pub x: Tensor,
+    /// Per-window ground truth (`true` = contains misbehavior).
+    pub labels: Vec<bool>,
+    /// Source vehicle of each window.
+    pub vehicles: Vec<VehicleId>,
+}
+
+impl WindowDataset {
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Window length `w`.
+    pub fn window(&self) -> usize {
+        self.x.shape()[1]
+    }
+
+    /// Feature count `f`.
+    pub fn features(&self) -> usize {
+        self.x.shape()[2]
+    }
+
+    /// Indices of benign (`false`) windows.
+    pub fn benign_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.labels[i]).collect()
+    }
+
+    /// Indices of malicious (`true`) windows.
+    pub fn malicious_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i]).collect()
+    }
+
+    /// A new dataset with only the selected windows.
+    pub fn subset(&self, indices: &[usize]) -> WindowDataset {
+        WindowDataset {
+            x: self.x.take(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            vehicles: indices.iter().map(|&i| self.vehicles[i]).collect(),
+        }
+    }
+}
+
+/// Extracts feature rows for every trace of a dataset, in
+/// `(vehicle, rows, per-row labels)` form.
+fn rows_of(
+    dataset: &MisbehaviorDataset,
+    representation: Representation,
+) -> Vec<(VehicleId, Vec<Vec<f64>>, Vec<bool>)> {
+    dataset
+        .traces
+        .iter()
+        .filter(|t| t.trace.len() >= 2)
+        .map(|t| {
+            let rows: Vec<Vec<f64>> = match representation {
+                Representation::Engineered => decompose_trace(&t.trace)
+                    .into_iter()
+                    .map(|r| r.values.to_vec())
+                    .collect(),
+                Representation::Raw => raw_trace(&t.trace)
+                    .into_iter()
+                    .map(|r| r.to_vec())
+                    .collect(),
+            };
+            // Row i is derived from messages (i, i+1): a row is tainted if
+            // either message was falsified.
+            let row_labels: Vec<bool> = t
+                .labels
+                .windows(2)
+                .map(|w| w[0] || w[1])
+                .collect();
+            (t.trace.id, rows, row_labels)
+        })
+        .collect()
+}
+
+/// Fits a [`MinMaxScaler`] on the benign dataset under the given
+/// representation.
+///
+/// # Panics
+///
+/// Panics if the dataset yields no feature rows.
+pub fn fit_scaler(benign: &MisbehaviorDataset, representation: Representation) -> MinMaxScaler {
+    let mut all_rows = Vec::new();
+    for (_, rows, _) in rows_of(benign, representation) {
+        all_rows.extend(rows);
+    }
+    MinMaxScaler::fit(&all_rows)
+}
+
+/// Builds scaled snapshot windows from a labelled dataset.
+///
+/// A window is labelled malicious if **any** of its rows is tainted.
+///
+/// # Panics
+///
+/// Panics if the scaler width does not match the representation, or no
+/// trace is long enough for a single window.
+pub fn build_windows(
+    dataset: &MisbehaviorDataset,
+    config: WindowConfig,
+    scaler: &MinMaxScaler,
+) -> WindowDataset {
+    assert_eq!(
+        scaler.width(),
+        config.representation.width(),
+        "scaler width {} does not match representation width {}",
+        scaler.width(),
+        config.representation.width()
+    );
+    assert!(config.window >= 2, "window must hold at least 2 rows");
+    assert!(config.stride >= 1, "stride must be at least 1");
+    let w = config.window;
+    let f = config.representation.width();
+    let mut data: Vec<f32> = Vec::new();
+    let mut labels = Vec::new();
+    let mut vehicles = Vec::new();
+    for (vid, rows, row_labels) in rows_of(dataset, config.representation) {
+        if rows.len() < w {
+            continue;
+        }
+        let scaled: Vec<Vec<f64>> = rows.iter().map(|r| scaler.transform_row(r)).collect();
+        let mut start = 0;
+        while start + w <= scaled.len() {
+            for row in &scaled[start..start + w] {
+                data.extend(row.iter().map(|&v| v as f32));
+            }
+            labels.push(row_labels[start..start + w].iter().any(|&l| l));
+            vehicles.push(vid);
+            start += config.stride;
+        }
+    }
+    assert!(!labels.is_empty(), "no trace long enough for a window of {w}");
+    let n = labels.len();
+    WindowDataset {
+        x: Tensor::from_vec(data, &[n, w, f, 1]),
+        labels,
+        vehicles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vehigan_sim::{SimConfig, TrafficSimulator};
+    use vehigan_vasp::{Attack, DatasetBuilder, DatasetConfig};
+
+    fn setup() -> (MisbehaviorDataset, MisbehaviorDataset) {
+        let fleet = TrafficSimulator::new(SimConfig {
+            n_vehicles: 6,
+            duration_s: 30.0,
+            seed: 21,
+            ..SimConfig::default()
+        })
+        .run();
+        let builder = DatasetBuilder::new(&fleet, DatasetConfig::default());
+        (
+            builder.benign_dataset(),
+            builder.attack_dataset(Attack::by_name("HighSpeed").unwrap()),
+        )
+    }
+
+    #[test]
+    fn benign_windows_are_all_negative() {
+        let (benign, _) = setup();
+        let scaler = fit_scaler(&benign, Representation::Engineered);
+        let ds = build_windows(&benign, WindowConfig::default(), &scaler);
+        assert!(ds.len() > 100);
+        assert!(ds.labels.iter().all(|&l| !l));
+        assert_eq!(ds.x.shape(), &[ds.len(), 10, 12, 1]);
+    }
+
+    #[test]
+    fn attack_windows_are_labelled() {
+        let (benign, attacked) = setup();
+        let scaler = fit_scaler(&benign, Representation::Engineered);
+        let ds = build_windows(&attacked, WindowConfig::default(), &scaler);
+        let malicious = ds.malicious_indices().len();
+        let benign_ct = ds.benign_indices().len();
+        assert!(malicious > 0 && benign_ct > 0);
+        // 25% of vehicles are persistent attackers → ~25% of windows.
+        let frac = malicious as f64 / ds.len() as f64;
+        assert!(frac > 0.1 && frac < 0.5, "frac={frac}");
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let (benign, attacked) = setup();
+        let scaler = fit_scaler(&benign, Representation::Engineered);
+        let ds = build_windows(&attacked, WindowConfig::default(), &scaler);
+        assert!(ds.x.max() <= 1.0 && ds.x.min() >= -1.0);
+    }
+
+    #[test]
+    fn stride_reduces_window_count() {
+        let (benign, _) = setup();
+        let scaler = fit_scaler(&benign, Representation::Engineered);
+        let dense = build_windows(&benign, WindowConfig::default(), &scaler);
+        let sparse = build_windows(
+            &benign,
+            WindowConfig {
+                stride: 5,
+                ..WindowConfig::default()
+            },
+            &scaler,
+        );
+        assert!(sparse.len() * 4 < dense.len());
+    }
+
+    #[test]
+    fn raw_representation_width() {
+        let (benign, _) = setup();
+        let scaler = fit_scaler(&benign, Representation::Raw);
+        let ds = build_windows(
+            &benign,
+            WindowConfig {
+                representation: Representation::Raw,
+                ..WindowConfig::default()
+            },
+            &scaler,
+        );
+        assert_eq!(ds.features(), 6);
+    }
+
+    #[test]
+    fn subset_selects_correctly() {
+        let (benign, _) = setup();
+        let scaler = fit_scaler(&benign, Representation::Engineered);
+        let ds = build_windows(&benign, WindowConfig::default(), &scaler);
+        let sub = ds.subset(&[0, 2, 4]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.x.shape()[0], 3);
+        assert_eq!(sub.vehicles[1], ds.vehicles[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scaler width")]
+    fn mismatched_scaler_rejected() {
+        let (benign, _) = setup();
+        let scaler = fit_scaler(&benign, Representation::Raw);
+        let _ = build_windows(&benign, WindowConfig::default(), &scaler);
+    }
+}

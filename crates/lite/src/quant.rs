@@ -1,0 +1,77 @@
+//! Post-training int8 weight quantization.
+
+/// An int8-quantized weight tensor with a per-tensor affine scale
+/// (symmetric, zero-point 0 — the standard scheme for weights).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedWeights {
+    /// Quantized values in `[-127, 127]`.
+    pub values: Vec<i8>,
+    /// Dequantization scale: `w ≈ values · scale`.
+    pub scale: f32,
+}
+
+impl QuantizedWeights {
+    /// Quantizes float weights symmetrically to int8.
+    ///
+    /// All-zero inputs get scale 1.0 (anything dequantizes to 0).
+    pub fn quantize(weights: &[f32]) -> Self {
+        let max_abs = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let values = weights
+            .iter()
+            .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedWeights { values, scale }
+    }
+
+    /// Dequantizes back to floats.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.values.iter().map(|&q| q as f32 * self.scale).collect()
+    }
+
+    /// Worst-case absolute quantization error (half a quantization step).
+    pub fn max_error(&self) -> f32 {
+        self.scale / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_is_bounded() {
+        let w: Vec<f32> = (0..100).map(|i| (i as f32 * 0.7).sin() * 0.03).collect();
+        let q = QuantizedWeights::quantize(&w);
+        let back = q.dequantize();
+        for (orig, deq) in w.iter().zip(&back) {
+            assert!((orig - deq).abs() <= q.max_error() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn extreme_value_maps_to_127() {
+        let q = QuantizedWeights::quantize(&[0.5, -0.25, 0.0]);
+        assert_eq!(q.values[0], 127);
+        assert_eq!(q.values[1], -64);
+        assert_eq!(q.values[2], 0);
+    }
+
+    #[test]
+    fn all_zero_weights_are_stable() {
+        let q = QuantizedWeights::quantize(&[0.0; 8]);
+        assert_eq!(q.scale, 1.0);
+        assert!(q.dequantize().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn clipped_wgan_weights_quantize_finely() {
+        // WGAN critics clip weights to ±c, so the quantization step is
+        // c/127 — tiny relative to the weight range. This is why int8
+        // preserves critic score ordering so well.
+        let c = 0.03f32;
+        let w: Vec<f32> = (0..50).map(|i| (i as f32 / 49.0) * 2.0 * c - c).collect();
+        let q = QuantizedWeights::quantize(&w);
+        assert!(q.max_error() < 0.00013);
+    }
+}

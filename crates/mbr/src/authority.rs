@@ -1,0 +1,282 @@
+//! The misbehavior authority (MA): ingests MBRs, corroborates them across
+//! independent reporters, and revokes credentials (§I, §II).
+//!
+//! A single malicious or faulty reporter must not be able to evict an
+//! honest vehicle, so conviction requires corroboration: at least
+//! `min_reporters` **distinct** reporters and `min_reports` total valid
+//! reports inside a sliding time window.
+
+use crate::crl::{CertificateRevocationList, RevocationRecord};
+use crate::report::{InvalidMbrError, Mbr};
+use std::collections::{HashMap, HashSet, VecDeque};
+use vehigan_sim::VehicleId;
+
+/// Conviction policy of the authority.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AuthorityPolicy {
+    /// Distinct reporters required for conviction.
+    pub min_reporters: usize,
+    /// Total valid reports required for conviction.
+    pub min_reports: usize,
+    /// Corroboration window in seconds (reports older than this are
+    /// dropped from consideration).
+    pub window_s: f64,
+    /// Expected evidence length (`w · f`) for structural validation.
+    pub evidence_len: usize,
+    /// CRL entry validity (`None` = permanent).
+    pub revocation_validity_s: Option<f64>,
+}
+
+impl Default for AuthorityPolicy {
+    fn default() -> Self {
+        AuthorityPolicy {
+            min_reporters: 2,
+            min_reports: 3,
+            window_s: 60.0,
+            evidence_len: 120,
+            revocation_validity_s: None,
+        }
+    }
+}
+
+/// Outcome of ingesting one report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestOutcome {
+    /// Report rejected by validation.
+    Rejected(InvalidMbrError),
+    /// Report about an already-revoked vehicle (no further action).
+    AlreadyRevoked,
+    /// Report accepted; suspect not yet convicted.
+    Pending {
+        /// Distinct reporters accumulated inside the window.
+        reporters: usize,
+        /// Valid reports accumulated inside the window.
+        reports: usize,
+    },
+    /// The report completed the corroboration requirement: revoked.
+    Revoked(RevocationRecord),
+}
+
+/// The misbehavior authority.
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_mbr::{AuthorityPolicy, IngestOutcome, Mbr, MisbehaviorAuthority};
+/// use vehigan_sim::VehicleId;
+///
+/// let mut ma = MisbehaviorAuthority::new(AuthorityPolicy {
+///     min_reporters: 2, min_reports: 2, evidence_len: 4, ..Default::default()
+/// });
+/// let report = |reporter, t| Mbr {
+///     reporter: VehicleId(reporter), suspect: VehicleId(9), timestamp: t,
+///     score: 1.0, threshold: 0.5, evidence: vec![0.0; 4],
+/// };
+/// assert!(matches!(ma.ingest(report(1, 0.0)), IngestOutcome::Pending { .. }));
+/// assert!(matches!(ma.ingest(report(2, 1.0)), IngestOutcome::Revoked(_)));
+/// assert!(ma.crl().is_revoked(VehicleId(9), 1.0));
+/// ```
+#[derive(Debug)]
+pub struct MisbehaviorAuthority {
+    policy: AuthorityPolicy,
+    pending: HashMap<VehicleId, VecDeque<Mbr>>,
+    crl: CertificateRevocationList,
+    rejected: usize,
+    accepted: usize,
+}
+
+impl MisbehaviorAuthority {
+    /// Creates an authority with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is degenerate (zero reporters/reports or a
+    /// non-positive window).
+    pub fn new(policy: AuthorityPolicy) -> Self {
+        assert!(policy.min_reporters >= 1, "need at least one reporter");
+        assert!(
+            policy.min_reports >= policy.min_reporters,
+            "min_reports must be >= min_reporters"
+        );
+        assert!(policy.window_s > 0.0, "window must be positive");
+        MisbehaviorAuthority {
+            crl: CertificateRevocationList::new(policy.revocation_validity_s),
+            policy,
+            pending: HashMap::new(),
+            rejected: 0,
+            accepted: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &AuthorityPolicy {
+        &self.policy
+    }
+
+    /// The authority's CRL.
+    pub fn crl(&self) -> &CertificateRevocationList {
+        &self.crl
+    }
+
+    /// `(accepted, rejected)` report counters.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.accepted, self.rejected)
+    }
+
+    /// Ingests one report, possibly convicting the suspect.
+    pub fn ingest(&mut self, report: Mbr) -> IngestOutcome {
+        if let Err(e) = report.validate(self.policy.evidence_len) {
+            self.rejected += 1;
+            return IngestOutcome::Rejected(e);
+        }
+        if self.crl.is_revoked(report.suspect, report.timestamp) {
+            self.accepted += 1;
+            return IngestOutcome::AlreadyRevoked;
+        }
+        self.accepted += 1;
+        let suspect = report.suspect;
+        let now = report.timestamp;
+        let queue = self.pending.entry(suspect).or_default();
+        queue.push_back(report);
+        // Expire reports outside the corroboration window.
+        while let Some(front) = queue.front() {
+            if now - front.timestamp > self.policy.window_s {
+                queue.pop_front();
+            } else {
+                break;
+            }
+        }
+        let reporters: HashSet<VehicleId> = queue.iter().map(|r| r.reporter).collect();
+        if reporters.len() >= self.policy.min_reporters && queue.len() >= self.policy.min_reports {
+            let mean_margin =
+                queue.iter().map(Mbr::margin).sum::<f32>() / queue.len() as f32;
+            let record = RevocationRecord {
+                revoked_at: now,
+                reporter_count: reporters.len(),
+                report_count: queue.len(),
+                mean_margin,
+            };
+            self.crl.revoke(suspect, record.clone());
+            self.pending.remove(&suspect);
+            IngestOutcome::Revoked(record)
+        } else {
+            IngestOutcome::Pending {
+                reporters: reporters.len(),
+                reports: queue.len(),
+            }
+        }
+    }
+
+    /// Number of suspects with open (unconvicted) report queues.
+    pub fn pending_suspects(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AuthorityPolicy {
+        AuthorityPolicy {
+            min_reporters: 2,
+            min_reports: 3,
+            window_s: 60.0,
+            evidence_len: 4,
+            revocation_validity_s: None,
+        }
+    }
+
+    fn report(reporter: u32, suspect: u32, t: f64) -> Mbr {
+        Mbr {
+            reporter: VehicleId(reporter),
+            suspect: VehicleId(suspect),
+            timestamp: t,
+            score: 1.0,
+            threshold: 0.5,
+            evidence: vec![0.0; 4],
+        }
+    }
+
+    #[test]
+    fn single_reporter_cannot_convict() {
+        let mut ma = MisbehaviorAuthority::new(policy());
+        for t in 0..10 {
+            let out = ma.ingest(report(1, 9, t as f64));
+            assert!(
+                matches!(out, IngestOutcome::Pending { reporters: 1, .. }),
+                "one reporter alone convicted at t={t}: {out:?}"
+            );
+        }
+        assert!(!ma.crl().is_revoked(VehicleId(9), 10.0));
+    }
+
+    #[test]
+    fn corroborated_reports_convict() {
+        let mut ma = MisbehaviorAuthority::new(policy());
+        assert!(matches!(ma.ingest(report(1, 9, 0.0)), IngestOutcome::Pending { .. }));
+        assert!(matches!(ma.ingest(report(2, 9, 1.0)), IngestOutcome::Pending { .. }));
+        let out = ma.ingest(report(1, 9, 2.0));
+        match out {
+            IngestOutcome::Revoked(rec) => {
+                assert_eq!(rec.reporter_count, 2);
+                assert_eq!(rec.report_count, 3);
+                assert!((rec.mean_margin - 0.5).abs() < 1e-6);
+            }
+            other => panic!("expected revocation, got {other:?}"),
+        }
+        assert!(ma.crl().is_revoked(VehicleId(9), 2.0));
+        assert_eq!(ma.pending_suspects(), 0);
+    }
+
+    #[test]
+    fn stale_reports_age_out_of_the_window() {
+        let mut ma = MisbehaviorAuthority::new(policy());
+        let _ = ma.ingest(report(1, 9, 0.0));
+        let _ = ma.ingest(report(2, 9, 1.0));
+        // Third report arrives far outside the window: the first two no
+        // longer corroborate.
+        let out = ma.ingest(report(3, 9, 1000.0));
+        assert!(
+            matches!(out, IngestOutcome::Pending { reporters: 1, reports: 1 }),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_reports_are_rejected_and_counted() {
+        let mut ma = MisbehaviorAuthority::new(policy());
+        let mut bad = report(1, 1, 0.0); // self-report
+        bad.suspect = bad.reporter;
+        assert!(matches!(ma.ingest(bad), IngestOutcome::Rejected(_)));
+        assert_eq!(ma.stats(), (0, 1));
+    }
+
+    #[test]
+    fn reports_after_revocation_are_noops() {
+        let mut ma = MisbehaviorAuthority::new(policy());
+        let _ = ma.ingest(report(1, 9, 0.0));
+        let _ = ma.ingest(report(2, 9, 1.0));
+        let _ = ma.ingest(report(3, 9, 2.0));
+        assert!(ma.crl().is_revoked(VehicleId(9), 2.0));
+        assert!(matches!(ma.ingest(report(4, 9, 3.0)), IngestOutcome::AlreadyRevoked));
+    }
+
+    #[test]
+    fn independent_suspects_tracked_separately() {
+        let mut ma = MisbehaviorAuthority::new(policy());
+        let _ = ma.ingest(report(1, 8, 0.0));
+        let _ = ma.ingest(report(1, 9, 0.0));
+        assert_eq!(ma.pending_suspects(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_reports must be")]
+    fn degenerate_policy_rejected() {
+        let _ = MisbehaviorAuthority::new(AuthorityPolicy {
+            min_reporters: 3,
+            min_reports: 1,
+            ..policy()
+        });
+    }
+}

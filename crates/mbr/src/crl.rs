@@ -1,0 +1,147 @@
+//! Certificate revocation list (CRL) — the SCMS mechanism isolating
+//! convicted misbehaving vehicles from the V2X network (§I, [5]).
+
+use std::collections::HashMap;
+use vehigan_sim::VehicleId;
+
+/// Why a credential was revoked.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RevocationRecord {
+    /// Revocation time (seconds).
+    pub revoked_at: f64,
+    /// Distinct reporters that contributed evidence.
+    pub reporter_count: usize,
+    /// Total reports considered.
+    pub report_count: usize,
+    /// Mean report margin (score excess over threshold).
+    pub mean_margin: f32,
+}
+
+/// A certificate revocation list with optional entry expiry.
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_mbr::{CertificateRevocationList, RevocationRecord};
+/// use vehigan_sim::VehicleId;
+///
+/// let mut crl = CertificateRevocationList::new(None);
+/// crl.revoke(VehicleId(7), RevocationRecord {
+///     revoked_at: 12.0, reporter_count: 3, report_count: 9, mean_margin: 0.4,
+/// });
+/// assert!(crl.is_revoked(VehicleId(7), 100.0));
+/// assert!(!crl.is_revoked(VehicleId(8), 100.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CertificateRevocationList {
+    entries: HashMap<VehicleId, RevocationRecord>,
+    /// Entries older than this many seconds no longer apply (`None` =
+    /// permanent revocation).
+    validity_s: Option<f64>,
+}
+
+impl CertificateRevocationList {
+    /// Creates an empty CRL; `validity_s = None` makes entries permanent.
+    pub fn new(validity_s: Option<f64>) -> Self {
+        CertificateRevocationList {
+            entries: HashMap::new(),
+            validity_s,
+        }
+    }
+
+    /// Adds (or refreshes) a revocation. Returns the previous record if
+    /// the vehicle was already revoked.
+    pub fn revoke(&mut self, vehicle: VehicleId, record: RevocationRecord) -> Option<RevocationRecord> {
+        self.entries.insert(vehicle, record)
+    }
+
+    /// Whether `vehicle` is revoked at time `now`.
+    pub fn is_revoked(&self, vehicle: VehicleId, now: f64) -> bool {
+        match (self.entries.get(&vehicle), self.validity_s) {
+            (Some(rec), Some(validity)) => now - rec.revoked_at <= validity,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// The revocation record for a vehicle, if any.
+    pub fn record(&self, vehicle: VehicleId) -> Option<&RevocationRecord> {
+        self.entries.get(&vehicle)
+    }
+
+    /// Number of revoked credentials (including expired entries).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the CRL is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops entries that expired before `now` (no-op for permanent CRLs).
+    pub fn prune(&mut self, now: f64) {
+        if let Some(validity) = self.validity_s {
+            self.entries.retain(|_, rec| now - rec.revoked_at <= validity);
+        }
+    }
+
+    /// Iterates over `(vehicle, record)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VehicleId, &RevocationRecord)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(at: f64) -> RevocationRecord {
+        RevocationRecord {
+            revoked_at: at,
+            reporter_count: 2,
+            report_count: 4,
+            mean_margin: 0.1,
+        }
+    }
+
+    #[test]
+    fn permanent_revocation_never_expires() {
+        let mut crl = CertificateRevocationList::new(None);
+        crl.revoke(VehicleId(1), record(0.0));
+        assert!(crl.is_revoked(VehicleId(1), 1e9));
+    }
+
+    #[test]
+    fn expiring_revocation_lapses() {
+        let mut crl = CertificateRevocationList::new(Some(60.0));
+        crl.revoke(VehicleId(1), record(100.0));
+        assert!(crl.is_revoked(VehicleId(1), 150.0));
+        assert!(!crl.is_revoked(VehicleId(1), 200.0));
+    }
+
+    #[test]
+    fn prune_removes_expired_only() {
+        let mut crl = CertificateRevocationList::new(Some(60.0));
+        crl.revoke(VehicleId(1), record(0.0));
+        crl.revoke(VehicleId(2), record(100.0));
+        crl.prune(120.0);
+        assert_eq!(crl.len(), 1);
+        assert!(crl.record(VehicleId(2)).is_some());
+    }
+
+    #[test]
+    fn re_revocation_returns_previous() {
+        let mut crl = CertificateRevocationList::new(None);
+        assert!(crl.revoke(VehicleId(1), record(0.0)).is_none());
+        let prev = crl.revoke(VehicleId(1), record(50.0));
+        assert_eq!(prev.unwrap().revoked_at, 0.0);
+    }
+
+    #[test]
+    fn unknown_vehicle_not_revoked() {
+        let crl = CertificateRevocationList::new(None);
+        assert!(!crl.is_revoked(VehicleId(9), 0.0));
+        assert!(crl.is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # vehigan-mbr
+//!
+//! The misbehavior-reporting side of the V2X security architecture the
+//! VehiGAN paper assumes around its detector (§I–II): when the MBDS on an
+//! OBU/RSU flags a vehicle, it sends a misbehavior report ([`Mbr`]) with
+//! evidence to the misbehavior authority ([`MisbehaviorAuthority`]), which
+//! corroborates reports across independent observers and places convicted
+//! credentials on the certificate revocation list
+//! ([`CertificateRevocationList`]), isolating the attacker. The
+//! [`PseudonymManager`] provides the SCMS linkage from transmitted
+//! pseudonyms back to long-term identities.
+//!
+//! # Example
+//!
+//! See [`MisbehaviorAuthority`] and `examples/reporting_authority.rs` for
+//! the end-to-end OBU → MBR → MA → CRL flow.
+
+#![warn(missing_docs)]
+
+mod authority;
+mod crl;
+mod pseudonym;
+mod report;
+
+pub use authority::{AuthorityPolicy, IngestOutcome, MisbehaviorAuthority};
+pub use crl::{CertificateRevocationList, RevocationRecord};
+pub use pseudonym::{LongTermId, PseudonymManager};
+pub use report::{InvalidMbrError, Mbr};

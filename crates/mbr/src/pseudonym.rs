@@ -1,0 +1,101 @@
+//! Pseudonym management: the SCMS issues vehicles rotating short-term
+//! pseudonyms; the linkage function lets the MA map a convicted pseudonym
+//! back to the long-term credential so revocation covers *all* of the
+//! vehicle's pseudonyms (§I, [5]).
+
+use std::collections::HashMap;
+use vehigan_sim::VehicleId;
+
+/// A vehicle's long-term enrollment identity (never transmitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct LongTermId(pub u32);
+
+/// Issues short-term pseudonyms and retains the linkage map.
+///
+/// Pseudonym values are unique across all vehicles (a fresh pseudonym
+/// never collides with an existing one).
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_mbr::{LongTermId, PseudonymManager};
+///
+/// let mut scms = PseudonymManager::new();
+/// let p1 = scms.issue(LongTermId(7));
+/// let p2 = scms.issue(LongTermId(7)); // rotation
+/// assert_ne!(p1, p2);
+/// assert_eq!(scms.resolve(p1), Some(LongTermId(7)));
+/// assert_eq!(scms.pseudonyms_of(LongTermId(7)), vec![p1, p2]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PseudonymManager {
+    next: u32,
+    linkage: HashMap<VehicleId, LongTermId>,
+    issued: HashMap<LongTermId, Vec<VehicleId>>,
+}
+
+impl PseudonymManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        PseudonymManager::default()
+    }
+
+    /// Issues a fresh pseudonym for the given long-term identity.
+    pub fn issue(&mut self, vehicle: LongTermId) -> VehicleId {
+        let pseudonym = VehicleId(self.next);
+        self.next += 1;
+        self.linkage.insert(pseudonym, vehicle);
+        self.issued.entry(vehicle).or_default().push(pseudonym);
+        pseudonym
+    }
+
+    /// Resolves a pseudonym to its long-term identity (the MA-side
+    /// linkage function).
+    pub fn resolve(&self, pseudonym: VehicleId) -> Option<LongTermId> {
+        self.linkage.get(&pseudonym).copied()
+    }
+
+    /// All pseudonyms ever issued to a vehicle, in issue order.
+    pub fn pseudonyms_of(&self, vehicle: LongTermId) -> Vec<VehicleId> {
+        self.issued.get(&vehicle).cloned().unwrap_or_default()
+    }
+
+    /// Number of pseudonyms issued so far.
+    pub fn issued_count(&self) -> usize {
+        self.linkage.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudonyms_are_unique_across_vehicles() {
+        let mut scms = PseudonymManager::new();
+        let a = scms.issue(LongTermId(1));
+        let b = scms.issue(LongTermId(2));
+        let c = scms.issue(LongTermId(1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(scms.issued_count(), 3);
+    }
+
+    #[test]
+    fn linkage_resolves_all_rotations() {
+        let mut scms = PseudonymManager::new();
+        let ps: Vec<VehicleId> = (0..5).map(|_| scms.issue(LongTermId(9))).collect();
+        for p in &ps {
+            assert_eq!(scms.resolve(*p), Some(LongTermId(9)));
+        }
+        assert_eq!(scms.pseudonyms_of(LongTermId(9)), ps);
+    }
+
+    #[test]
+    fn unknown_pseudonym_unresolvable() {
+        let scms = PseudonymManager::new();
+        assert_eq!(scms.resolve(VehicleId(99)), None);
+        assert!(scms.pseudonyms_of(LongTermId(1)).is_empty());
+    }
+}

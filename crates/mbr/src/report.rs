@@ -1,0 +1,183 @@
+//! Misbehavior reports (MBRs): the evidence packet an MBDS sends to the
+//! misbehavior authority (§I, §III-F).
+
+use vehigan_sim::VehicleId;
+
+/// A misbehavior report produced by one observer about one suspect.
+///
+/// Carries the ensemble verdict plus the offending snapshot as evidence,
+/// so the MA can re-validate independently before acting.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Mbr {
+    /// The reporting vehicle/RSU (its own pseudonym).
+    pub reporter: VehicleId,
+    /// The suspected misbehaving sender's pseudonym.
+    pub suspect: VehicleId,
+    /// Report creation time (seconds).
+    pub timestamp: f64,
+    /// Ensemble anomaly score of the offending window.
+    pub score: f32,
+    /// The detection threshold the score exceeded.
+    pub threshold: f32,
+    /// The flattened `w × f` evidence snapshot.
+    pub evidence: Vec<f32>,
+}
+
+/// Validation failure for a received report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidMbrError {
+    /// Score did not actually exceed the threshold.
+    ScoreBelowThreshold,
+    /// Score or threshold was not a finite number.
+    NonFiniteScore,
+    /// Evidence snapshot was empty or the wrong size.
+    BadEvidence {
+        /// Expected flat length (`w · f`), or 0 if unknown.
+        expected: usize,
+        /// Received length.
+        got: usize,
+    },
+    /// A vehicle reported itself (self-reports are discarded — a
+    /// misbehaving insider could otherwise build false credibility).
+    SelfReport,
+    /// Evidence values escaped the scaled sensor domain `[-1, 1]`.
+    EvidenceOutOfRange,
+}
+
+impl std::fmt::Display for InvalidMbrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidMbrError::ScoreBelowThreshold => {
+                write!(f, "reported score does not exceed the threshold")
+            }
+            InvalidMbrError::NonFiniteScore => write!(f, "score or threshold is not finite"),
+            InvalidMbrError::BadEvidence { expected, got } => {
+                write!(f, "evidence length {got} does not match expected {expected}")
+            }
+            InvalidMbrError::SelfReport => write!(f, "reporter and suspect are the same vehicle"),
+            InvalidMbrError::EvidenceOutOfRange => {
+                write!(f, "evidence values escape the scaled domain [-1, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidMbrError {}
+
+impl Mbr {
+    /// Structural validation an authority performs before trusting a
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed check; see [`InvalidMbrError`].
+    pub fn validate(&self, expected_evidence_len: usize) -> Result<(), InvalidMbrError> {
+        if self.reporter == self.suspect {
+            return Err(InvalidMbrError::SelfReport);
+        }
+        if !self.score.is_finite() || !self.threshold.is_finite() {
+            return Err(InvalidMbrError::NonFiniteScore);
+        }
+        if self.score <= self.threshold {
+            return Err(InvalidMbrError::ScoreBelowThreshold);
+        }
+        if self.evidence.len() != expected_evidence_len {
+            return Err(InvalidMbrError::BadEvidence {
+                expected: expected_evidence_len,
+                got: self.evidence.len(),
+            });
+        }
+        if self
+            .evidence
+            .iter()
+            .any(|v| !v.is_finite() || *v < -1.0 - 1e-6 || *v > 1.0 + 1e-6)
+        {
+            return Err(InvalidMbrError::EvidenceOutOfRange);
+        }
+        Ok(())
+    }
+
+    /// How far the score exceeded the threshold (the report's "strength").
+    pub fn margin(&self) -> f32 {
+        self.score - self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid_report() -> Mbr {
+        Mbr {
+            reporter: VehicleId(1),
+            suspect: VehicleId(2),
+            timestamp: 10.0,
+            score: 0.5,
+            threshold: 0.2,
+            evidence: vec![0.0; 120],
+        }
+    }
+
+    #[test]
+    fn valid_report_passes() {
+        assert!(valid_report().validate(120).is_ok());
+    }
+
+    #[test]
+    fn self_report_rejected() {
+        let mut r = valid_report();
+        r.suspect = r.reporter;
+        assert_eq!(r.validate(120), Err(InvalidMbrError::SelfReport));
+    }
+
+    #[test]
+    fn below_threshold_rejected() {
+        let mut r = valid_report();
+        r.score = 0.1;
+        assert_eq!(r.validate(120), Err(InvalidMbrError::ScoreBelowThreshold));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let mut r = valid_report();
+        r.score = f32::NAN;
+        assert_eq!(r.validate(120), Err(InvalidMbrError::NonFiniteScore));
+    }
+
+    #[test]
+    fn wrong_evidence_len_rejected() {
+        let r = valid_report();
+        assert_eq!(
+            r.validate(64),
+            Err(InvalidMbrError::BadEvidence {
+                expected: 64,
+                got: 120
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_domain_evidence_rejected() {
+        let mut r = valid_report();
+        r.evidence[5] = 3.0;
+        assert_eq!(r.validate(120), Err(InvalidMbrError::EvidenceOutOfRange));
+    }
+
+    #[test]
+    fn margin_is_score_excess() {
+        let r = valid_report();
+        assert!((r.margin() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_messages_are_lowercase() {
+        for e in [
+            InvalidMbrError::ScoreBelowThreshold,
+            InvalidMbrError::NonFiniteScore,
+            InvalidMbrError::SelfReport,
+            InvalidMbrError::EvidenceOutOfRange,
+        ] {
+            assert!(e.to_string().starts_with(char::is_lowercase));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Percentile threshold selection (§III-F).
+//!
+//! VehiGAN sets each discriminator's detection threshold τ at the p-th
+//! percentile of its *benign training* anomaly scores, with p a system
+//! parameter between 99 and 99.99; the adversarial-robustness experiments
+//! use p = 99 so the un-attacked FPR stays below 1%.
+
+/// The `p`-th percentile of `values` by linear interpolation between order
+/// statistics (the same convention as NumPy's default).
+///
+/// # Panics
+///
+/// Panics if `values` is empty, contains NaN, or `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_metrics::percentile;
+/// let v = [1.0f32, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 0.0), 1.0);
+/// assert_eq!(percentile(&v, 100.0), 4.0);
+/// assert_eq!(percentile(&v, 50.0), 2.5);
+/// ```
+pub fn percentile(values: &[f32], p: f64) -> f32 {
+    assert!(!values.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=100.0).contains(&p), "p must be in [0, 100], got {p}");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN scores"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = (rank - lo as f64) as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn interpolates_between_order_statistics() {
+        let v = [0.0f32, 10.0];
+        assert_eq!(percentile(&v, 25.0), 2.5);
+        assert_eq!(percentile(&v, 75.0), 7.5);
+    }
+
+    #[test]
+    fn is_order_invariant() {
+        let a = [5.0f32, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&a, 99.0), percentile(&b, 99.0));
+    }
+
+    #[test]
+    fn p99_bounds_fpr_below_one_percent() {
+        // The §III-F property: thresholding at the 99th percentile of
+        // benign scores flags at most ~1% of the benign data.
+        let scores: Vec<f32> = (0..10_000).map(|i| (i as f32).sin()).collect();
+        let tau = percentile(&scores, 99.0);
+        let flagged = scores.iter().filter(|&&s| s > tau).count();
+        assert!(flagged <= 101, "flagged {flagged} of 10000");
+        assert!(flagged >= 90, "flagged {flagged} of 10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn out_of_range_p_panics() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+}

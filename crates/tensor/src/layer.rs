@@ -1,0 +1,70 @@
+//! The [`Layer`] trait and trainable [`Param`] storage.
+//!
+//! Every layer implements an explicit forward pass that caches whatever the
+//! backward pass needs, and a backward pass that (a) accumulates gradients
+//! into its parameters and (b) returns the gradient with respect to its
+//! *input*. Propagating input gradients all the way back to the data is what
+//! enables both WGAN training and the FGSM adversarial attacks of the paper
+//! (Eqs. 6–7), which differentiate the critic score w.r.t. the BSM window.
+
+use crate::Tensor;
+
+/// A trainable parameter: a value tensor paired with its gradient
+/// accumulator.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient of the loss w.r.t. `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of matching shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers are stateful: `forward` caches activations needed by `backward`.
+/// A layer must therefore not be shared across concurrent forward passes;
+/// each training thread owns its own model.
+pub trait Layer: Send {
+    /// Computes the layer output for `input`.
+    ///
+    /// The leading axis of `input` is always the batch dimension.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Back-propagates `grad_out` (gradient w.r.t. this layer's output),
+    /// accumulating parameter gradients and returning the gradient w.r.t.
+    /// the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` (no cached activation).
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to the layer's trainable parameters (possibly empty).
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Immutable access to the layer's trainable parameters.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Human-readable layer kind, e.g. `"Dense"`.
+    fn name(&self) -> &'static str;
+
+    /// Output shape (excluding batch) for a given input shape (excluding
+    /// batch). Used for model construction-time shape validation.
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Serializes layer hyperparameters + weights into `spec`/`blob` form.
+    fn save(&self) -> crate::serialize::LayerSnapshot;
+}

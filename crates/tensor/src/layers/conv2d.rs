@@ -1,0 +1,464 @@
+//! 2-D convolution layer (NHWC, stride 1) via im2col.
+//!
+//! The VehiGAN discriminator and generator are 2-D CNNs over `w × f` BSM
+//! snapshots (window length × feature count) with 2×2 kernels and LeakyReLU
+//! activations (paper §IV-A.1). Snapshots are laid out `[batch, height,
+//! width, channels]` with `height = w` (time) and `width = f` (features).
+
+use crate::layer::{Layer, Param};
+use crate::serialize::LayerSnapshot;
+use crate::{Init, Tensor};
+use rand::rngs::StdRng;
+
+/// Spatial padding mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Padding {
+    /// Zero-pad so the output spatial size equals the input size.
+    Same,
+    /// No padding; output shrinks by `kernel − 1`.
+    Valid,
+}
+
+impl Padding {
+    fn tag(self) -> usize {
+        match self {
+            Padding::Same => 0,
+            Padding::Valid => 1,
+        }
+    }
+
+    fn from_tag(tag: usize) -> Result<Self, crate::serialize::ModelFormatError> {
+        match tag {
+            0 => Ok(Padding::Same),
+            1 => Ok(Padding::Valid),
+            _ => Err(crate::serialize::ModelFormatError::Corrupt("bad padding tag")),
+        }
+    }
+}
+
+/// A stride-1 2-D convolution over NHWC tensors.
+///
+/// Weights are stored as a `[kh·kw·cin, cout]` matrix so both passes reduce
+/// to matrix multiplication against the im2col expansion of the input.
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_tensor::{layers::{Conv2D, Padding}, layer::Layer, Tensor, Init, init::seeded_rng};
+///
+/// let mut rng = seeded_rng(0);
+/// let mut conv = Conv2D::new(1, 8, (2, 2), Padding::Same, Init::HeUniform, &mut rng);
+/// let x = Tensor::zeros(&[4, 10, 12, 1]); // batch of 10×12 single-channel snapshots
+/// assert_eq!(conv.forward(&x).shape(), &[4, 10, 12, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2D {
+    cin: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    padding: Padding,
+    w: Param,
+    b: Param,
+    cached_input_shape: Option<Vec<usize>>,
+    cached_cols: Option<Tensor>,
+}
+
+impl Conv2D {
+    /// Creates a convolution with `kernel = (kh, kw)` and the given padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        cin: usize,
+        cout: usize,
+        kernel: (usize, usize),
+        padding: Padding,
+        init: Init,
+        rng: &mut StdRng,
+    ) -> Self {
+        let (kh, kw) = kernel;
+        assert!(cin > 0 && cout > 0 && kh > 0 && kw > 0, "conv dims must be nonzero");
+        let fan_in = kh * kw * cin;
+        let fan_out = kh * kw * cout;
+        let w = init.sample(&[fan_in, cout], fan_in, fan_out, rng);
+        Conv2D {
+            cin,
+            cout,
+            kh,
+            kw,
+            padding,
+            w: Param::new(w),
+            b: Param::new(Tensor::zeros(&[cout])),
+            cached_input_shape: None,
+            cached_cols: None,
+        }
+    }
+
+    /// Reconstructs a convolution from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if required fields are missing or the padding tag is
+    /// invalid.
+    pub fn from_snapshot(snap: &LayerSnapshot) -> Result<Self, crate::serialize::ModelFormatError> {
+        let cin = snap.usize_attr("cin")?;
+        let cout = snap.usize_attr("cout")?;
+        let kh = snap.usize_attr("kh")?;
+        let kw = snap.usize_attr("kw")?;
+        let padding = Padding::from_tag(snap.usize_attr("padding")?)?;
+        let w = snap.tensor("w")?.clone();
+        let b = snap.tensor("b")?.clone();
+        Ok(Conv2D {
+            cin,
+            cout,
+            kh,
+            kw,
+            padding,
+            w: Param::new(w),
+            b: Param::new(b),
+            cached_input_shape: None,
+            cached_cols: None,
+        })
+    }
+
+    /// Output channel count.
+    pub fn cout(&self) -> usize {
+        self.cout
+    }
+
+    fn pad_offsets(&self) -> (usize, usize) {
+        match self.padding {
+            // Keras-style SAME for stride 1: pad_total = k − 1, extra on the
+            // bottom/right; top/left gets floor((k − 1) / 2).
+            Padding::Same => ((self.kh - 1) / 2, (self.kw - 1) / 2),
+            Padding::Valid => (0, 0),
+        }
+    }
+
+    fn out_spatial(&self, h: usize, w: usize) -> (usize, usize) {
+        match self.padding {
+            Padding::Same => (h, w),
+            Padding::Valid => {
+                assert!(
+                    h >= self.kh && w >= self.kw,
+                    "valid conv: input {h}×{w} smaller than kernel {}×{}",
+                    self.kh,
+                    self.kw
+                );
+                (h - self.kh + 1, w - self.kw + 1)
+            }
+        }
+    }
+
+    /// Expands `input` into the im2col matrix `[n·ho·wo, kh·kw·cin]`.
+    fn im2col(&self, input: &Tensor) -> Tensor {
+        let (n, h, w, c) = dims4(input);
+        let (ho, wo) = self.out_spatial(h, w);
+        let (pt, pl) = self.pad_offsets();
+        let cols_w = self.kh * self.kw * c;
+        let mut cols = vec![0.0f32; n * ho * wo * cols_w];
+        let data = input.as_slice();
+        let mut row = 0usize;
+        for ni in 0..n {
+            let n_base = ni * h * w * c;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let out_base = row * cols_w;
+                    for ky in 0..self.kh {
+                        let iy = oy as isize + ky as isize - pt as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..self.kw {
+                            let ix = ox as isize + kx as isize - pl as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let src = n_base + (iy as usize * w + ix as usize) * c;
+                            let dst = out_base + (ky * self.kw + kx) * c;
+                            cols[dst..dst + c].copy_from_slice(&data[src..src + c]);
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        Tensor::from_vec(cols, &[n * ho * wo, cols_w])
+    }
+
+    /// Scatter-adds column gradients back into input-shaped gradients.
+    fn col2im(&self, grad_cols: &Tensor, input_shape: &[usize]) -> Tensor {
+        let (n, h, w, c) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        );
+        let (ho, wo) = self.out_spatial(h, w);
+        let (pt, pl) = self.pad_offsets();
+        let cols_w = self.kh * self.kw * c;
+        let mut grad = vec![0.0f32; n * h * w * c];
+        let g = grad_cols.as_slice();
+        let mut row = 0usize;
+        for ni in 0..n {
+            let n_base = ni * h * w * c;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let in_base = row * cols_w;
+                    for ky in 0..self.kh {
+                        let iy = oy as isize + ky as isize - pt as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..self.kw {
+                            let ix = ox as isize + kx as isize - pl as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let dst = n_base + (iy as usize * w + ix as usize) * c;
+                            let src = in_base + (ky * self.kw + kx) * c;
+                            for ci in 0..c {
+                                grad[dst + ci] += g[src + ci];
+                            }
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        Tensor::from_vec(grad, input_shape)
+    }
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.ndim(), 4, "conv expects NHWC 4-D input, got {:?}", t.shape());
+    let s = t.shape();
+    (s[0], s[1], s[2], s[3])
+}
+
+impl Layer for Conv2D {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (n, h, w, c) = dims4(input);
+        assert_eq!(c, self.cin, "conv cin {} vs input channels {c}", self.cin);
+        let (ho, wo) = self.out_spatial(h, w);
+        let cols = self.im2col(input);
+        let mut out = cols.matmul(&self.w.value);
+        let bias = self.b.value.as_slice();
+        {
+            let rows = out.shape()[0];
+            let data = out.as_mut_slice();
+            for r in 0..rows {
+                for j in 0..self.cout {
+                    data[r * self.cout + j] += bias[j];
+                }
+            }
+        }
+        self.cached_input_shape = Some(input.shape().to_vec());
+        self.cached_cols = Some(cols);
+        out.reshape(&[n, ho, wo, self.cout])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input_shape = self
+            .cached_input_shape
+            .as_ref()
+            .expect("Conv2D::backward called before forward")
+            .clone();
+        let cols = self.cached_cols.as_ref().expect("cols cache");
+        let rows: usize = grad_out.shape()[..3].iter().product();
+        let g_mat = grad_out.reshape(&[rows, self.cout]);
+        self.w.grad += &cols.transpose().matmul(&g_mat);
+        {
+            let gb = self.b.grad.as_mut_slice();
+            let g = g_mat.as_slice();
+            for r in 0..rows {
+                for j in 0..self.cout {
+                    gb[j] += g[r * self.cout + j];
+                }
+            }
+        }
+        let grad_cols = g_mat.matmul(&self.w.value.transpose());
+        self.col2im(&grad_cols, &input_shape)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w, &self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2D"
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        assert_eq!(input_shape.len(), 3, "conv input shape must be [h, w, c]");
+        assert_eq!(input_shape[2], self.cin, "conv cin mismatch");
+        let (ho, wo) = self.out_spatial(input_shape[0], input_shape[1]);
+        vec![ho, wo, self.cout]
+    }
+
+    fn save(&self) -> LayerSnapshot {
+        LayerSnapshot::new("Conv2D")
+            .with_usize("cin", self.cin)
+            .with_usize("cout", self.cout)
+            .with_usize("kh", self.kh)
+            .with_usize("kw", self.kw)
+            .with_usize("padding", self.padding.tag())
+            .with_tensor("w", self.w.value.clone())
+            .with_tensor("b", self.b.value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{finite_diff_grad, max_relative_error};
+    use crate::init::{randn, seeded_rng};
+
+    fn run_conv(conv_w: &Tensor, conv_b: &Tensor, layer_proto: &Conv2D, x: &Tensor) -> f32 {
+        // Re-runs the conv as a pure function of x for gradient checking.
+        let mut rng = seeded_rng(0);
+        let mut conv = Conv2D::new(
+            layer_proto.cin,
+            layer_proto.cout,
+            (layer_proto.kh, layer_proto.kw),
+            layer_proto.padding,
+            Init::Zeros,
+            &mut rng,
+        );
+        conv.w.value = conv_w.clone();
+        conv.b.value = conv_b.clone();
+        conv.forward(x).sum()
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_dims() {
+        let mut rng = seeded_rng(0);
+        let mut conv = Conv2D::new(1, 3, (2, 2), Padding::Same, Init::HeUniform, &mut rng);
+        let x = randn(&[2, 10, 12, 1], &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[2, 10, 12, 3]);
+    }
+
+    #[test]
+    fn valid_padding_shrinks() {
+        let mut rng = seeded_rng(0);
+        let mut conv = Conv2D::new(2, 4, (3, 3), Padding::Valid, Init::HeUniform, &mut rng);
+        let x = randn(&[1, 8, 8, 2], &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 6, 6, 4]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1×1 kernel with identity weights must be a per-channel passthrough.
+        let mut rng = seeded_rng(0);
+        let mut conv = Conv2D::new(1, 1, (1, 1), Padding::Same, Init::Zeros, &mut rng);
+        conv.w.value = Tensor::from_vec(vec![1.0], &[1, 1]);
+        let x = randn(&[1, 4, 5, 1], &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn known_2x2_valid_convolution() {
+        let mut rng = seeded_rng(0);
+        let mut conv = Conv2D::new(1, 1, (2, 2), Padding::Valid, Init::Zeros, &mut rng);
+        conv.w.value = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[4, 1]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 3, 3, 1]);
+        // 2×2 box filter over a 3×3 ramp.
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2, 1]);
+        assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences_same() {
+        let mut rng = seeded_rng(7);
+        let mut conv = Conv2D::new(2, 3, (2, 2), Padding::Same, Init::HeUniform, &mut rng);
+        let x = randn(&[2, 4, 5, 2], &mut rng);
+        let _ = conv.forward(&x);
+        let analytic = conv.backward(&Tensor::ones(&[2, 4, 5, 3]));
+        let w = conv.w.value.clone();
+        let b = conv.b.value.clone();
+        let numeric = finite_diff_grad(|xx| run_conv(&w, &b, &conv, xx), &x, 1e-2);
+        assert!(max_relative_error(&analytic, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences_valid() {
+        let mut rng = seeded_rng(8);
+        let mut conv = Conv2D::new(1, 2, (3, 2), Padding::Valid, Init::HeUniform, &mut rng);
+        let x = randn(&[1, 6, 6, 1], &mut rng);
+        let _ = conv.forward(&x);
+        let analytic = conv.backward(&Tensor::ones(&[1, 4, 5, 2]));
+        let w = conv.w.value.clone();
+        let b = conv.b.value.clone();
+        let numeric = finite_diff_grad(|xx| run_conv(&w, &b, &conv, xx), &x, 1e-2);
+        assert!(max_relative_error(&analytic, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = seeded_rng(9);
+        let mut conv = Conv2D::new(1, 2, (2, 2), Padding::Same, Init::HeUniform, &mut rng);
+        let x = randn(&[2, 3, 4, 1], &mut rng);
+        let _ = conv.forward(&x);
+        let _ = conv.backward(&Tensor::ones(&[2, 3, 4, 2]));
+        let analytic = conv.w.grad.clone();
+        let b = conv.b.value.clone();
+        let x2 = x.clone();
+        let proto_cin = conv.cin;
+        let proto_cout = conv.cout;
+        let numeric = finite_diff_grad(
+            |ww| {
+                let mut rng = seeded_rng(0);
+                let mut c =
+                    Conv2D::new(proto_cin, proto_cout, (2, 2), Padding::Same, Init::Zeros, &mut rng);
+                c.w.value = ww.clone();
+                c.b.value = b.clone();
+                c.forward(&x2).sum()
+            },
+            &conv.w.value,
+            1e-2,
+        );
+        assert!(max_relative_error(&analytic, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn bias_gradient_is_output_count() {
+        let mut rng = seeded_rng(10);
+        let mut conv = Conv2D::new(1, 2, (2, 2), Padding::Same, Init::HeUniform, &mut rng);
+        let x = randn(&[3, 4, 4, 1], &mut rng);
+        let _ = conv.forward(&x);
+        let _ = conv.backward(&Tensor::ones(&[3, 4, 4, 2]));
+        // d/db of sum over 3·4·4 outputs per channel.
+        assert_eq!(conv.b.grad.as_slice(), &[48.0, 48.0]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut rng = seeded_rng(11);
+        let conv = Conv2D::new(3, 5, (2, 2), Padding::Valid, Init::HeUniform, &mut rng);
+        let snap = conv.save();
+        let back = Conv2D::from_snapshot(&snap).unwrap();
+        assert_eq!(back.w.value, conv.w.value);
+        assert_eq!(back.padding, Padding::Valid);
+        assert_eq!(back.cout(), 5);
+    }
+
+    #[test]
+    fn output_shape_matches_forward() {
+        let mut rng = seeded_rng(12);
+        let mut conv = Conv2D::new(2, 7, (2, 2), Padding::Same, Init::HeUniform, &mut rng);
+        let declared = conv.output_shape(&[10, 12, 2]);
+        let x = randn(&[1, 10, 12, 2], &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(&y.shape()[1..], declared.as_slice());
+    }
+}

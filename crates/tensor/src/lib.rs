@@ -1,0 +1,77 @@
+//! # vehigan-tensor
+//!
+//! The deep-learning substrate of the VehiGAN reproduction: a small,
+//! dependency-free (beyond `rand`/`serde`) CPU tensor library with
+//! hand-written exact backpropagation.
+//!
+//! The VehiGAN paper (ICDCS 2024) trains Wasserstein GANs in
+//! Keras/TensorFlow; since no comparable Rust training stack exists, this
+//! crate rebuilds the needed subset from scratch:
+//!
+//! - [`Tensor`]: dense row-major `f32` tensors with shape checking;
+//! - [`layers`]: `Dense`, `Conv2D` (im2col, 2×2 kernels), `UpSample2D`,
+//!   `LeakyReLU`/`Tanh`/`Sigmoid`, `Flatten`, `Reshape`;
+//! - [`Sequential`]: a model container whose backward pass propagates
+//!   gradients **to the input** — the primitive behind both WGAN training
+//!   and the paper's FGSM attacks (Eqs. 6–7);
+//! - [`optim`]: `Sgd`, `RmsProp` (the WGAN-with-clipping pairing), `Adam`;
+//! - [`serialize`]: a flat binary model format for shipping trained critics
+//!   to the OBU/RSU testing phase;
+//! - [`gradcheck`]: finite-difference verification used throughout the test
+//!   suite to prove every backward pass exact.
+//!
+//! # Example: a miniature critic
+//!
+//! ```
+//! use vehigan_tensor::{Sequential, Tensor, Init, init::seeded_rng};
+//! use vehigan_tensor::layers::{Conv2D, Padding, Activation, Flatten, Dense};
+//!
+//! let mut rng = seeded_rng(42);
+//! let mut critic = Sequential::new();
+//! critic.push(Conv2D::new(1, 8, (2, 2), Padding::Same, Init::HeUniform, &mut rng));
+//! critic.push(Activation::leaky_relu(0.2));
+//! critic.push(Flatten::new());
+//! critic.push(Dense::new(10 * 12 * 8, 1, Init::XavierUniform, &mut rng));
+//!
+//! let window = Tensor::zeros(&[1, 10, 12, 1]); // one w×f BSM snapshot
+//! let realism = critic.forward(&window);
+//! assert_eq!(realism.shape(), &[1, 1]);
+//!
+//! // ∇ₓ D(x) — the FGSM primitive.
+//! let grad = critic.input_gradient(&window);
+//! assert_eq!(grad.shape(), window.shape());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod layers;
+mod model;
+pub mod optim;
+pub mod serialize;
+mod tensor;
+
+pub use init::Init;
+pub use model::Sequential;
+pub use tensor::Tensor;
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    #[test]
+    fn tensor_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Tensor>();
+        assert_sync::<Tensor>();
+    }
+
+    #[test]
+    fn sequential_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Sequential>();
+    }
+}

@@ -1,0 +1,342 @@
+//! The [`Sequential`] model container.
+
+use crate::layer::{Layer, Param};
+use crate::layers::{Activation, Conv2D, Dense, Flatten, Reshape, UpSample2D};
+use crate::serialize::{ModelFormatError, ModelSnapshot};
+use crate::Tensor;
+
+/// An ordered stack of layers trained end-to-end.
+///
+/// Both VehiGAN networks — the generator 𝒢 (noise → fake snapshot) and the
+/// discriminator/critic 𝒟 (snapshot → realism score) — are `Sequential`
+/// models.
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_tensor::{Sequential, layers::{Dense, Activation}, Init, Tensor, init::seeded_rng};
+///
+/// let mut rng = seeded_rng(0);
+/// let mut model = Sequential::new();
+/// model.push(Dense::new(4, 8, Init::HeUniform, &mut rng));
+/// model.push(Activation::leaky_relu(0.2));
+/// model.push(Dense::new(8, 1, Init::XavierUniform, &mut rng));
+/// let y = model.forward(&Tensor::zeros(&[2, 4]));
+/// assert_eq!(y.shape(), &[2, 1]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Sequential({} layers: {:?}, {} params)", self.layers.len(), names, self.num_params())
+    }
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends a boxed layer (used by the deserializer).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names in forward order.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Runs the forward pass, caching activations for `backward`.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Back-propagates `grad_out` through all layers, accumulating parameter
+    /// gradients, and returns the gradient w.r.t. the model input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Computes `∂(mean of outputs)/∂input` without touching parameter
+    /// gradients' semantics (they are accumulated then discarded by the next
+    /// `zero_grad`).
+    ///
+    /// This is the primitive behind the paper's FGSM attacks (Eqs. 6–7),
+    /// which need `∇ₓ𝒟(x)`.
+    pub fn input_gradient(&mut self, input: &Tensor) -> Tensor {
+        let out = self.forward(input);
+        let scale = 1.0 / out.len() as f32;
+        let grad_out = Tensor::full(out.shape(), scale);
+        self.backward(&grad_out)
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                p.zero_grad();
+            }
+        }
+    }
+
+    /// Mutable access to every trainable parameter, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Immutable access to every trainable parameter, in layer order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(|p| p.value.len())
+            .sum()
+    }
+
+    /// Clamps every weight into `[-c, c]` — WGAN weight clipping, which
+    /// enforces the critic's Lipschitz constraint (Arjovsky et al. 2017).
+    pub fn clip_weights(&mut self, c: f32) {
+        assert!(c > 0.0, "clip bound must be positive");
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                for v in p.value.as_mut_slice() {
+                    *v = v.clamp(-c, c);
+                }
+            }
+        }
+    }
+
+    /// Declared output shape (excluding batch) for an input shape
+    /// (excluding batch). Validates layer compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any adjacent pair of layers disagrees on shapes.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let mut shape = input_shape.to_vec();
+        for layer in &self.layers {
+            shape = layer.output_shape(&shape);
+        }
+        shape
+    }
+
+    /// Serializes the whole model.
+    pub fn save(&self) -> ModelSnapshot {
+        ModelSnapshot {
+            layers: self.layers.iter().map(|l| l.save()).collect(),
+        }
+    }
+
+    /// Reconstructs a model from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an unknown layer kind or missing fields.
+    pub fn from_snapshot(snap: &ModelSnapshot) -> Result<Self, ModelFormatError> {
+        let mut model = Sequential::new();
+        for layer in &snap.layers {
+            let boxed: Box<dyn Layer> = match layer.kind.as_str() {
+                "Dense" => Box::new(Dense::from_snapshot(layer)?),
+                "Conv2D" => Box::new(Conv2D::from_snapshot(layer)?),
+                "UpSample2D" => Box::new(UpSample2D::from_snapshot(layer)?),
+                "Flatten" => Box::new(Flatten::from_snapshot(layer)?),
+                "Reshape" => Box::new(Reshape::from_snapshot(layer)?),
+                "LeakyReLU" | "ReLU" | "Tanh" | "Sigmoid" => {
+                    Box::new(Activation::from_snapshot(layer)?)
+                }
+                other => return Err(ModelFormatError::UnknownLayer(other.to_string())),
+            };
+            model.push_boxed(boxed);
+        }
+        Ok(model)
+    }
+
+    /// Serializes to bytes (convenience over [`Sequential::save`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.save().to_bytes()
+    }
+
+    /// Deserializes from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on bad magic, version, or unknown layers.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelFormatError> {
+        Self::from_snapshot(&ModelSnapshot::from_bytes(bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{finite_diff_grad, max_relative_error};
+    use crate::init::{randn, seeded_rng};
+    use crate::layers::Padding;
+    use crate::Init;
+
+    fn small_mlp(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        let mut m = Sequential::new();
+        m.push(Dense::new(6, 8, Init::HeUniform, &mut rng));
+        m.push(Activation::leaky_relu(0.2));
+        m.push(Dense::new(8, 1, Init::XavierUniform, &mut rng));
+        m
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = small_mlp(0);
+        let y = m.forward(&Tensor::zeros(&[3, 6]));
+        assert_eq!(y.shape(), &[3, 1]);
+        assert_eq!(m.output_shape(&[6]), vec![1]);
+    }
+
+    #[test]
+    fn num_params_counts_all() {
+        let m = small_mlp(0);
+        assert_eq!(m.num_params(), 6 * 8 + 8 + 8 + 1);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut m = small_mlp(1);
+        let mut rng = seeded_rng(5);
+        let x = randn(&[1, 6], &mut rng);
+        let analytic = m.input_gradient(&x);
+        let snap = m.save();
+        let numeric = finite_diff_grad(
+            |xx| {
+                let mut m2 = Sequential::from_snapshot(&snap).unwrap();
+                m2.forward(xx).mean()
+            },
+            &x,
+            1e-2,
+        );
+        assert!(max_relative_error(&analytic, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn conv_pipeline_gradcheck() {
+        // A miniature critic: conv → leaky → flatten → dense(1).
+        let mut rng = seeded_rng(2);
+        let mut m = Sequential::new();
+        m.push(Conv2D::new(1, 2, (2, 2), Padding::Same, Init::HeUniform, &mut rng));
+        m.push(Activation::leaky_relu(0.2));
+        m.push(Flatten::new());
+        m.push(Dense::new(4 * 4 * 2, 1, Init::XavierUniform, &mut rng));
+        let x = randn(&[1, 4, 4, 1], &mut rng);
+        let analytic = m.input_gradient(&x);
+        let snap = m.save();
+        let numeric = finite_diff_grad(
+            |xx| {
+                let mut m2 = Sequential::from_snapshot(&snap).unwrap();
+                m2.forward(xx).mean()
+            },
+            &x,
+            1e-2,
+        );
+        assert!(max_relative_error(&analytic, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn clip_weights_bounds_everything() {
+        let mut m = small_mlp(3);
+        for p in m.params_mut() {
+            p.value.scale_in_place(100.0);
+        }
+        m.clip_weights(0.05);
+        for p in m.params() {
+            assert!(p.value.max() <= 0.05 && p.value.min() >= -0.05);
+        }
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut m = small_mlp(4);
+        let x = Tensor::ones(&[2, 6]);
+        let _ = m.forward(&x);
+        let _ = m.backward(&Tensor::ones(&[2, 1]));
+        assert!(m.params().iter().any(|p| p.grad.norm() > 0.0));
+        m.zero_grad();
+        assert!(m.params().iter().all(|p| p.grad.norm() == 0.0));
+    }
+
+    #[test]
+    fn serialization_preserves_predictions() {
+        let mut m = small_mlp(6);
+        let mut rng = seeded_rng(7);
+        let x = randn(&[4, 6], &mut rng);
+        let y1 = m.forward(&x);
+        let bytes = m.to_bytes();
+        let mut m2 = Sequential::from_bytes(&bytes).unwrap();
+        let y2 = m2.forward(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn generator_shaped_model_builds() {
+        // noise(8) → dense(5·6·4) → reshape → upsample(2,2) → conv same →
+        // tanh single channel: the paper's G topology in miniature.
+        let mut rng = seeded_rng(8);
+        let mut g = Sequential::new();
+        g.push(Dense::new(8, 5 * 6 * 4, Init::HeUniform, &mut rng));
+        g.push(Activation::leaky_relu(0.2));
+        g.push(Reshape::new(&[5, 6, 4]));
+        g.push(UpSample2D::new(2, 2));
+        g.push(Conv2D::new(4, 1, (2, 2), Padding::Same, Init::XavierUniform, &mut rng));
+        g.push(Activation::tanh());
+        assert_eq!(g.output_shape(&[8]), vec![10, 12, 1]);
+        let z = randn(&[2, 8], &mut rng);
+        let fake = g.forward(&z);
+        assert_eq!(fake.shape(), &[2, 10, 12, 1]);
+        assert!(fake.max() <= 1.0 && fake.min() >= -1.0);
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        let m = small_mlp(9);
+        let s = format!("{m:?}");
+        assert!(s.contains("Sequential") && s.contains("Dense"));
+    }
+}

@@ -1,0 +1,261 @@
+//! First-order optimizers: SGD, RMSProp, Adam.
+//!
+//! The original WGAN prescription (and the clipping variant used here) pairs
+//! the critic with RMSProp, since momentum-based updates interact badly with
+//! weight clipping; the paper's Keras implementation uses a learning rate of
+//! 1e-3 and batch size 128.
+
+use crate::layer::Param;
+use crate::Tensor;
+
+/// A first-order gradient-descent optimizer.
+///
+/// An optimizer instance owns per-parameter state and must be reused across
+/// steps for the same model. `step` consumes the accumulated gradients and
+/// updates values in place; callers are responsible for `zero_grad`.
+pub trait Optimizer: Send {
+    /// Applies one update step to the given parameters.
+    ///
+    /// Parameters must be passed in a stable order across calls (as returned
+    /// by `Sequential::params_mut`).
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f32;
+}
+
+/// Plain stochastic gradient descent: `w ← w − lr · g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params {
+            let lr = self.lr;
+            p.value.add_scaled(&p.grad.clone(), -lr);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// RMSProp: adaptive per-parameter learning rates without momentum.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f32,
+    rho: f32,
+    eps: f32,
+    cache: Vec<Tensor>,
+}
+
+impl RmsProp {
+    /// Creates RMSProp with decay `rho = 0.9` and `eps = 1e-8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        Self::with_params(lr, 0.9, 1e-8)
+    }
+
+    /// Creates RMSProp with explicit decay and epsilon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive or `rho` outside `(0, 1)`.
+    pub fn with_params(lr: f32, rho: f32, eps: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!(rho > 0.0 && rho < 1.0, "rho must be in (0, 1)");
+        RmsProp {
+            lr,
+            rho,
+            eps,
+            cache: Vec::new(),
+        }
+    }
+
+    fn ensure_cache(&mut self, params: &[&mut Param]) {
+        if self.cache.len() != params.len() {
+            self.cache = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.ensure_cache(params);
+        for (p, cache) in params.iter_mut().zip(&mut self.cache) {
+            let g = p.grad.as_slice();
+            let c = cache.as_mut_slice();
+            let v = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                c[i] = self.rho * c[i] + (1.0 - self.rho) * g[i] * g[i];
+                v[i] -= self.lr * g[i] / (c[i].sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Adam: adaptive moments (used by the autoencoder baseline).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u32,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the canonical `(β₁, β₂, ε) = (0.9, 0.999, 1e-8)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn ensure_state(&mut self, params: &[&mut Param]) {
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.ensure_state(params);
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let g = p.grad.as_slice();
+            let ms = m.as_mut_slice();
+            let vs = v.as_mut_slice();
+            let w = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * g[i];
+                vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = ms[i] / b1t;
+                let v_hat = vs[i] / b2t;
+                w[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(w) = Σ (w − target)² with each optimizer and checks
+    /// convergence.
+    fn converges(mut opt: impl Optimizer, steps: usize, lr_tolerance: f32) {
+        let target = [3.0f32, -2.0, 0.5];
+        let mut p = Param::new(Tensor::zeros(&[3]));
+        for _ in 0..steps {
+            p.zero_grad();
+            for i in 0..3 {
+                let w = p.value.as_slice()[i];
+                p.grad.as_mut_slice()[i] = 2.0 * (w - target[i]);
+            }
+            opt.step(&mut [&mut p]);
+        }
+        for i in 0..3 {
+            assert!(
+                (p.value.as_slice()[i] - target[i]).abs() < lr_tolerance,
+                "dim {i}: {} vs {}",
+                p.value.as_slice()[i],
+                target[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        converges(Sgd::new(0.1), 200, 1e-3);
+    }
+
+    #[test]
+    fn rmsprop_converges_on_quadratic() {
+        converges(RmsProp::new(0.05), 2000, 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        converges(Adam::new(0.05), 2000, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn negative_lr_rejected() {
+        let _ = Sgd::new(-1.0);
+    }
+
+    #[test]
+    fn rmsprop_state_tracks_param_count() {
+        let mut opt = RmsProp::new(0.01);
+        let mut a = Param::new(Tensor::zeros(&[2]));
+        let mut b = Param::new(Tensor::zeros(&[3]));
+        a.grad = Tensor::ones(&[2]);
+        b.grad = Tensor::ones(&[3]);
+        opt.step(&mut [&mut a, &mut b]);
+        assert_eq!(opt.cache.len(), 2);
+        assert_eq!(opt.cache[1].len(), 3);
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // After one step with g = 1, Adam should move by ≈ lr regardless of
+        // the tiny raw moments, thanks to bias correction.
+        let mut opt = Adam::new(0.1);
+        let mut p = Param::new(Tensor::zeros(&[1]));
+        p.grad = Tensor::ones(&[1]);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] + 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn learning_rate_exposed() {
+        assert_eq!(Sgd::new(0.5).learning_rate(), 0.5);
+        assert_eq!(RmsProp::new(0.25).learning_rate(), 0.25);
+        assert_eq!(Adam::new(0.125).learning_rate(), 0.125);
+    }
+}

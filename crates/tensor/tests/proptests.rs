@@ -1,0 +1,139 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! These pin down the algebraic invariants the rest of the VehiGAN stack
+//! silently relies on: linearity of matmul, exactness of backprop against
+//! finite differences for randomly-configured layers, and serialization
+//! round-trips for arbitrary models.
+
+use proptest::prelude::*;
+use vehigan_tensor::gradcheck::{finite_diff_grad, max_relative_error};
+use vehigan_tensor::init::{randn, seeded_rng};
+use vehigan_tensor::layer::Layer;
+use vehigan_tensor::layers::{Activation, Conv2D, Dense, Flatten, Padding, UpSample2D};
+use vehigan_tensor::{Init, Sequential, Tensor};
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_vec(6), b in small_vec(6), c in small_vec(8)
+    ) {
+        let a = Tensor::from_vec(a, &[3, 2]);
+        let b = Tensor::from_vec(b, &[3, 2]);
+        let c = Tensor::from_vec(c, &[2, 4]);
+        let lhs = (&a + &b).matmul(&c);
+        let rhs = &a.matmul(&c) + &b.matmul(&c);
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_matmul_order(a in small_vec(6), b in small_vec(8)) {
+        let a = Tensor::from_vec(a, &[3, 2]);
+        let b = Tensor::from_vec(b, &[2, 4]);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sign_times_abs_recovers_value(v in small_vec(12)) {
+        let t = Tensor::from_vec(v, &[12]);
+        let recon = &t.sign() * &t.map(f32::abs);
+        prop_assert_eq!(recon.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn stack_then_take_is_identity(v in small_vec(12)) {
+        let t = Tensor::from_vec(v, &[4, 3]);
+        let picked = t.take(&[0, 1, 2, 3]);
+        prop_assert_eq!(picked, t);
+    }
+
+    #[test]
+    fn dense_input_grad_matches_fd(seed in 0u64..1000, batch in 1usize..4) {
+        let mut rng = seeded_rng(seed);
+        let mut d = Dense::new(5, 3, Init::XavierUniform, &mut rng);
+        let x = randn(&[batch, 5], &mut rng);
+        let _ = d.forward(&x);
+        let analytic = d.backward(&Tensor::ones(&[batch, 3]));
+        let snap = d.save();
+        let numeric = finite_diff_grad(|xx| {
+            let mut d2 = Dense::from_snapshot(&snap).unwrap();
+            d2.forward(xx).sum()
+        }, &x, 1e-2);
+        prop_assert!(max_relative_error(&analytic, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn conv_input_grad_matches_fd(seed in 0u64..500, same in any::<bool>()) {
+        let mut rng = seeded_rng(seed);
+        let padding = if same { Padding::Same } else { Padding::Valid };
+        let mut conv = Conv2D::new(1, 2, (2, 2), padding, Init::HeUniform, &mut rng);
+        let x = randn(&[1, 4, 4, 1], &mut rng);
+        let y = conv.forward(&x);
+        let analytic = conv.backward(&Tensor::ones(y.shape()));
+        let snap = conv.save();
+        let numeric = finite_diff_grad(|xx| {
+            let mut c2 = Conv2D::from_snapshot(&snap).unwrap();
+            c2.forward(xx).sum()
+        }, &x, 1e-2);
+        prop_assert!(max_relative_error(&analytic, &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn upsample_preserves_sum_scaled(seed in 0u64..1000, fy in 1usize..4, fx in 1usize..4) {
+        let mut rng = seeded_rng(seed);
+        let mut up = UpSample2D::new(fy, fx);
+        let x = randn(&[1, 3, 3, 2], &mut rng);
+        let y = up.forward(&x);
+        // Nearest-neighbor replication multiplies the sum by fy·fx.
+        let expect = x.sum() * (fy * fx) as f32;
+        prop_assert!((y.sum() - expect).abs() < 1e-2 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn model_roundtrip_preserves_predictions(seed in 0u64..1000) {
+        let mut rng = seeded_rng(seed);
+        let mut m = Sequential::new();
+        m.push(Conv2D::new(1, 3, (2, 2), Padding::Same, Init::HeUniform, &mut rng));
+        m.push(Activation::leaky_relu(0.2));
+        m.push(Flatten::new());
+        m.push(Dense::new(5 * 4 * 3, 1, Init::XavierUniform, &mut rng));
+        let x = randn(&[2, 5, 4, 1], &mut rng);
+        let y1 = m.forward(&x);
+        let mut m2 = Sequential::from_bytes(&m.to_bytes()).unwrap();
+        let y2 = m2.forward(&x);
+        prop_assert_eq!(y1.as_slice(), y2.as_slice());
+    }
+
+    #[test]
+    fn clip_weights_is_idempotent(seed in 0u64..1000, c in 0.001f32..0.5) {
+        let mut rng = seeded_rng(seed);
+        let mut m = Sequential::new();
+        m.push(Dense::new(4, 4, Init::HeUniform, &mut rng));
+        m.clip_weights(c);
+        let snap1 = m.to_bytes();
+        m.clip_weights(c);
+        prop_assert_eq!(snap1, m.to_bytes());
+    }
+
+    #[test]
+    fn leaky_relu_grad_never_zero(alpha in 0.01f32..0.5, v in small_vec(16)) {
+        // Unlike ReLU, LeakyReLU passes gradient everywhere — important for
+        // WGAN critics (no dead units to mask FGSM gradients).
+        let mut act = Activation::leaky_relu(alpha);
+        let x = Tensor::from_vec(v, &[1, 16]);
+        let _ = act.forward(&x);
+        let g = act.backward(&Tensor::ones(&[1, 16]));
+        prop_assert!(g.as_slice().iter().all(|&gv| gv > 0.0));
+    }
+}

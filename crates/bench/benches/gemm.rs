@@ -1,0 +1,98 @@
+//! Criterion benches for the blocked GEMM kernels vs the naive reference.
+//!
+//! Run with `cargo bench -p vehigan-bench --bench gemm`. The quick
+//! JSON-emitting variant of the same shapes is `vehigan-bench gemm`,
+//! which writes `results/BENCH_gemm.json`.
+//!
+//! Shapes are the hot ones of the critic at the paper's defaults
+//! (10×12 snapshots, batch 128):
+//! - `critic_forward/128x120x64` — the final Dense layer (the ISSUE's
+//!   ≥3× acceptance shape);
+//! - `im2col/15360x32x16` — a critic conv as its im2col product;
+//! - `backward/dw_tn` and `backward/dx_nt` — the transpose-free backward
+//!   kernels against their transpose-then-multiply baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vehigan_tensor::gemm;
+
+fn fill(mut seed: u32, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            (seed as f32 / u32::MAX as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_forward(c: &mut Criterion) {
+    for (m, k, n) in [(128usize, 120usize, 64usize), (15360, 32, 16)] {
+        let mut group = c.benchmark_group(if m == 128 { "critic_forward" } else { "im2col" });
+        let a = fill(1, m * k);
+        let b = fill(2, k * n);
+        let mut out = vec![0.0f32; m * n];
+        group.bench_function(format!("{m}x{k}x{n}_naive"), |bch| {
+            bch.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                gemm::naive(m, k, n, black_box(&a), black_box(&b), &mut out);
+                black_box(out[0])
+            });
+        });
+        group.bench_function(format!("{m}x{k}x{n}_blocked"), |bch| {
+            bch.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                gemm::gemm(m, k, n, black_box(&a), black_box(&b), &mut out);
+                black_box(out[0])
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backward");
+    // dW = Xᵀ·dY for the critic Dense layer: X [128, 120], dY [128, 64].
+    let (batch, in_dim, out_dim) = (128usize, 120usize, 64usize);
+    let x = fill(3, batch * in_dim);
+    let dy = fill(4, batch * out_dim);
+    let w = fill(5, in_dim * out_dim);
+    let mut dw = vec![0.0f32; in_dim * out_dim];
+    let mut dx = vec![0.0f32; batch * in_dim];
+    let mut scratch = vec![0.0f32; batch * in_dim.max(out_dim)];
+    group.bench_function("dw_transpose_then_naive", |bch| {
+        bch.iter(|| {
+            gemm::transpose_into(batch, in_dim, black_box(&x), &mut scratch[..batch * in_dim]);
+            dw.iter_mut().for_each(|v| *v = 0.0);
+            gemm::naive(in_dim, batch, out_dim, &scratch[..batch * in_dim], black_box(&dy), &mut dw);
+            black_box(dw[0])
+        });
+    });
+    group.bench_function("dw_tn", |bch| {
+        bch.iter(|| {
+            dw.iter_mut().for_each(|v| *v = 0.0);
+            gemm::gemm_tn(in_dim, out_dim, batch, black_box(&x), black_box(&dy), &mut dw);
+            black_box(dw[0])
+        });
+    });
+    group.bench_function("dx_transpose_then_naive", |bch| {
+        bch.iter(|| {
+            gemm::transpose_into(in_dim, out_dim, black_box(&w), &mut scratch[..in_dim * out_dim]);
+            dx.iter_mut().for_each(|v| *v = 0.0);
+            gemm::naive(batch, out_dim, in_dim, black_box(&dy), &scratch[..in_dim * out_dim], &mut dx);
+            black_box(dx[0])
+        });
+    });
+    group.bench_function("dx_nt", |bch| {
+        bch.iter(|| {
+            dx.iter_mut().for_each(|v| *v = 0.0);
+            gemm::gemm_nt(batch, in_dim, out_dim, black_box(&dy), black_box(&w), &mut dx);
+            black_box(dx[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_backward);
+criterion_main!(benches);

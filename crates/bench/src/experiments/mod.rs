@@ -8,5 +8,6 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod gemmbench;
 pub mod probe;
 pub mod table3;

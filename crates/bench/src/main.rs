@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Experiments: `catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b
-//! fig8 table3 all`.
+//! fig8 gemm table3 all`.
 
 use vehigan_bench::experiments::{ablation, catalog, fig3, fig4, fig5, fig6, fig7, fig8, table3};
 use vehigan_bench::harness::{Harness, Scale};
@@ -13,7 +13,7 @@ use vehigan_bench::harness::{Harness, Scale};
 fn usage() -> ! {
     eprintln!(
         "usage: vehigan-bench <experiment> [--scale quick|paper]\n\
-         experiments: catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 table3 adv ablation probe all"
+         experiments: catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm table3 adv ablation probe all"
     );
     std::process::exit(2);
 }
@@ -56,7 +56,21 @@ fn main() {
             fig8::run();
             return;
         }
+        "gemm" => {
+            vehigan_bench::experiments::gemmbench::run();
+            return;
+        }
         _ => {}
+    }
+
+    // Reject unknown experiment names *before* spending minutes training
+    // the harness they would never use.
+    const TRAINED: &[&str] = &[
+        "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "table3", "adv",
+        "all",
+    ];
+    if !TRAINED.contains(&experiment) {
+        usage();
     }
 
     let mut harness = Harness::build(scale);

@@ -41,7 +41,7 @@ impl CriticMember {
     /// # Panics
     ///
     /// Panics if `benign` is empty or `p` outside `[0, 100]`.
-    pub fn calibrate(mut wgan: Wgan, ads: f64, benign: &Tensor, p: f64) -> Self {
+    pub fn calibrate(wgan: Wgan, ads: f64, benign: &Tensor, p: f64) -> Self {
         let scores = wgan.score_batch(benign);
         let threshold = percentile(&scores, p);
         CriticMember {
@@ -168,21 +168,44 @@ impl VehiGan {
     /// Scores snapshots with an explicit member subset (used by the
     /// evaluation harness for deterministic sweeps).
     ///
+    /// Members are scored in parallel on crossbeam scoped threads; the
+    /// per-member results are joined and reduced in `indices` order, so the
+    /// output is bitwise identical to scoring the members serially.
+    ///
     /// # Panics
     ///
     /// Panics if `indices` is empty or out of bounds.
-    pub fn score_with_members(&mut self, indices: &[usize], x: &Tensor) -> EnsembleScore {
+    pub fn score_with_members(&self, indices: &[usize], x: &Tensor) -> EnsembleScore {
         assert!(!indices.is_empty(), "need at least one member");
+        for &i in indices {
+            assert!(i < self.members.len(), "member index {i} out of bounds");
+        }
         let n = x.shape()[0];
+        let per_member: Vec<Vec<f32>> = if indices.len() == 1 {
+            vec![self.members[indices[0]].wgan.score_batch(x)]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = indices
+                    .iter()
+                    .map(|&i| {
+                        let member = &self.members[i];
+                        scope.spawn(move |_| member.wgan.score_batch(x))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("member scoring thread panicked"))
+                    .collect()
+            })
+            .expect("ensemble scoring scope")
+        };
         let mut sum = vec![0.0f32; n];
         let mut tau = 0.0f32;
-        for &i in indices {
-            let member = &mut self.members[i];
-            let scores = member.wgan.score_batch(x);
-            for (acc, s) in sum.iter_mut().zip(&scores) {
+        for (scores, &i) in per_member.iter().zip(indices) {
+            for (acc, s) in sum.iter_mut().zip(scores) {
                 *acc += s;
             }
-            tau += member.threshold;
+            tau += self.members[i].threshold;
         }
         let k = indices.len() as f32;
         for s in &mut sum {
@@ -292,8 +315,31 @@ mod tests {
     }
 
     #[test]
+    fn parallel_scoring_is_identical_to_serial_order() {
+        let v = ensemble(3, 3);
+        let x = benign(6, 5);
+        let all = [0usize, 1, 2];
+        let par = v.score_with_members(&all, &x);
+        // Serial reference: accumulate member scores in `all` order.
+        let mut sum = vec![0.0f32; 6];
+        let mut tau = 0.0f32;
+        for &i in &all {
+            let s = v.members()[i].wgan.score_batch(&x);
+            for (acc, si) in sum.iter_mut().zip(&s) {
+                *acc += si;
+            }
+            tau += v.members()[i].threshold;
+        }
+        for s in &mut sum {
+            *s /= 3.0;
+        }
+        assert_eq!(par.scores, sum, "parallel must equal serial bitwise");
+        assert_eq!(par.threshold, tau / 3.0);
+    }
+
+    #[test]
     fn ensemble_threshold_is_member_mean() {
-        let mut v = ensemble(3, 3);
+        let v = ensemble(3, 3);
         let x = benign(2, 3);
         let ens = v.score_with_members(&[0, 1, 2], &x);
         let expect: f32 =
@@ -303,7 +349,7 @@ mod tests {
 
     #[test]
     fn benign_fpr_is_low_after_calibration() {
-        let mut v = ensemble(3, 3);
+        let v = ensemble(3, 3);
         let x = benign(200, 4);
         let ens = v.score_with_members(&[0, 1, 2], &x);
         let fpr = ens.detections().iter().filter(|&&d| d).count() as f64 / 200.0;

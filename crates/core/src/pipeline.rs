@@ -349,7 +349,7 @@ mod tests {
 
     #[test]
     fn ensemble_detects_gross_misbehavior_on_test_fleet() {
-        let mut p = pipeline();
+        let p = pipeline();
         let ds = p.test_attack_windows(Attack::by_name("RandomPosition").unwrap());
         let all: Vec<usize> = (0..p.vehigan.m()).collect();
         let result = p.vehigan.score_with_members(&all, &ds.x);
@@ -359,7 +359,7 @@ mod tests {
 
     #[test]
     fn benign_test_fpr_is_bounded() {
-        let mut p = pipeline();
+        let p = pipeline();
         let ds = p.test_benign_windows();
         let all: Vec<usize> = (0..p.vehigan.m()).collect();
         let result = p.vehigan.score_with_members(&all, &ds.x);

@@ -18,13 +18,14 @@
 //! directional derivative computable with two extra first-order passes.
 
 use crate::config::{LipschitzMode, WganConfig};
+use parking_lot::Mutex;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use vehigan_tensor::init::{randn, seeded_rng};
 use vehigan_tensor::layers::{Activation, Conv2D, Dense, Flatten, Padding, Reshape, UpSample2D};
 use vehigan_tensor::optim::{Optimizer, RmsProp};
 use vehigan_tensor::serialize::ModelFormatError;
-use vehigan_tensor::{Init, Sequential, Tensor};
+use vehigan_tensor::{Init, Sequential, Tensor, Workspace};
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -130,6 +131,11 @@ pub struct Wgan {
     /// Power-iteration vectors for spectral normalization, one per
     /// critic weight matrix (empty until first use).
     sn_state: Vec<Vec<f32>>,
+    /// Scratch arena for the inference path: `score_batch` works through
+    /// `&self`, so the workspace sits behind a mutex (uncontended in the
+    /// serial case; parallel ensemble scoring gives each member its own
+    /// `Wgan`, so there is no cross-thread contention either).
+    scratch: Mutex<Workspace>,
 }
 
 impl std::fmt::Debug for Wgan {
@@ -167,6 +173,7 @@ impl Wgan {
             opt_d,
             history: Vec::new(),
             sn_state: Vec::new(),
+            scratch: Mutex::new(Workspace::new()),
         }
     }
 
@@ -443,9 +450,44 @@ impl Wgan {
     }
 
     /// Anomaly scores `s(x) = −D(x)` for snapshots `[n, w, f, 1]` (Eq. 5).
-    pub fn score_batch(&mut self, x: &Tensor) -> Vec<f32> {
-        let out = self.critic.forward(x);
-        out.as_slice().iter().map(|&v| -v).collect()
+    ///
+    /// Scoring is read-only: it runs the critic's inference path
+    /// ([`Sequential::infer`] — numerically identical to `forward`) with
+    /// scratch served from an internal [`Workspace`], so it needs only
+    /// `&self` and, once warmed up, performs no per-call heap allocation
+    /// beyond the returned `Vec` (use [`Wgan::score_into`] to avoid even
+    /// that).
+    pub fn score_batch(&self, x: &Tensor) -> Vec<f32> {
+        let mut scores = vec![0.0f32; x.shape()[0]];
+        self.score_into(x, &mut scores);
+        scores
+    }
+
+    /// Zero-allocation scoring primitive: writes `s(x) = −D(x)` for each
+    /// snapshot into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the batch size.
+    pub fn score_into(&self, x: &Tensor, out: &mut [f32]) {
+        assert_eq!(out.len(), x.shape()[0], "score_into output length mismatch");
+        let mut ws = self.scratch.lock();
+        // Copy the input into a workspace buffer so the activations that
+        // flow out of it can be recycled without consuming the caller's x.
+        let mut buf = ws.take(x.len());
+        buf.copy_from_slice(x.as_slice());
+        let scores = self.critic.infer(Tensor::from_vec(buf, x.shape()), &mut ws);
+        for (o, &v) in out.iter_mut().zip(scores.as_slice()) {
+            *o = -v;
+        }
+        ws.recycle(scores.into_vec());
+    }
+
+    /// Bytes currently pooled in the internal scoring workspace. Stable
+    /// across repeated identical `score_batch` calls once warmed up — the
+    /// invariant the no-allocation test asserts.
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.lock().pooled_bytes()
     }
 
     /// Generates `n` fake snapshots from fresh noise.
@@ -478,6 +520,7 @@ impl Wgan {
             critic,
             history: Vec::new(),
             sn_state: Vec::new(),
+            scratch: Mutex::new(Workspace::new()),
         })
     }
 }
@@ -664,12 +707,32 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_scoring_does_not_allocate() {
+        let wgan = Wgan::new(quick_config());
+        let x = benign_snapshots(16, 30);
+        for _ in 0..3 {
+            let _ = wgan.score_batch(&x); // warm up the workspace pool
+        }
+        let settled = wgan.scratch_bytes();
+        assert!(settled > 0, "workspace should hold pooled buffers");
+        let mut out = vec![0.0f32; 16];
+        for _ in 0..10 {
+            wgan.score_into(&x, &mut out);
+            assert_eq!(
+                wgan.scratch_bytes(),
+                settled,
+                "steady-state scoring must not allocate"
+            );
+        }
+    }
+
+    #[test]
     fn critic_serialization_roundtrip_preserves_scores() {
         let mut wgan = Wgan::new(quick_config());
         let x = benign_snapshots(64, 8);
         wgan.train(&x);
         let bytes = wgan.critic_bytes();
-        let mut back = Wgan::from_critic_bytes(quick_config(), &bytes).unwrap();
+        let back = Wgan::from_critic_bytes(quick_config(), &bytes).unwrap();
         assert_eq!(wgan.score_batch(&x), back.score_batch(&x));
     }
 

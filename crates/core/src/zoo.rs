@@ -214,6 +214,10 @@ impl ModelZoo {
     /// Pre-evaluates with an explicit detection-score metric (§III-E lets
     /// the defender choose AUROC, AUPRC, …).
     ///
+    /// Entries are evaluated in parallel on crossbeam scoped threads; each
+    /// entry's result depends only on its own critic, so the outcome is
+    /// identical to the serial loop regardless of scheduling.
+    ///
     /// # Panics
     ///
     /// Panics if `validation` is empty or a dataset lacks both classes.
@@ -223,7 +227,7 @@ impl ModelZoo {
         metric: DetectionScore,
     ) {
         assert!(!validation.is_empty(), "need at least one validation attack");
-        for entry in &mut self.entries {
+        let evaluate = |entry: &mut ZooEntry| {
             let mut per_attack = Vec::with_capacity(validation.len());
             let mut sum = 0.0;
             for (attack, dataset) in validation {
@@ -234,7 +238,20 @@ impl ModelZoo {
             }
             entry.ads = sum / validation.len() as f64;
             entry.per_attack = per_attack;
+        };
+        if self.entries.len() <= 1 {
+            for entry in &mut self.entries {
+                evaluate(entry);
+            }
+            return;
         }
+        crossbeam::thread::scope(|scope| {
+            for entry in &mut self.entries {
+                let evaluate = &evaluate;
+                scope.spawn(move |_| evaluate(entry));
+            }
+        })
+        .expect("zoo pre-evaluation scope");
     }
 
     /// Indices of the top-`m` models by ADS (descending). Requires a prior

@@ -1,0 +1,585 @@
+//! Cache-blocked, register-tiled f32 GEMM kernels.
+//!
+//! Every experiment in the VehiGAN stack — WGAN training, ensemble
+//! scoring, FGSM attacks — bottoms out in one of three matrix products:
+//!
+//! - `C += A·B`   ([`gemm`]): layer forward passes (input/im2col × weights);
+//! - `C += Aᵀ·B`  ([`gemm_tn`]): weight gradients `dW = Xᵀ·dY` without
+//!   materializing `Xᵀ`;
+//! - `C += A·Bᵀ`  ([`gemm_nt`]): input gradients `dX = dY·Wᵀ` without
+//!   materializing `Wᵀ`.
+//!
+//! # Kernel layout
+//!
+//! [`gemm`] follows the classic panel-packing scheme: the shared dimension
+//! is split into `KC`-deep panels; each panel of `B` is packed into
+//! `NR`-wide column strips and each `MC`-row block of `A` into `MR`-tall
+//! row strips, both laid out so the micro-kernel reads one contiguous
+//! `[f32; MR]` / `[f32; NR]` pair per `k`-step. The micro-kernel is a
+//! broadcast-multiply-accumulate over a fixed `MR × NR` accumulator array,
+//! which LLVM autovectorizes — no intrinsics. Two instantiations exist:
+//!
+//! - a portable 4×8 kernel compiled for the baseline target (one 256-bit
+//!   row as two SSE registers; near machine peak on SSE2-only hardware);
+//! - a 6×16 kernel compiled with `#[target_feature(enable = "avx2,fma")]`
+//!   and `f32::mul_add`, selected at runtime when the CPU supports it
+//!   (twelve YMM accumulators — enough independent FMA chains to hide
+//!   the fused-multiply-add latency).
+//!
+//! # Determinism
+//!
+//! For every kernel the reduction over `k` runs in strictly increasing
+//! order *per output element*: micro-kernel accumulators are loaded from
+//! `C` at panel entry and stored back at panel exit, so the association
+//! matches the naive i-k-j triple loop. Consequences:
+//!
+//! - the portable path is **bitwise identical** to [`naive`];
+//! - the AVX2 path fuses each multiply-add (one rounding instead of two),
+//!   so it differs from [`naive`] by ≤ 1e-4 relative error but is
+//!   bit-stable run-to-run on a given machine (feature detection is
+//!   cached; a process never switches kernels mid-run);
+//! - [`gemm_tn`] performs exactly one multiply-add per output element per
+//!   `k`-step with no fusion, so it is bitwise identical to
+//!   `a.transpose().matmul(b)` on every ISA;
+//! - [`gemm_nt`] uses a fixed eight-lane partial-sum dot product —
+//!   machine-independent and deterministic, but associated differently
+//!   from the scalar loop (property tests bound the difference at ≤ 1e-4).
+//!
+//! All kernels *accumulate* into `C` (`beta = 1`); callers that want a
+//! plain product must zero `C` first (a zero-filled buffer is what
+//! [`crate::workspace::Workspace`] hands out). This is what lets
+//! `Dense::backward` add `dW` straight into the gradient buffer.
+
+use std::cell::RefCell;
+
+/// Rows of `C` per macro panel (keeps the active `A` block L2-resident).
+const MC: usize = 64;
+/// Depth of a packed panel (keeps one `NR`-wide strip of `B` L1-resident).
+const KC: usize = 256;
+
+thread_local! {
+    /// Reusable packing buffers for the `A` and `B` panels — they grow
+    /// once per thread, so steady-state GEMM calls allocate nothing.
+    static PACK: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+#[cfg(target_arch = "x86_64")]
+fn fma_available() -> bool {
+    use std::sync::OnceLock;
+    static FMA: OnceLock<bool> = OnceLock::new();
+    *FMA.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+}
+
+fn check_dims(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &[f32]) {
+    assert_eq!(a.len(), m * k, "gemm: lhs length {} != {m}×{k}", a.len());
+    assert_eq!(b.len(), k * n, "gemm: rhs length {} != {k}×{n}", b.len());
+    assert_eq!(c.len(), m * n, "gemm: out length {} != {m}×{n}", c.len());
+}
+
+/// `C += A·B` for row-major `a` (`m×k`), `b` (`k×n`), `c` (`m×n`).
+///
+/// Blocked and register-tiled; per output element the reduction runs in
+/// strictly increasing `k` order (see module docs for the exact
+/// determinism guarantees of the two instantiations).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_dims(m, k, n, a, b, c);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    PACK.with(|p| {
+        let (pa, pb) = &mut *p.borrow_mut();
+        #[cfg(target_arch = "x86_64")]
+        if fma_available() {
+            // Safety: guarded by cached runtime detection of avx2+fma.
+            unsafe { gemm_avx2(m, k, n, a, b, c, pa, pb) };
+            return;
+        }
+        gemm_portable(m, k, n, a, b, c, pa, pb);
+    });
+}
+
+/// One macro-level pass: pack a `KC × n` panel of `B` into `NR`-strips,
+/// pack each `MC × KC` block of `A` into `MR`-strips, and sweep the
+/// micro-kernel over the strip grid. Instantiated once per micro-kernel
+/// because `#[target_feature]` codegen must contain the whole loop nest.
+macro_rules! gemm_body {
+    ($micro:ident, $mr:expr, $nr:expr, $m:ident, $k:ident, $n:ident,
+     $a:ident, $b:ident, $c:ident, $pa:ident, $pb:ident) => {{
+        const MR: usize = $mr;
+        const NR: usize = $nr;
+        let n_strips = $n.div_ceil(NR);
+        for kb in (0..$k).step_by(KC) {
+            let kc = KC.min($k - kb);
+            $pb.clear();
+            $pb.resize(n_strips * kc * NR, 0.0);
+            for s in 0..n_strips {
+                let js = s * NR;
+                let w = NR.min($n - js);
+                let base = s * kc * NR;
+                for kk in 0..kc {
+                    let src = (kb + kk) * $n + js;
+                    $pb[base + kk * NR..base + kk * NR + w]
+                        .copy_from_slice(&$b[src..src + w]);
+                }
+            }
+            for ib in (0..$m).step_by(MC) {
+                let mc = MC.min($m - ib);
+                let m_strips = mc.div_ceil(MR);
+                $pa.clear();
+                $pa.resize(m_strips * kc * MR, 0.0);
+                for r in 0..m_strips {
+                    let is = ib + r * MR;
+                    let h = MR.min(ib + mc - is);
+                    let base = r * kc * MR;
+                    for row in 0..h {
+                        let arow = &$a[(is + row) * $k + kb..(is + row) * $k + kb + kc];
+                        for (kk, &av) in arow.iter().enumerate() {
+                            $pa[base + kk * MR + row] = av;
+                        }
+                    }
+                }
+                for r in 0..m_strips {
+                    let is = ib + r * MR;
+                    let h = MR.min(ib + mc - is);
+                    let ap = &$pa[r * kc * MR..(r + 1) * kc * MR];
+                    for s in 0..n_strips {
+                        let js = s * NR;
+                        let w = NR.min($n - js);
+                        let bp = &$pb[s * kc * NR..(s + 1) * kc * NR];
+                        $micro(ap, bp, kc, is, js, h, w, $n, $c);
+                    }
+                }
+            }
+        }
+    }};
+}
+
+/// Declares an `MR × NR` micro-kernel over packed strips. Accumulators
+/// load from `C` before the `k` sweep and store back after, preserving
+/// the global per-element reduction order across `KC` panels. Ragged
+/// edges are handled by the zero padding in the packed strips (extra
+/// rows/columns compute values that are simply never stored).
+macro_rules! micro_impl {
+    ($name:ident, $mr:expr, $nr:expr, $inline:meta, $madd:expr) => {
+        #[$inline]
+        #[allow(clippy::too_many_arguments)]
+        fn $name(
+            ap: &[f32],
+            bp: &[f32],
+            kc: usize,
+            i0: usize,
+            j0: usize,
+            h: usize,
+            w: usize,
+            ldc: usize,
+            c: &mut [f32],
+        ) {
+            const MR: usize = $mr;
+            const NR: usize = $nr;
+            let madd: fn(f32, f32, f32) -> f32 = $madd;
+            let mut acc = [[0.0f32; NR]; MR];
+            for r in 0..h {
+                let base = (i0 + r) * ldc + j0;
+                acc[r][..w].copy_from_slice(&c[base..base + w]);
+            }
+            for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+                let avv: &[f32; MR] = av.try_into().expect("packed A strip row");
+                let bvv: &[f32; NR] = bv.try_into().expect("packed B strip row");
+                for (row, &ar) in acc.iter_mut().zip(avv) {
+                    for (x, &bb) in row.iter_mut().zip(bvv) {
+                        *x = madd(ar, bb, *x);
+                    }
+                }
+            }
+            for r in 0..h {
+                let base = (i0 + r) * ldc + j0;
+                c[base..base + w].copy_from_slice(&acc[r][..w]);
+            }
+        }
+    };
+}
+
+// Portable kernel: separate mul + add (bitwise == naive), 4×8 tile. The
+// `inline(never)` is load-bearing — inlining this into the blocked loop
+// nest defeats LLVM's register allocation of the accumulator array and
+// costs ~6× throughput.
+micro_impl!(micro_4x8, 4, 8, inline(never), |a, b, acc| a * b + acc);
+// AVX2 kernel: fused multiply-add, 6×16 tile (12 YMM accumulators). Must
+// be `inline(always)` so it inherits the caller's `#[target_feature]`.
+#[cfg(target_arch = "x86_64")]
+micro_impl!(micro_6x16, 6, 16, inline(always), f32::mul_add);
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_portable(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    pa: &mut Vec<f32>,
+    pb: &mut Vec<f32>,
+) {
+    gemm_body!(micro_4x8, 4, 8, m, k, n, a, b, c, pa, pb)
+}
+
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_avx2(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    pa: &mut Vec<f32>,
+    pb: &mut Vec<f32>,
+) {
+    gemm_body!(micro_6x16, 6, 16, m, k, n, a, b, c, pa, pb)
+}
+
+/// `C += A·Bᵀ` for row-major `a` (`m×k`), `b` (`n×k`), `c` (`m×n`).
+///
+/// The transpose-free input-gradient kernel: `dX = dY·Wᵀ` calls this with
+/// `W` as stored (`[in, out]` order) instead of materializing `Wᵀ`. Both
+/// operands are read row-contiguously, so it is a pure dot-product sweep.
+/// Uses the fixed eight-lane reduction of [`dot`] — deterministic and
+/// machine-independent.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_nt: lhs length {} != {m}×{k}", a.len());
+    assert_eq!(b.len(), n * k, "gemm_nt: rhs length {} != {n}×{k}", b.len());
+    assert_eq!(c.len(), m * n, "gemm_nt: out length {} != {m}×{n}", c.len());
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // Safety: guarded by cached runtime detection of avx2+fma. Same
+        // source as the portable body (no fusion), so results are bitwise
+        // identical across the two paths.
+        unsafe { gemm_nt_avx2(m, n, k, a, b, c) };
+        return;
+    }
+    gemm_nt_body(m, n, k, a, b, c);
+}
+
+#[inline(always)]
+fn gemm_nt_body(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        let cr = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in cr.iter_mut().enumerate() {
+            *cv += dot(ar, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_nt_avx2(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_body(m, n, k, a, b, c)
+}
+
+/// Eight-lane dot product with a fixed reduction tree: deterministic and
+/// identical on every ISA, but associated differently from a scalar left
+/// fold (lane partials are combined pairwise at the end).
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    const L: usize = 8;
+    let mut lanes = [0.0f32; L];
+    let mut xc = x.chunks_exact(L);
+    let mut yc = y.chunks_exact(L);
+    for (xv, yv) in (&mut xc).zip(&mut yc) {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += xv[l] * yv[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (xv, yv) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += xv * yv;
+    }
+    let s0 = (lanes[0] + lanes[4]) + (lanes[2] + lanes[6]);
+    let s1 = (lanes[1] + lanes[5]) + (lanes[3] + lanes[7]);
+    (s0 + s1) + tail
+}
+
+/// `C += Aᵀ·B` for row-major `a` (`k×m`), `b` (`k×n`), `c` (`m×n`).
+///
+/// The transpose-free weight-gradient kernel: `dW += Xᵀ·dY` calls this
+/// with the activations/im2col matrix as stored, accumulating straight
+/// into the gradient buffer — no transposed copy, no temporary product.
+/// Exactly one multiply-add per output element per `k`-step, in strictly
+/// increasing `k`: bitwise identical to `a.transpose().matmul(b)`.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the stated dimensions.
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "gemm_tn: lhs length {} != {k}×{m}", a.len());
+    assert_eq!(b.len(), k * n, "gemm_tn: rhs length {} != {k}×{n}", b.len());
+    assert_eq!(c.len(), m * n, "gemm_tn: out length {} != {m}×{n}", c.len());
+    #[cfg(target_arch = "x86_64")]
+    if fma_available() {
+        // Safety: guarded by cached runtime detection of avx2+fma. Same
+        // source as the portable body (no fusion), so results are bitwise
+        // identical across the two paths.
+        unsafe { gemm_tn_avx2(m, n, k, a, b, c) };
+        return;
+    }
+    gemm_tn_body(m, n, k, a, b, c);
+}
+
+#[inline(always)]
+fn gemm_tn_body(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for kk in 0..k {
+        let ar = &a[kk * m..(kk + 1) * m];
+        let br = &b[kk * n..(kk + 1) * n];
+        if n == 1 {
+            // Critic head: dW is a column vector — a straight axpy.
+            let bv = br[0];
+            for (cv, &av) in c.iter_mut().zip(ar) {
+                *cv += av * bv;
+            }
+        } else {
+            for (i, &av) in ar.iter().enumerate() {
+                let cr = &mut c[i * n..(i + 1) * n];
+                for (cv, &bv) in cr.iter_mut().zip(br) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn gemm_tn_avx2(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_tn_body(m, n, k, a, b, c)
+}
+
+/// The seed repository's i-k-j scalar triple loop, kept verbatim as the
+/// reference kernel for property tests and benchmark baselines.
+/// `C += A·B` for row-major `a` (`m×k`), `b` (`k×n`), `c` (`m×n`).
+pub fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    check_dims(m, k, n, a, b, c);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Blocked out-of-place transpose: `dst[j·m + i] = src[i·n + j]` in 32×32
+/// tiles so reads and writes both stay cache-resident.
+///
+/// # Panics
+///
+/// Panics if `src`/`dst` lengths differ from `m·n`.
+pub fn transpose_into(m: usize, n: usize, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), m * n, "transpose: src length {} != {m}×{n}", src.len());
+    assert_eq!(dst.len(), m * n, "transpose: dst length {} != {m}×{n}", dst.len());
+    const TILE: usize = 32;
+    for it in (0..m).step_by(TILE) {
+        let ih = TILE.min(m - it);
+        for jt in (0..n).step_by(TILE) {
+            let jw = TILE.min(n - jt);
+            for i in it..it + ih {
+                for j in jt..jt + jw {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill (no external deps).
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn max_rel_err(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+            .fold(0.0, f32::max)
+    }
+
+    fn portable(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        let mut pa = Vec::new();
+        let mut pb = Vec::new();
+        gemm_portable(m, k, n, a, b, c, &mut pa, &mut pb);
+    }
+
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (2, 3, 2),
+        (5, 7, 9),
+        (1, 120, 1),
+        (128, 120, 64),
+        (65, 257, 17), // straddles MC and KC boundaries
+        (6, 512, 16),
+    ];
+
+    #[test]
+    fn portable_kernel_is_bitwise_identical_to_naive() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m as u64 * 31 + k as u64, m * k);
+            let b = fill(n as u64 * 17 + 3, k * n);
+            let mut c_naive = vec![0.0f32; m * n];
+            let mut c_blocked = vec![0.0f32; m * n];
+            naive(m, k, n, &a, &b, &mut c_naive);
+            portable(m, k, n, &a, &b, &mut c_blocked);
+            assert_eq!(c_naive, c_blocked, "shape {m}×{k}×{n}");
+        }
+    }
+
+    #[test]
+    fn dispatched_kernel_matches_naive_within_tolerance() {
+        // The AVX2 path fuses multiply-adds; 1e-4 rel is the contract.
+        for &(m, k, n) in SHAPES {
+            let a = fill(m as u64 + 7, m * k);
+            let b = fill(n as u64 + 11, k * n);
+            let mut c_naive = vec![0.0f32; m * n];
+            let mut c_fast = vec![0.0f32; m * n];
+            naive(m, k, n, &a, &b, &mut c_naive);
+            gemm(m, k, n, &a, &b, &mut c_fast);
+            let err = max_rel_err(&c_naive, &c_fast);
+            assert!(err < 1e-4, "shape {m}×{k}×{n}: rel err {err}");
+        }
+    }
+
+    #[test]
+    fn dispatched_kernel_is_deterministic_run_to_run() {
+        let (m, k, n) = (65, 257, 17);
+        let a = fill(21, m * k);
+        let b = fill(22, k * n);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut c1);
+        gemm(m, k, n, &a, &b, &mut c2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn nt_matches_naive_on_pretransposed_operand() {
+        for &(m, k, n) in &[(9, 33, 5), (1, 1, 1), (4, 1, 7), (16, 64, 1)] {
+            let a = fill(3, m * k);
+            let bt = fill(4, n * k); // B stored as [n, k]
+            let mut b = vec![0.0f32; k * n];
+            transpose_into(n, k, &bt, &mut b);
+            let mut c_ref = vec![0.0f32; m * n];
+            naive(m, k, n, &a, &b, &mut c_ref);
+            let mut c_nt = vec![0.0f32; m * n];
+            gemm_nt(m, n, k, &a, &bt, &mut c_nt);
+            assert!(max_rel_err(&c_ref, &c_nt) < 1e-4, "shape {m}×{k}×{n}");
+        }
+    }
+
+    #[test]
+    fn tn_is_bitwise_identical_to_transpose_then_naive() {
+        for &(m, k, n) in &[(13, 21, 6), (1, 1, 1), (120, 128, 1), (3, 1, 3)] {
+            let at = fill(5, k * m); // A stored as [k, m]
+            let b = fill(6, k * n);
+            let mut a = vec![0.0f32; m * k];
+            transpose_into(k, m, &at, &mut a);
+            let mut c_ref = vec![0.0f32; m * n];
+            // One multiply-add per element per k-step, increasing k: the
+            // naive kernel's order exactly (zero-skip only drops ±0 terms).
+            naive(m, k, n, &a, &b, &mut c_ref);
+            let mut c_tn = vec![0.0f32; m * n];
+            gemm_tn(m, n, k, &at, &b, &mut c_tn);
+            assert_eq!(c_ref, c_tn, "shape {m}×{k}×{n}");
+        }
+    }
+
+    #[test]
+    fn kernels_accumulate_rather_than_overwrite() {
+        let (m, k, n) = (3, 4, 2);
+        let a = fill(7, m * k);
+        let b = fill(8, k * n);
+        let mut once = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut once);
+        let mut twice = vec![0.0f32; m * n];
+        gemm(m, k, n, &a, &b, &mut twice);
+        gemm(m, k, n, &a, &b, &mut twice);
+        for (o, t) in once.iter().zip(&twice) {
+            assert!((2.0 * o - t).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_tiles_roundtrip() {
+        let (m, n) = (45, 70); // straddles the 32-tile boundary
+        let src = fill(9, m * n);
+        let mut t = vec![0.0f32; m * n];
+        let mut back = vec![0.0f32; m * n];
+        transpose_into(m, n, &src, &mut t);
+        transpose_into(n, m, &t, &mut back);
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn dot_matches_scalar_fold_within_tolerance() {
+        for len in [0, 1, 7, 8, 9, 64, 120, 121] {
+            let x = fill(10 + len as u64, len);
+            let y = fill(20 + len as u64, len);
+            let scalar: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let fast = dot(&x, &y);
+            assert!(
+                (scalar - fast).abs() <= 1e-4 * scalar.abs().max(1.0),
+                "len {len}: {scalar} vs {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let mut c: Vec<f32> = Vec::new();
+        gemm(0, 4, 3, &[], &fill(1, 12), &mut c);
+        let mut c2 = vec![1.0f32; 6];
+        gemm(2, 0, 3, &[], &[], &mut c2);
+        assert_eq!(c2, vec![1.0; 6]); // k = 0 adds nothing
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm: lhs length")]
+    fn dimension_mismatch_panics() {
+        let mut c = vec![0.0f32; 4];
+        gemm(2, 3, 2, &[0.0; 5], &[0.0; 6], &mut c);
+    }
+}

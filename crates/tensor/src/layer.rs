@@ -7,6 +7,7 @@
 //! enables both WGAN training and the FGSM adversarial attacks of the paper
 //! (Eqs. 6–7), which differentiate the critic score w.r.t. the BSM window.
 
+use crate::workspace::Workspace;
 use crate::Tensor;
 
 /// A trainable parameter: a value tensor paired with its gradient
@@ -37,11 +38,21 @@ impl Param {
 /// Layers are stateful: `forward` caches activations needed by `backward`.
 /// A layer must therefore not be shared across concurrent forward passes;
 /// each training thread owns its own model.
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Computes the layer output for `input`.
     ///
     /// The leading axis of `input` is always the batch dimension.
     fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Inference-only forward pass: numerically identical to [`forward`]
+    /// (same kernels, same reduction order) but caches nothing, works
+    /// through `&self`, and serves scratch from `ws` so the steady state
+    /// performs no heap allocation. Takes `input` by value so intermediate
+    /// activations can be recycled into the workspace (or mutated in
+    /// place) as they flow through a [`crate::Sequential`].
+    ///
+    /// [`forward`]: Layer::forward
+    fn infer(&self, input: Tensor, ws: &mut Workspace) -> Tensor;
 
     /// Back-propagates `grad_out` (gradient w.r.t. this layer's output),
     /// accumulating parameter gradients and returning the gradient w.r.t.

@@ -2,6 +2,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::serialize::LayerSnapshot;
+use crate::workspace::Workspace;
 use crate::Tensor;
 
 /// The activation function applied by an [`Activation`] layer.
@@ -135,9 +136,22 @@ impl Activation {
 impl Layer for Activation {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let out = input.map(|x| self.kind.apply(x));
-        self.cached_input = Some(input.clone());
-        self.cached_output = Some(out.clone());
+        // clone_from reuses the cache allocations once shapes settle.
+        match &mut self.cached_input {
+            Some(c) => c.clone_from(input),
+            slot => *slot = Some(input.clone()),
+        }
+        match &mut self.cached_output {
+            Some(c) => c.clone_from(&out),
+            slot => *slot = Some(out.clone()),
+        }
         out
+    }
+
+    fn infer(&self, mut input: Tensor, _ws: &mut Workspace) -> Tensor {
+        let kind = self.kind;
+        input.map_in_place(|x| kind.apply(x));
+        input
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

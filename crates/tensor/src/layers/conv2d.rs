@@ -7,6 +7,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::serialize::LayerSnapshot;
+use crate::workspace::Workspace;
 use crate::{Init, Tensor};
 use rand::rngs::StdRng;
 
@@ -152,13 +153,16 @@ impl Conv2D {
         }
     }
 
-    /// Expands `input` into the im2col matrix `[n·ho·wo, kh·kw·cin]`.
-    fn im2col(&self, input: &Tensor) -> Tensor {
+    /// Expands `input` into the im2col matrix `[n·ho·wo, kh·kw·cin]`,
+    /// writing into `cols`, which must be zero-filled and exactly
+    /// `n·ho·wo · kh·kw·cin` long (padding positions are *skipped*, so they
+    /// rely on the zero fill).
+    fn im2col_into(&self, input: &Tensor, cols: &mut [f32]) {
         let (n, h, w, c) = dims4(input);
         let (ho, wo) = self.out_spatial(h, w);
         let (pt, pl) = self.pad_offsets();
         let cols_w = self.kh * self.kw * c;
-        let mut cols = vec![0.0f32; n * ho * wo * cols_w];
+        debug_assert_eq!(cols.len(), n * ho * wo * cols_w);
         let data = input.as_slice();
         let mut row = 0usize;
         for ni in 0..n {
@@ -185,7 +189,6 @@ impl Conv2D {
                 }
             }
         }
-        Tensor::from_vec(cols, &[n * ho * wo, cols_w])
     }
 
     /// Scatter-adds column gradients back into input-shaped gradients.
@@ -243,11 +246,21 @@ impl Layer for Conv2D {
         let (n, h, w, c) = dims4(input);
         assert_eq!(c, self.cin, "conv cin {} vs input channels {c}", self.cin);
         let (ho, wo) = self.out_spatial(h, w);
-        let cols = self.im2col(input);
+        let rows = n * ho * wo;
+        let cols_w = self.kh * self.kw * c;
+        // Reuse the cached im2col buffer across steps once shapes settle.
+        let mut cols = match self.cached_cols.take() {
+            Some(mut t) if t.as_slice().len() == rows * cols_w => {
+                t.fill_zero();
+                t.reshape_in_place(&[rows, cols_w]);
+                t
+            }
+            _ => Tensor::zeros(&[rows, cols_w]),
+        };
+        self.im2col_into(input, cols.as_mut_slice());
         let mut out = cols.matmul(&self.w.value);
         let bias = self.b.value.as_slice();
         {
-            let rows = out.shape()[0];
             let data = out.as_mut_slice();
             for r in 0..rows {
                 for j in 0..self.cout {
@@ -255,9 +268,37 @@ impl Layer for Conv2D {
                 }
             }
         }
-        self.cached_input_shape = Some(input.shape().to_vec());
+        match &mut self.cached_input_shape {
+            Some(s) => {
+                s.clear();
+                s.extend_from_slice(input.shape());
+            }
+            slot => *slot = Some(input.shape().to_vec()),
+        }
         self.cached_cols = Some(cols);
-        out.reshape(&[n, ho, wo, self.cout])
+        out.reshape_in_place(&[n, ho, wo, self.cout]);
+        out
+    }
+
+    fn infer(&self, input: Tensor, ws: &mut Workspace) -> Tensor {
+        let (n, h, w, c) = dims4(&input);
+        assert_eq!(c, self.cin, "conv cin {} vs input channels {c}", self.cin);
+        let (ho, wo) = self.out_spatial(h, w);
+        let rows = n * ho * wo;
+        let cols_w = self.kh * self.kw * c;
+        let mut cols = ws.take(rows * cols_w); // zero-filled, as im2col needs
+        self.im2col_into(&input, &mut cols);
+        let mut out = ws.take(rows * self.cout);
+        crate::gemm::gemm(rows, cols_w, self.cout, &cols, self.w.value.as_slice(), &mut out);
+        let bias = self.b.value.as_slice();
+        for r in 0..rows {
+            for j in 0..self.cout {
+                out[r * self.cout + j] += bias[j];
+            }
+        }
+        ws.recycle(cols);
+        ws.recycle(input.into_vec());
+        Tensor::from_vec(out, &[n, ho, wo, self.cout])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -266,21 +307,45 @@ impl Layer for Conv2D {
             .as_ref()
             .expect("Conv2D::backward called before forward")
             .clone();
-        let cols = self.cached_cols.as_ref().expect("cols cache");
+        let mut cols = self.cached_cols.take().expect("cols cache");
         let rows: usize = grad_out.shape()[..3].iter().product();
-        let g_mat = grad_out.reshape(&[rows, self.cout]);
-        self.w.grad += &cols.transpose().matmul(&g_mat);
+        let cols_w = self.kh * self.kw * self.cin;
+        // grad_out is contiguous row-major, so its data already *is* the
+        // [rows, cout] matrix — no reshape copy needed.
+        let g = grad_out.as_slice();
+        // dW += colsᵀ · dY, accumulated straight into w.grad (gemm_tn is
+        // bitwise identical to the historical transpose-then-matmul).
+        crate::gemm::gemm_tn(
+            cols_w,
+            self.cout,
+            rows,
+            cols.as_slice(),
+            g,
+            self.w.grad.as_mut_slice(),
+        );
         {
             let gb = self.b.grad.as_mut_slice();
-            let g = g_mat.as_slice();
             for r in 0..rows {
                 for j in 0..self.cout {
                     gb[j] += g[r * self.cout + j];
                 }
             }
         }
-        let grad_cols = g_mat.matmul(&self.w.value.transpose());
-        self.col2im(&grad_cols, &input_shape)
+        // grad_cols = dY · Wᵀ, overwriting the cols buffer — its contents
+        // are dead once dW is accumulated, and the shapes match exactly.
+        cols.fill_zero();
+        crate::gemm::gemm_nt(
+            rows,
+            cols_w,
+            self.cout,
+            g,
+            self.w.value.as_slice(),
+            cols.as_mut_slice(),
+        );
+        let grad = self.col2im(&cols, &input_shape);
+        // Hand the buffer back so the next forward reuses the allocation.
+        self.cached_cols = Some(cols);
+        grad
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -2,6 +2,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::serialize::LayerSnapshot;
+use crate::workspace::Workspace;
 use crate::{Init, Tensor};
 use rand::rngs::StdRng;
 
@@ -94,8 +95,41 @@ impl Layer for Dense {
                 }
             }
         }
-        self.cached_input = Some(input.clone());
+        // clone_from reuses the cached allocation once shapes settle.
+        match &mut self.cached_input {
+            Some(c) => c.clone_from(input),
+            slot => *slot = Some(input.clone()),
+        }
         out
+    }
+
+    fn infer(&self, input: Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(input.ndim(), 2, "Dense expects [batch, in], got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_dim,
+            "Dense in_dim {} vs input {:?}",
+            self.in_dim,
+            input.shape()
+        );
+        let batch = input.shape()[0];
+        let mut out = ws.take(batch * self.out_dim);
+        crate::gemm::gemm(
+            batch,
+            self.in_dim,
+            self.out_dim,
+            input.as_slice(),
+            self.w.value.as_slice(),
+            &mut out,
+        );
+        let bias = self.b.value.as_slice();
+        for i in 0..batch {
+            for j in 0..self.out_dim {
+                out[i * self.out_dim + j] += bias[j];
+            }
+        }
+        ws.recycle(input.into_vec());
+        Tensor::from_vec(out, &[batch, self.out_dim])
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -104,9 +138,18 @@ impl Layer for Dense {
             .as_ref()
             .expect("Dense::backward called before forward");
         // dW = xᵀ · dY ; db = Σ_batch dY ; dX = dY · Wᵀ
-        let grad_w = input.transpose().matmul(grad_out);
-        self.w.grad += &grad_w;
+        // gemm_tn accumulates straight into w.grad — no xᵀ copy, no
+        // intermediate grad_w tensor. Bitwise identical to the historical
+        // `input.transpose().matmul(grad_out)` reduction.
         let batch = grad_out.shape()[0];
+        crate::gemm::gemm_tn(
+            self.in_dim,
+            self.out_dim,
+            batch,
+            input.as_slice(),
+            grad_out.as_slice(),
+            self.w.grad.as_mut_slice(),
+        );
         {
             let gb = self.b.grad.as_mut_slice();
             let g = grad_out.as_slice();
@@ -116,7 +159,8 @@ impl Layer for Dense {
                 }
             }
         }
-        grad_out.matmul(&self.w.value.transpose())
+        // dX = dY · Wᵀ with W read in its stored layout.
+        grad_out.matmul_nt(&self.w.value)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -2,6 +2,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::serialize::LayerSnapshot;
+use crate::workspace::Workspace;
 use crate::Tensor;
 
 /// Flattens all non-batch dimensions: `[N, d1, …, dk] → [N, d1·…·dk]`.
@@ -28,6 +29,13 @@ impl Layer for Flatten {
         let batch = input.shape()[0];
         let rest: usize = input.shape()[1..].iter().product();
         input.reshape(&[batch, rest])
+    }
+
+    fn infer(&self, mut input: Tensor, _ws: &mut Workspace) -> Tensor {
+        let batch = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        input.reshape_in_place(&[batch, rest]);
+        input
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -106,6 +114,14 @@ impl Layer for Reshape {
         let mut shape = vec![input.shape()[0]];
         shape.extend_from_slice(&self.target);
         input.reshape(&shape)
+    }
+
+    fn infer(&self, mut input: Tensor, _ws: &mut Workspace) -> Tensor {
+        let mut shape = Vec::with_capacity(1 + self.target.len());
+        shape.push(input.shape()[0]);
+        shape.extend_from_slice(&self.target);
+        input.reshape_in_place(&shape);
+        input
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -44,6 +44,7 @@
 
 #![warn(missing_docs)]
 
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod layer;
@@ -52,10 +53,12 @@ mod model;
 pub mod optim;
 pub mod serialize;
 mod tensor;
+pub mod workspace;
 
 pub use init::Init;
 pub use model::Sequential;
 pub use tensor::Tensor;
+pub use workspace::Workspace;
 
 #[cfg(test)]
 mod send_sync_tests {
@@ -70,8 +73,12 @@ mod send_sync_tests {
     }
 
     #[test]
-    fn sequential_is_send() {
+    fn sequential_is_send_and_sync() {
         fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
         assert_send::<Sequential>();
+        // Sync is what lets parallel ensemble scoring share models across
+        // scoped threads through `&self`.
+        assert_sync::<Sequential>();
     }
 }

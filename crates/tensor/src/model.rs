@@ -3,6 +3,7 @@
 use crate::layer::{Layer, Param};
 use crate::layers::{Activation, Conv2D, Dense, Flatten, Reshape, UpSample2D};
 use crate::serialize::{ModelFormatError, ModelSnapshot};
+use crate::workspace::Workspace;
 use crate::Tensor;
 
 /// An ordered stack of layers trained end-to-end.
@@ -72,6 +73,22 @@ impl Sequential {
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Inference-only forward pass through `&self`: numerically identical
+    /// to [`Sequential::forward`] (same kernels, same reduction order) but
+    /// caches nothing, and serves all intermediate activations from `ws` so
+    /// the steady state performs no heap allocation.
+    ///
+    /// Takes `input` by value; its buffer is recycled into the workspace as
+    /// activations flow through the stack, so pass a workspace-backed copy
+    /// when the original must be kept.
+    pub fn infer(&self, input: Tensor, ws: &mut Workspace) -> Tensor {
+        let mut x = input;
+        for layer in &self.layers {
+            x = layer.infer(x, ws);
         }
         x
     }
@@ -331,6 +348,49 @@ mod tests {
         let fake = g.forward(&z);
         assert_eq!(fake.shape(), &[2, 10, 12, 1]);
         assert!(fake.max() <= 1.0 && fake.min() >= -1.0);
+    }
+
+    fn small_critic(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        let mut m = Sequential::new();
+        m.push(Conv2D::new(1, 2, (2, 2), Padding::Same, Init::HeUniform, &mut rng));
+        m.push(Activation::leaky_relu(0.2));
+        m.push(Flatten::new());
+        m.push(Dense::new(4 * 4 * 2, 1, Init::XavierUniform, &mut rng));
+        m
+    }
+
+    #[test]
+    fn infer_is_numerically_identical_to_forward() {
+        let mut m = small_critic(13);
+        let mut rng = seeded_rng(14);
+        let x = randn(&[3, 4, 4, 1], &mut rng);
+        let y_train = m.forward(&x);
+        let mut ws = Workspace::new();
+        let y_inf = m.infer(x.clone(), &mut ws);
+        assert_eq!(y_train, y_inf, "infer must match forward bitwise");
+    }
+
+    #[test]
+    fn infer_steady_state_does_not_allocate() {
+        let m = small_critic(15);
+        let mut rng = seeded_rng(16);
+        let x = randn(&[3, 4, 4, 1], &mut rng);
+        let mut ws = Workspace::new();
+        let run = |ws: &mut Workspace| {
+            let mut buf = ws.take(x.len());
+            buf.copy_from_slice(x.as_slice());
+            let y = m.infer(Tensor::from_vec(buf, x.shape()), ws);
+            ws.recycle(y.into_vec());
+        };
+        for _ in 0..3 {
+            run(&mut ws); // warm-up: the pool grows until shapes settle
+        }
+        let settled = ws.pooled_bytes();
+        for _ in 0..10 {
+            run(&mut ws);
+            assert_eq!(ws.pooled_bytes(), settled, "steady state must not allocate");
+        }
     }
 
     #[test]

@@ -20,10 +20,27 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 /// assert_eq!(t.shape(), &[2, 2]);
 /// assert_eq!(t.get(&[1, 0]), 3.0);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Clones into an existing tensor, reusing its heap allocations when
+    /// capacity allows. Layer activation caches call this every training
+    /// step, so steady-state forward passes stop churning the allocator.
+    fn clone_from(&mut self, source: &Self) {
+        self.shape.clone_from(&source.shape);
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl fmt::Debug for Tensor {
@@ -327,6 +344,10 @@ impl Tensor {
 
     /// Matrix multiplication of two 2-D tensors: `(m×k) · (k×n) = (m×n)`.
     ///
+    /// Backed by the blocked, register-tiled kernel in [`crate::gemm`];
+    /// per output element the reduction runs in strictly increasing `k`
+    /// order, matching the historical naive loop's association.
+    ///
     /// # Panics
     ///
     /// Panics if either operand is not 2-D or the inner dimensions differ.
@@ -337,27 +358,65 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims: {:?} · {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: sequential access on both `other` and `out`.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm(m, k, n, &self.data, &other.data, &mut out);
         Tensor {
             shape: vec![m, n],
             data: out,
         }
     }
 
-    /// Transpose of a 2-D tensor.
+    /// `self · otherᵀ` without materializing the transpose: `self` is
+    /// `(m×k)`, `other` is `(n×k)`, the result is `(m×n)`.
+    ///
+    /// This is the backward-pass primitive `dX = dY · Wᵀ` with `W` read in
+    /// its stored layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the shared dimensions differ.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_nt lhs must be 2-D, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul_nt rhs must be 2-D, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt shared dims: {:?} · {:?}ᵀ", self.shape, other.shape);
+        let mut out = vec![0.0f32; m * n];
+        crate::gemm::gemm_nt(m, n, k, &self.data, &other.data, &mut out);
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// `selfᵀ · other` without materializing the transpose: `self` is
+    /// `(k×m)`, `other` is `(k×n)`, the result is `(m×n)`.
+    ///
+    /// This is the backward-pass primitive `dW = Xᵀ · dY` with `X` read in
+    /// its stored layout; bitwise identical to
+    /// `self.transpose().matmul(other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the shared dimensions differ.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul_tn lhs must be 2-D, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul_tn rhs must be 2-D, got {:?}", other.shape);
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn shared dims: {:?}ᵀ · {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; m * n];
+        crate::gemm::gemm_tn(m, n, k, &self.data, &other.data, &mut out);
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// Transpose of a 2-D tensor, in 32×32 cache tiles.
+    ///
+    /// The hot paths (layer backward passes) no longer transpose at all —
+    /// see [`Tensor::matmul_nt`]/[`Tensor::matmul_tn`] — but serialization
+    /// and tests still want a materialized transpose.
     ///
     /// # Panics
     ///
@@ -366,11 +425,7 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "transpose requires 2-D, got {:?}", self.shape);
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
-        }
+        crate::gemm::transpose_into(m, n, &self.data, &mut out);
         Tensor {
             shape: vec![n, m],
             data: out,
@@ -556,6 +611,37 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         let b = Tensor::zeros(&[2, 3]);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Tensor::from_rows(&[vec![1.0, 0.5, -1.0], vec![2.0, -2.0, 0.0]]);
+        let fast = a.matmul_nt(&b);
+        let reference = a.matmul(&b.transpose());
+        assert_eq!(fast.shape(), &[2, 2]);
+        for (f, r) in fast.as_slice().iter().zip(reference.as_slice()) {
+            assert!((f - r).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let b = Tensor::from_rows(&[vec![1.0, -1.0], vec![0.5, 2.0], vec![-2.0, 0.0]]);
+        let fast = a.matmul_tn(&b);
+        let reference = a.transpose().matmul(&b);
+        assert_eq!(fast, reference); // tn is bitwise identical by design
+    }
+
+    #[test]
+    fn clone_from_reuses_allocation() {
+        let src = Tensor::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let mut dst = Tensor::zeros(&[4]);
+        let cap = dst.data.capacity();
+        dst.clone_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.data.capacity(), cap);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Reusable scratch-buffer arena for inference and im2col expansion.
+//!
+//! The steady-state scoring path (`Wgan::score_batch` → `Sequential::infer`)
+//! used to allocate a fresh `Vec<f32>` for every layer activation and every
+//! im2col expansion of every call. A [`Workspace`] turns that into a pool:
+//! buffers are taken by capacity, zero-filled, and recycled when the caller
+//! is done with them, so after warm-up a scoring call performs no heap
+//! allocation at all ([`Workspace::pooled_bytes`] is stable — a property the
+//! test suite pins down).
+//!
+//! The pool is intentionally simple: a handful of `Vec<f32>`s per model
+//! (one per distinct activation size), best-fit matched by capacity. It is
+//! not a general allocator — buffers the caller never gives back are simply
+//! reallocated on the next round, which converges after one pass because
+//! layer shapes are static.
+
+/// A pool of reusable `f32` buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers are created on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` elements from the pool,
+    /// growing one if no pooled buffer is large enough. Best-fit by
+    /// capacity so one big buffer does not get burned on a small request.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<usize> = None;
+        for (i, b) in self.pool.iter().enumerate() {
+            if b.capacity() >= len {
+                let better = match best {
+                    Some(j) => b.capacity() < self.pool[j].capacity(),
+                    None => true,
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse. Contents are discarded.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Total capacity currently held by the pool, in bytes. Stable across
+    /// repeated identical inference calls once warmed up — the invariant
+    /// the no-allocation tests assert.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffer_of_exact_len() {
+        let mut ws = Workspace::new();
+        let mut b = ws.take(10);
+        assert_eq!(b.len(), 10);
+        assert!(b.iter().all(|&v| v == 0.0));
+        b[3] = 7.0;
+        ws.recycle(b);
+        let b2 = ws.take(10);
+        assert_eq!(b2.len(), 10);
+        assert!(b2.iter().all(|&v| v == 0.0), "recycled buffer must be re-zeroed");
+    }
+
+    #[test]
+    fn pool_is_stable_after_warmup() {
+        let mut ws = Workspace::new();
+        // Simulate a two-layer inference: one big + one small buffer.
+        for _ in 0..3 {
+            let big = ws.take(1024);
+            let small = ws.take(16);
+            ws.recycle(big);
+            ws.recycle(small);
+        }
+        let settled = ws.pooled_bytes();
+        for _ in 0..10 {
+            let big = ws.take(1024);
+            let small = ws.take(16);
+            ws.recycle(big);
+            ws.recycle(small);
+        }
+        assert_eq!(ws.pooled_bytes(), settled, "steady state must not allocate");
+        assert_eq!(ws.pooled_buffers(), 2);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        ws.recycle(Vec::with_capacity(1000));
+        ws.recycle(Vec::with_capacity(100));
+        let b = ws.take(50);
+        assert!(b.capacity() < 1000, "should have used the 100-cap buffer");
+        assert_eq!(ws.pooled_buffers(), 1);
+    }
+
+    #[test]
+    fn zero_len_take_is_fine() {
+        let mut ws = Workspace::new();
+        let b = ws.take(0);
+        assert!(b.is_empty());
+        ws.recycle(b); // zero-capacity buffers are dropped, not pooled
+        assert_eq!(ws.pooled_buffers(), 0);
+    }
+}

@@ -35,7 +35,7 @@ fn rate_above(scores: &[f32], tau: f32) -> f64 {
 #[test]
 fn ensemble_matches_or_beats_best_single_model_on_validation() {
     // Fig 4's premise: ensembling harnesses individual strengths.
-    let mut p = pipeline();
+    let p = pipeline();
     let m = p.vehigan.m();
     let members: Vec<usize> = (0..m).collect();
     let mut ens_sum = 0.0;
@@ -63,7 +63,7 @@ fn ensemble_matches_or_beats_best_single_model_on_validation() {
 #[test]
 fn advanced_coupled_attacks_are_detected() {
     // Table III's last six rows: the coherent heading&yaw-rate attacks.
-    let mut p = pipeline();
+    let p = pipeline();
     let members: Vec<usize> = (0..p.vehigan.m()).collect();
     let mut sum = 0.0;
     let mut n = 0;
@@ -148,7 +148,7 @@ fn afn_attacks_are_intrinsically_ineffective() {
 #[test]
 fn benign_false_positive_rate_respects_calibration() {
     // §III-F: τ at the 99th percentile keeps un-attacked FPR low.
-    let mut p = pipeline();
+    let p = pipeline();
     let benign = p.test_benign_windows();
     let all: Vec<usize> = (0..p.vehigan.m()).collect();
     let result = p.vehigan.score_with_members(&all, &benign.x);

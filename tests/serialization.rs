@@ -29,7 +29,7 @@ fn trained_critic_bytes(seed: u64) -> (WganConfig, Vec<u8>, Tensor, Vec<f32>) {
 #[test]
 fn critic_file_roundtrips_through_wgan() {
     let (config, bytes, probe, scores) = trained_critic_bytes(1);
-    let mut restored = Wgan::from_critic_bytes(config, &bytes).expect("load");
+    let restored = Wgan::from_critic_bytes(config, &bytes).expect("load");
     assert_eq!(restored.score_batch(&probe), scores);
 }
 

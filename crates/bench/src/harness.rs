@@ -97,8 +97,30 @@ pub struct Harness {
 impl Harness {
     /// Trains the system at `scale` and populates the score cache.
     pub fn build(scale: Scale) -> Harness {
+        Self::build_with(scale, None)
+    }
+
+    /// Like [`Harness::build`], but with an optional checkpoint directory:
+    /// zoo training persists every finished member there, and a rerun of
+    /// the same scale resumes from the directory's manifest instead of
+    /// retraining from scratch (the `--resume <dir>` CLI flag).
+    pub fn build_with(scale: Scale, resume_dir: Option<PathBuf>) -> Harness {
         eprintln!("[harness] training pipeline at {scale:?} scale…");
-        let mut pipeline = Pipeline::run(scale.pipeline_config());
+        let mut config = scale.pipeline_config();
+        if let Some(dir) = resume_dir {
+            eprintln!("[harness] checkpointing zoo training in {}", dir.display());
+            config.checkpoint_dir = Some(dir);
+        }
+        let mut pipeline = Pipeline::run(config);
+        if !pipeline.quarantined.is_empty() {
+            eprintln!(
+                "[harness] WARNING: {} grid configurations quarantined:",
+                pipeline.quarantined.len()
+            );
+            for q in &pipeline.quarantined {
+                eprintln!("[harness]   {}: {}", q.id(), q.reason);
+            }
+        }
         eprintln!(
             "[harness] zoo={} models, selected top-{}; building attack campaign…",
             pipeline.zoo.len(),

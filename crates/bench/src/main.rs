@@ -1,18 +1,23 @@
 //! Experiment runner CLI.
 //!
 //! ```text
-//! vehigan-bench <experiment> [--scale quick|paper]
+//! vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>]
 //! ```
 //!
 //! Experiments: `catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b
 //! fig8 gemm table3 all`.
+//!
+//! `--resume <dir>` makes zoo training crash-safe: every finished model is
+//! checkpointed in `<dir>`, and rerunning the same command after an
+//! interruption resumes from the directory's manifest.
 
+use std::path::PathBuf;
 use vehigan_bench::experiments::{ablation, catalog, fig3, fig4, fig5, fig6, fig7, fig8, table3};
 use vehigan_bench::harness::{Harness, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vehigan-bench <experiment> [--scale quick|paper]\n\
+        "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>]\n\
          experiments: catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm table3 adv ablation probe all"
     );
     std::process::exit(2);
@@ -25,6 +30,7 @@ fn main() {
     }
     let experiment = args[0].as_str();
     let mut scale = Scale::Quick;
+    let mut resume_dir: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -32,6 +38,11 @@ fn main() {
                 let Some(v) = args.get(i + 1) else { usage() };
                 let Some(s) = Scale::parse(v) else { usage() };
                 scale = s;
+                i += 2;
+            }
+            "--resume" => {
+                let Some(v) = args.get(i + 1) else { usage() };
+                resume_dir = Some(PathBuf::from(v));
                 i += 2;
             }
             _ => usage(),
@@ -73,7 +84,7 @@ fn main() {
         usage();
     }
 
-    let mut harness = Harness::build(scale);
+    let mut harness = Harness::build_with(scale, resume_dir);
     let section = |title: &str| println!("\n=== {title} ===");
     match experiment {
         "fig3" => fig3::run(&mut harness),

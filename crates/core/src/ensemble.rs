@@ -6,14 +6,83 @@
 //! exceeds the mean of the deployed members' thresholds. The per-inference
 //! random subset is exactly what defeats single-surrogate adversarial
 //! transfer (Fig 7a).
+//!
+//! Scoring is **degraded-tolerant**: quarantined members are never sampled,
+//! and a member that panics mid-score or emits non-finite values is dropped
+//! from that inference (recorded in [`EnsembleScore::dropped`]) rather than
+//! poisoning the ensemble mean. Only when no deployed member survives does
+//! scoring return a typed [`EnsembleError`].
 
 use crate::wgan::Wgan;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
 use vehigan_metrics::percentile;
 use vehigan_sim::VehicleId;
 use vehigan_tensor::Tensor;
+
+/// Error constructing or scoring a [`VehiGan`] ensemble.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnsembleError {
+    /// The ensemble was given zero members.
+    NoMembers,
+    /// `k` outside `[1, m]`.
+    InvalidK {
+        /// The requested deployment size.
+        k: usize,
+        /// The number of candidate members.
+        m: usize,
+    },
+    /// An explicit member index was out of bounds.
+    MemberOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of candidate members.
+        m: usize,
+    },
+    /// An explicit subset was empty.
+    EmptySubset,
+    /// Too few healthy (non-quarantined) members remain to deploy `k`.
+    InsufficientHealthy {
+        /// Healthy members available.
+        healthy: usize,
+        /// Members needed per inference.
+        k: usize,
+    },
+    /// Every deployed member failed to score (panic or non-finite output).
+    AllMembersFailed {
+        /// The member indices that were attempted.
+        attempted: Vec<usize>,
+    },
+}
+
+impl fmt::Display for EnsembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnsembleError::NoMembers => write!(f, "ensemble needs at least one member"),
+            EnsembleError::InvalidK { k, m } => {
+                write!(f, "k must be in [1, m={m}], got {k}")
+            }
+            EnsembleError::MemberOutOfBounds { index, m } => {
+                write!(f, "member index {index} out of bounds (m={m})")
+            }
+            EnsembleError::EmptySubset => write!(f, "need at least one member to score"),
+            EnsembleError::InsufficientHealthy { healthy, k } => write!(
+                f,
+                "only {healthy} healthy members remain but k={k} are required"
+            ),
+            EnsembleError::AllMembersFailed { attempted } => write!(
+                f,
+                "all {} deployed members failed to produce finite scores",
+                attempted.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnsembleError {}
 
 /// A calibrated ensemble member: a trained critic plus its detection
 /// threshold τ (p-th percentile of benign training scores).
@@ -26,11 +95,21 @@ pub struct CriticMember {
     pub threshold: f32,
     /// Pre-evaluation ADS (for reporting).
     pub ads: f64,
+    /// Whether this member is quarantined (excluded from subset sampling;
+    /// set when its critic is found unhealthy at runtime).
+    pub quarantined: bool,
 }
 
 impl std::fmt::Debug for CriticMember {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CriticMember({}, τ={:.4}, ADS={:.3})", self.id, self.threshold, self.ads)
+        write!(
+            f,
+            "CriticMember({}, τ={:.4}, ADS={:.3}{})",
+            self.id,
+            self.threshold,
+            self.ads,
+            if self.quarantined { ", QUARANTINED" } else { "" }
+        )
     }
 }
 
@@ -49,6 +128,7 @@ impl CriticMember {
             wgan,
             threshold,
             ads,
+            quarantined: false,
         }
     }
 }
@@ -60,14 +140,23 @@ pub struct EnsembleScore {
     pub scores: Vec<f32>,
     /// The ensemble threshold (mean of deployed members' τ).
     pub threshold: f32,
-    /// Which members were deployed.
+    /// Which members actually contributed to the score.
     pub members: Vec<usize>,
+    /// Deployed members that failed (panicked or produced non-finite
+    /// scores) and were excluded from the mean. Empty on a healthy run.
+    pub dropped: Vec<usize>,
 }
 
 impl EnsembleScore {
     /// Per-snapshot detection decisions (`score > threshold`).
     pub fn detections(&self) -> Vec<bool> {
         self.scores.iter().map(|&s| s > self.threshold).collect()
+    }
+
+    /// Whether this inference ran degraded (at least one deployed member
+    /// was dropped).
+    pub fn is_degraded(&self) -> bool {
+        !self.dropped.is_empty()
     }
 }
 
@@ -107,21 +196,25 @@ impl std::fmt::Debug for VehiGan {
 impl VehiGan {
     /// Creates a `VEHIGAN_m^k` from `m` calibrated members.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `members` is empty or `k` is not in `[1, m]`.
-    pub fn new(members: Vec<CriticMember>, k: usize, seed: u64) -> Self {
-        assert!(!members.is_empty(), "ensemble needs at least one member");
-        assert!(
-            k >= 1 && k <= members.len(),
-            "k must be in [1, m={}], got {k}",
-            members.len()
-        );
-        VehiGan {
+    /// [`EnsembleError::NoMembers`] if `members` is empty,
+    /// [`EnsembleError::InvalidK`] if `k` is not in `[1, m]`.
+    pub fn new(members: Vec<CriticMember>, k: usize, seed: u64) -> Result<Self, EnsembleError> {
+        if members.is_empty() {
+            return Err(EnsembleError::NoMembers);
+        }
+        if k < 1 || k > members.len() {
+            return Err(EnsembleError::InvalidK {
+                k,
+                m: members.len(),
+            });
+        }
+        Ok(VehiGan {
             members,
             k,
             rng: StdRng::seed_from_u64(seed),
-        }
+        })
     }
 
     /// The number of candidate members `m`.
@@ -136,12 +229,18 @@ impl VehiGan {
 
     /// Changes `k`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k` is not in `[1, m]`.
-    pub fn set_k(&mut self, k: usize) {
-        assert!(k >= 1 && k <= self.members.len(), "k out of range");
+    /// [`EnsembleError::InvalidK`] if `k` is not in `[1, m]`.
+    pub fn set_k(&mut self, k: usize) -> Result<(), EnsembleError> {
+        if k < 1 || k > self.members.len() {
+            return Err(EnsembleError::InvalidK {
+                k,
+                m: self.members.len(),
+            });
+        }
         self.k = k;
+        Ok(())
     }
 
     /// The calibrated members.
@@ -155,13 +254,58 @@ impl VehiGan {
         &mut self.members
     }
 
-    /// Scores snapshots with a fresh random subset of `k` members (the
-    /// paper's per-inference randomization).
-    pub fn score_batch(&mut self, x: &Tensor) -> EnsembleScore {
-        let mut indices: Vec<usize> = (0..self.members.len()).collect();
+    /// Marks a member quarantined so subset sampling skips it.
+    ///
+    /// # Errors
+    ///
+    /// [`EnsembleError::MemberOutOfBounds`] on a bad index.
+    pub fn quarantine_member(&mut self, index: usize) -> Result<(), EnsembleError> {
+        let m = self.members.len();
+        let member = self
+            .members
+            .get_mut(index)
+            .ok_or(EnsembleError::MemberOutOfBounds { index, m })?;
+        member.quarantined = true;
+        Ok(())
+    }
+
+    /// Indices of the non-quarantined members.
+    pub fn healthy_members(&self) -> Vec<usize> {
+        (0..self.members.len())
+            .filter(|&i| !self.members[i].quarantined)
+            .collect()
+    }
+
+    /// Samples a fresh random subset of `k` healthy members (the paper's
+    /// per-inference randomization), sorted ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`EnsembleError::InsufficientHealthy`] when fewer than `k` healthy
+    /// members remain.
+    pub fn sample_subset(&mut self) -> Result<Vec<usize>, EnsembleError> {
+        let mut indices = self.healthy_members();
+        if indices.len() < self.k {
+            return Err(EnsembleError::InsufficientHealthy {
+                healthy: indices.len(),
+                k: self.k,
+            });
+        }
         indices.shuffle(&mut self.rng);
         indices.truncate(self.k);
         indices.sort_unstable();
+        Ok(indices)
+    }
+
+    /// Scores snapshots with a fresh random subset of `k` healthy members.
+    ///
+    /// # Errors
+    ///
+    /// [`EnsembleError::InsufficientHealthy`] when fewer than `k` healthy
+    /// members remain, [`EnsembleError::AllMembersFailed`] when every
+    /// deployed member fails to produce finite scores.
+    pub fn score_batch(&mut self, x: &Tensor) -> Result<EnsembleScore, EnsembleError> {
+        let indices = self.sample_subset()?;
         self.score_with_members(&indices, x)
     }
 
@@ -172,65 +316,107 @@ impl VehiGan {
     /// per-member results are joined and reduced in `indices` order, so the
     /// output is bitwise identical to scoring the members serially.
     ///
-    /// # Panics
+    /// Failures are isolated per member: a panic while scoring, or a score
+    /// vector containing NaN/Inf, drops that member from the reduction (its
+    /// index is recorded in [`EnsembleScore::dropped`]) and the remaining
+    /// members' mean is returned.
     ///
-    /// Panics if `indices` is empty or out of bounds.
-    pub fn score_with_members(&self, indices: &[usize], x: &Tensor) -> EnsembleScore {
-        assert!(!indices.is_empty(), "need at least one member");
+    /// # Errors
+    ///
+    /// [`EnsembleError::EmptySubset`] /
+    /// [`EnsembleError::MemberOutOfBounds`] on a bad subset,
+    /// [`EnsembleError::AllMembersFailed`] when no member survives.
+    pub fn score_with_members(
+        &self,
+        indices: &[usize],
+        x: &Tensor,
+    ) -> Result<EnsembleScore, EnsembleError> {
+        if indices.is_empty() {
+            return Err(EnsembleError::EmptySubset);
+        }
         for &i in indices {
-            assert!(i < self.members.len(), "member index {i} out of bounds");
+            if i >= self.members.len() {
+                return Err(EnsembleError::MemberOutOfBounds {
+                    index: i,
+                    m: self.members.len(),
+                });
+            }
         }
         let n = x.shape()[0];
-        let per_member: Vec<Vec<f32>> = if indices.len() == 1 {
-            vec![self.members[indices[0]].wgan.score_batch(x)]
+        let score_one = |i: usize| -> Option<Vec<f32>> {
+            let member = &self.members[i];
+            panic::catch_unwind(AssertUnwindSafe(|| member.wgan.score_batch(x)))
+                .ok()
+                .filter(|scores| scores.iter().all(|s| s.is_finite()))
+        };
+        let per_member: Vec<Option<Vec<f32>>> = if indices.len() == 1 {
+            vec![score_one(indices[0])]
         } else {
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = indices
                     .iter()
-                    .map(|&i| {
-                        let member = &self.members[i];
-                        scope.spawn(move |_| member.wgan.score_batch(x))
-                    })
+                    .map(|&i| scope.spawn(move |_| score_one(i)))
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("member scoring thread panicked"))
+                    .map(|h| h.join().expect("member scoring join"))
                     .collect()
             })
             .expect("ensemble scoring scope")
         };
         let mut sum = vec![0.0f32; n];
         let mut tau = 0.0f32;
+        let mut survivors = Vec::with_capacity(indices.len());
+        let mut dropped = Vec::new();
         for (scores, &i) in per_member.iter().zip(indices) {
+            let Some(scores) = scores else {
+                dropped.push(i);
+                continue;
+            };
             for (acc, s) in sum.iter_mut().zip(scores) {
                 *acc += s;
             }
             tau += self.members[i].threshold;
+            survivors.push(i);
         }
-        let k = indices.len() as f32;
+        if survivors.is_empty() {
+            return Err(EnsembleError::AllMembersFailed {
+                attempted: indices.to_vec(),
+            });
+        }
+        let k = survivors.len() as f32;
         for s in &mut sum {
             *s /= k;
         }
-        EnsembleScore {
+        Ok(EnsembleScore {
             scores: sum,
             threshold: tau / k,
-            members: indices.to_vec(),
-        }
+            members: survivors,
+            dropped,
+        })
     }
 
     /// Scores one vehicle's latest snapshot and, if it exceeds the
     /// ensemble threshold, produces a misbehavior report for the MA.
-    pub fn check_vehicle(&mut self, vehicle: VehicleId, snapshot: &Tensor) -> Option<MisbehaviorReport> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VehiGan::score_batch`] errors.
+    pub fn check_vehicle(
+        &mut self,
+        vehicle: VehicleId,
+        snapshot: &Tensor,
+    ) -> Result<Option<MisbehaviorReport>, EnsembleError> {
         assert_eq!(snapshot.shape()[0], 1, "expected a single snapshot");
-        let result = self.score_batch(snapshot);
+        let result = self.score_batch(snapshot)?;
         let score = result.scores[0];
-        (score > result.threshold).then(|| MisbehaviorReport {
+        Ok((score > result.threshold).then(|| MisbehaviorReport {
             vehicle,
             score,
             threshold: result.threshold,
             members: result.members,
             evidence: snapshot.clone(),
-        })
+        }))
     }
 }
 
@@ -270,7 +456,14 @@ mod tests {
     fn ensemble(m: usize, k: usize) -> VehiGan {
         let train = benign(96, 0);
         let members: Vec<CriticMember> = (0..m as u64).map(|s| member(s, &train)).collect();
-        VehiGan::new(members, k, 7)
+        VehiGan::new(members, k, 7).unwrap()
+    }
+
+    /// Overwrites one weight of a member's critic with NaN.
+    fn poison_member(v: &mut VehiGan, i: usize) {
+        let critic = v.members_mut()[i].wgan.critic_mut();
+        let mut params = critic.params_mut();
+        params.first_mut().expect("critic has params").value.as_mut_slice()[0] = f32::NAN;
     }
 
     #[test]
@@ -280,16 +473,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must be in")]
-    fn k_exceeding_m_rejected() {
-        let _ = ensemble(2, 3);
+    fn k_exceeding_m_is_a_typed_error() {
+        let train = benign(96, 0);
+        let members: Vec<CriticMember> = (0..2u64).map(|s| member(s, &train)).collect();
+        assert_eq!(
+            VehiGan::new(members, 3, 7).unwrap_err(),
+            EnsembleError::InvalidK { k: 3, m: 2 }
+        );
+        assert_eq!(
+            VehiGan::new(Vec::new(), 1, 7).unwrap_err(),
+            EnsembleError::NoMembers
+        );
+    }
+
+    #[test]
+    fn set_k_validates_range() {
+        let mut v = ensemble(3, 2);
+        assert!(v.set_k(3).is_ok());
+        assert_eq!(
+            v.set_k(4).unwrap_err(),
+            EnsembleError::InvalidK { k: 4, m: 3 }
+        );
+        assert_eq!(
+            v.set_k(0).unwrap_err(),
+            EnsembleError::InvalidK { k: 0, m: 3 }
+        );
     }
 
     #[test]
     fn random_subsets_vary_across_inferences() {
         let mut v = ensemble(4, 2);
         let x = benign(4, 1);
-        let subsets: Vec<Vec<usize>> = (0..10).map(|_| v.score_batch(&x).members).collect();
+        let subsets: Vec<Vec<usize>> =
+            (0..10).map(|_| v.score_batch(&x).unwrap().members).collect();
         assert!(subsets.iter().any(|s| s != &subsets[0]));
         for s in &subsets {
             assert_eq!(s.len(), 2);
@@ -301,7 +517,7 @@ mod tests {
         let mut v = ensemble(3, 3);
         let x = benign(5, 2);
         let all: Vec<usize> = (0..3).collect();
-        let ens = v.score_with_members(&all, &x);
+        let ens = v.score_with_members(&all, &x).unwrap();
         let mut expected = vec![0.0f32; 5];
         for i in 0..3 {
             let s = v.members_mut()[i].wgan.score_batch(&x);
@@ -319,7 +535,7 @@ mod tests {
         let v = ensemble(3, 3);
         let x = benign(6, 5);
         let all = [0usize, 1, 2];
-        let par = v.score_with_members(&all, &x);
+        let par = v.score_with_members(&all, &x).unwrap();
         // Serial reference: accumulate member scores in `all` order.
         let mut sum = vec![0.0f32; 6];
         let mut tau = 0.0f32;
@@ -335,13 +551,14 @@ mod tests {
         }
         assert_eq!(par.scores, sum, "parallel must equal serial bitwise");
         assert_eq!(par.threshold, tau / 3.0);
+        assert!(par.dropped.is_empty());
     }
 
     #[test]
     fn ensemble_threshold_is_member_mean() {
         let v = ensemble(3, 3);
         let x = benign(2, 3);
-        let ens = v.score_with_members(&[0, 1, 2], &x);
+        let ens = v.score_with_members(&[0, 1, 2], &x).unwrap();
         let expect: f32 =
             v.members().iter().map(|m| m.threshold).sum::<f32>() / 3.0;
         assert!((ens.threshold - expect).abs() < 1e-6);
@@ -351,7 +568,7 @@ mod tests {
     fn benign_fpr_is_low_after_calibration() {
         let v = ensemble(3, 3);
         let x = benign(200, 4);
-        let ens = v.score_with_members(&[0, 1, 2], &x);
+        let ens = v.score_with_members(&[0, 1, 2], &x).unwrap();
         let fpr = ens.detections().iter().filter(|&&d| d).count() as f64 / 200.0;
         assert!(fpr < 0.1, "fpr={fpr}");
     }
@@ -362,7 +579,7 @@ mod tests {
         let mut rng = seeded_rng(9);
         let garbage = rand_uniform(&[1, 10, 12, 1], -1.0, 1.0, &mut rng);
         // Not guaranteed for every seed, but this configuration flags it.
-        let report = v.check_vehicle(VehicleId(7), &garbage);
+        let report = v.check_vehicle(VehicleId(7), &garbage).unwrap();
         if let Some(r) = report {
             assert_eq!(r.vehicle, VehicleId(7));
             assert!(r.score > r.threshold);
@@ -376,7 +593,82 @@ mod tests {
             scores: vec![0.1, 0.9, 0.5],
             threshold: 0.5,
             members: vec![0],
+            dropped: vec![],
         };
         assert_eq!(es.detections(), vec![false, true, false]);
+        assert!(!es.is_degraded());
+    }
+
+    #[test]
+    fn quarantined_member_is_never_sampled() {
+        let mut v = ensemble(4, 2);
+        v.quarantine_member(1).unwrap();
+        assert_eq!(v.healthy_members(), vec![0, 2, 3]);
+        for _ in 0..20 {
+            let subset = v.sample_subset().unwrap();
+            assert!(!subset.contains(&1), "sampled quarantined member");
+        }
+        assert_eq!(
+            v.quarantine_member(9).unwrap_err(),
+            EnsembleError::MemberOutOfBounds { index: 9, m: 4 }
+        );
+    }
+
+    #[test]
+    fn degraded_ensemble_scores_when_healthy_at_least_k() {
+        let mut v = ensemble(3, 2);
+        let x = benign(5, 6);
+        v.quarantine_member(0).unwrap();
+        // healthy = 2 ≥ k = 2: still scores, with only the healthy pair.
+        let ens = v.score_batch(&x).unwrap();
+        assert_eq!(ens.members, vec![1, 2]);
+        // Quarantining one more leaves healthy = 1 < k = 2: typed error.
+        v.quarantine_member(1).unwrap();
+        assert_eq!(
+            v.score_batch(&x).unwrap_err(),
+            EnsembleError::InsufficientHealthy { healthy: 1, k: 2 }
+        );
+    }
+
+    #[test]
+    fn poisoned_member_is_dropped_not_averaged() {
+        let mut v = ensemble(3, 3);
+        let x = benign(5, 7);
+        let clean = v.score_with_members(&[1, 2], &x).unwrap();
+        poison_member(&mut v, 0);
+        let ens = v.score_with_members(&[0, 1, 2], &x).unwrap();
+        assert_eq!(ens.dropped, vec![0]);
+        assert_eq!(ens.members, vec![1, 2]);
+        assert!(ens.is_degraded());
+        // The degraded mean equals the healthy pair's mean — the NaN never
+        // leaked into the reduction.
+        assert_eq!(ens.scores, clean.scores);
+        assert!(ens.scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn all_members_failing_is_a_typed_error() {
+        let mut v = ensemble(2, 2);
+        let x = benign(3, 8);
+        poison_member(&mut v, 0);
+        poison_member(&mut v, 1);
+        assert_eq!(
+            v.score_with_members(&[0, 1], &x).unwrap_err(),
+            EnsembleError::AllMembersFailed { attempted: vec![0, 1] }
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_subset_is_a_typed_error() {
+        let v = ensemble(2, 1);
+        let x = benign(2, 9);
+        assert_eq!(
+            v.score_with_members(&[5], &x).unwrap_err(),
+            EnsembleError::MemberOutOfBounds { index: 5, m: 2 }
+        );
+        assert_eq!(
+            v.score_with_members(&[], &x).unwrap_err(),
+            EnsembleError::EmptySubset
+        );
     }
 }

@@ -25,21 +25,47 @@
 //!
 //! let mut pipeline = Pipeline::run(PipelineConfig::quick());
 //! let test = pipeline.test_attack_windows(Attack::by_name("HighSpeed").unwrap());
-//! let result = pipeline.vehigan.score_batch(&test.x);
+//! let result = pipeline.vehigan.score_batch(&test.x).unwrap();
 //! println!("HighSpeed AUROC: {:.3}", auroc(&result.scores, &test.labels));
 //! ```
+//!
+//! # Fault tolerance
+//!
+//! Training sixty models and scoring with a random subset of them must
+//! survive individual failures. Divergence sentinels inside
+//! [`Wgan::train_epochs_checked`] roll back and retry a diverging run;
+//! unrecoverable configurations are quarantined by
+//! [`ModelZoo::train_grid`] (with a structured [`QuarantineReason`])
+//! rather than failing the grid; every finished member is persisted
+//! crash-safely through a [`CheckpointStore`] so an interrupted run
+//! resumes from its manifest; and [`VehiGan`] scoring degrades gracefully,
+//! dropping members that panic or emit non-finite scores as long as a
+//! healthy subset remains.
 
 #![warn(missing_docs)]
 
 pub mod adversarial;
+mod checkpoint;
 mod config;
 mod ensemble;
 mod pipeline;
 mod wgan;
 mod zoo;
 
+pub use checkpoint::{
+    crc32, grid_fingerprint, CheckpointError, CheckpointStore, Manifest, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+};
 pub use config::{GridConfig, LipschitzMode, WganConfig};
-pub use ensemble::{CriticMember, EnsembleScore, MisbehaviorReport, VehiGan};
-pub use pipeline::{Pipeline, PipelineConfig};
-pub use wgan::{build_critic, build_generator, TrainStats, Wgan};
-pub use zoo::{DetectionScore, ModelZoo, ZooEntry};
+pub use ensemble::{
+    CriticMember, EnsembleError, EnsembleScore, MisbehaviorReport, VehiGan,
+};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineError};
+pub use wgan::{
+    build_critic, build_generator, DivergenceReason, SentinelPolicy, TrainError, TrainReport,
+    TrainStats, Wgan,
+};
+pub use zoo::{
+    DetectionScore, ModelZoo, QuarantineReason, QuarantineRecord, ZooEntry, ZooError,
+    ZooTrainOptions, ZooTrainReport,
+};

@@ -2,14 +2,66 @@
 //! zoo → pre-evaluate → select → calibrate → deploy (Fig 2).
 
 use crate::config::{GridConfig, WganConfig};
-use crate::ensemble::{CriticMember, VehiGan};
+use crate::ensemble::{CriticMember, EnsembleError, VehiGan};
 use crate::wgan::Wgan;
-use crate::zoo::ModelZoo;
+use crate::zoo::{ModelZoo, QuarantineRecord, ZooError, ZooTrainOptions};
+use std::fmt;
+use std::path::PathBuf;
 use vehigan_features::{
     build_windows, fit_scaler, MinMaxScaler, Representation, WindowConfig, WindowDataset,
 };
 use vehigan_sim::{SimConfig, TrafficSimulator, VehicleTrace};
+use vehigan_tensor::serialize::ModelFormatError;
 use vehigan_vasp::{Attack, DatasetBuilder, DatasetConfig};
+
+/// Error from the fallible pipeline entry point [`Pipeline::try_run`].
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A degenerate configuration (empty splits, `top_m` larger than the
+    /// grid, `deploy_k > top_m`, …).
+    InvalidConfig(&'static str),
+    /// Zoo training failed (checkpoint store trouble or every
+    /// configuration quarantined).
+    Zoo(ZooError),
+    /// Cloning a selected critic for calibration failed.
+    Model(ModelFormatError),
+    /// Assembling the deployed ensemble failed.
+    Ensemble(EnsembleError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidConfig(msg) => write!(f, "{msg}"),
+            PipelineError::Zoo(e) => write!(f, "zoo training: {e}"),
+            PipelineError::Model(e) => write!(f, "critic clone: {e}"),
+            PipelineError::Ensemble(e) => write!(f, "ensemble assembly: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::InvalidConfig(_) => None,
+            PipelineError::Zoo(e) => Some(e),
+            PipelineError::Model(e) => Some(e),
+            PipelineError::Ensemble(e) => Some(e),
+        }
+    }
+}
+
+impl From<ZooError> for PipelineError {
+    fn from(e: ZooError) -> Self {
+        PipelineError::Zoo(e)
+    }
+}
+
+impl From<EnsembleError> for PipelineError {
+    fn from(e: EnsembleError) -> Self {
+        PipelineError::Ensemble(e)
+    }
+}
 
 /// Full pipeline configuration.
 #[derive(Debug, Clone)]
@@ -39,6 +91,9 @@ pub struct PipelineConfig {
     pub zoo_threads: usize,
     /// Ensemble randomization seed.
     pub seed: u64,
+    /// When set, zoo training checkpoints every finished member here and
+    /// an interrupted run resumes from the directory's manifest.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 impl PipelineConfig {
@@ -80,6 +135,7 @@ impl PipelineConfig {
             valid_fraction: 0.25,
             zoo_threads: 4,
             seed: 0,
+            checkpoint_dir: None,
         }
     }
 
@@ -151,6 +207,9 @@ pub struct Pipeline {
     pub selected: Vec<usize>,
     /// The deployed `VEHIGAN_m^k` ensemble.
     pub vehigan: VehiGan,
+    /// Grid configurations the zoo quarantined during training (empty on a
+    /// healthy run).
+    pub quarantined: Vec<QuarantineRecord>,
     /// Scaler for the raw 6-field representation (used by the `Base`
     /// baselines of Table III).
     pub raw_scaler: MinMaxScaler,
@@ -173,26 +232,58 @@ impl std::fmt::Debug for Pipeline {
 impl Pipeline {
     /// Runs the full training phase.
     ///
+    /// This is the infallible wrapper around [`Pipeline::try_run`].
+    ///
     /// # Panics
     ///
     /// Panics on degenerate configurations (empty splits, `top_m` larger
-    /// than the grid, `deploy_k > top_m`).
+    /// than the grid, `deploy_k > top_m`) or any [`PipelineError`].
     pub fn run(config: PipelineConfig) -> Pipeline {
-        assert!(config.top_m <= config.grid.len(), "top_m exceeds grid size");
-        assert!(config.deploy_k <= config.top_m, "deploy_k exceeds top_m");
-        assert!(
-            config.train_fraction > 0.0
-                && config.valid_fraction > 0.0
-                && config.train_fraction + config.valid_fraction < 1.0,
-            "fractions must leave room for a test split"
-        );
+        match Self::try_run(config) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the full training phase, surfacing every failure mode as a
+    /// typed [`PipelineError`] instead of a panic.
+    ///
+    /// When `config.checkpoint_dir` is set, zoo training is crash-safe: a
+    /// rerun of the same configuration resumes from the checkpoint
+    /// manifest. Quarantined grid configurations shrink the candidate pool
+    /// (`top_m` is clamped to the surviving zoo) rather than failing the
+    /// pipeline, as long as at least `deploy_k` members survive.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::InvalidConfig`] on degenerate configurations,
+    /// otherwise the wrapped zoo / model / ensemble error.
+    pub fn try_run(config: PipelineConfig) -> Result<Pipeline, PipelineError> {
+        if config.top_m > config.grid.len() {
+            return Err(PipelineError::InvalidConfig("top_m exceeds grid size"));
+        }
+        if config.deploy_k > config.top_m {
+            return Err(PipelineError::InvalidConfig("deploy_k exceeds top_m"));
+        }
+        if !(config.train_fraction > 0.0
+            && config.valid_fraction > 0.0
+            && config.train_fraction + config.valid_fraction < 1.0)
+        {
+            return Err(PipelineError::InvalidConfig(
+                "fractions must leave room for a test split",
+            ));
+        }
 
         // 1. Simulate and split the fleet.
         let fleet = TrafficSimulator::new(config.sim.clone()).run();
         let n = fleet.len();
         let n_train = ((n as f64 * config.train_fraction) as usize).max(1);
         let n_valid = ((n as f64 * config.valid_fraction) as usize).max(1);
-        assert!(n_train + n_valid < n, "fleet too small for a 3-way split");
+        if n_train + n_valid >= n {
+            return Err(PipelineError::InvalidConfig(
+                "fleet too small for a 3-way split",
+            ));
+        }
         let train_fleet = fleet[..n_train].to_vec();
         let valid_fleet = &fleet[n_train..n_train + n_valid];
         let test_fleet = fleet[n_train + n_valid..].to_vec();
@@ -215,10 +306,27 @@ impl Pipeline {
             })
             .collect();
 
-        // 4. Train the zoo and pre-evaluate.
-        let mut zoo = ModelZoo::train(&config.grid, &train_windows.x, config.zoo_threads);
+        // 4. Train the zoo (fault-tolerant, resumable) and pre-evaluate.
+        let zoo_options = ZooTrainOptions {
+            threads: config.zoo_threads,
+            checkpoint_dir: config.checkpoint_dir.clone(),
+            ..ZooTrainOptions::default()
+        };
+        let report = ModelZoo::train_grid(&config.grid, &train_windows.x, &zoo_options)?;
+        let mut zoo = report.zoo;
+        let quarantined = report.quarantined;
+        // Quarantined configurations shrink the candidate pool, but the
+        // deployment size is a hard requirement.
+        let top_m = config.top_m.min(zoo.len());
+        if top_m < config.deploy_k {
+            return Err(EnsembleError::InsufficientHealthy {
+                healthy: top_m,
+                k: config.deploy_k,
+            }
+            .into());
+        }
         zoo.pre_evaluate(&validation);
-        let selected = zoo.top_m(config.top_m);
+        let selected = zoo.top_m(top_m);
 
         // 5. Calibrate thresholds for the selected critics (cloned via
         //    serialization so the zoo stays intact for whole-zoo analyses).
@@ -226,19 +334,20 @@ impl Pipeline {
             .iter()
             .map(|&i| {
                 let entry = &zoo.entries()[i];
-                let clone = Wgan::from_critic_bytes(*entry.wgan.config(), &entry.wgan.critic_bytes())
-                    .expect("critic clone roundtrip");
-                CriticMember::calibrate(
+                let clone =
+                    Wgan::from_critic_bytes(*entry.wgan.config(), &entry.wgan.critic_bytes())
+                        .map_err(PipelineError::Model)?;
+                Ok(CriticMember::calibrate(
                     clone,
                     entry.ads,
                     &train_windows.x,
                     config.threshold_percentile,
-                )
+                ))
             })
-            .collect();
-        let vehigan = VehiGan::new(members, config.deploy_k, config.seed);
+            .collect::<Result<_, PipelineError>>()?;
+        let vehigan = VehiGan::new(members, config.deploy_k, config.seed)?;
 
-        Pipeline {
+        Ok(Pipeline {
             config,
             scaler,
             train_windows,
@@ -246,10 +355,11 @@ impl Pipeline {
             zoo,
             selected,
             vehigan,
+            quarantined,
             raw_scaler,
             train_fleet,
             test_fleet,
-        }
+        })
     }
 
     /// The raw-representation window config (same `w`/stride, raw fields).
@@ -352,7 +462,7 @@ mod tests {
         let p = pipeline();
         let ds = p.test_attack_windows(Attack::by_name("RandomPosition").unwrap());
         let all: Vec<usize> = (0..p.vehigan.m()).collect();
-        let result = p.vehigan.score_with_members(&all, &ds.x);
+        let result = p.vehigan.score_with_members(&all, &ds.x).unwrap();
         let score = auroc(&result.scores, &ds.labels);
         assert!(score > 0.8, "AUROC {score} too low for RandomPosition");
     }
@@ -362,7 +472,7 @@ mod tests {
         let p = pipeline();
         let ds = p.test_benign_windows();
         let all: Vec<usize> = (0..p.vehigan.m()).collect();
-        let result = p.vehigan.score_with_members(&all, &ds.x);
+        let result = p.vehigan.score_with_members(&all, &ds.x).unwrap();
         let fpr = result.detections().iter().filter(|&&d| d).count() as f64 / ds.len() as f64;
         assert!(fpr < 0.15, "fpr={fpr}");
     }
@@ -373,5 +483,17 @@ mod tests {
         let mut c = PipelineConfig::tiny();
         c.deploy_k = 10;
         let _ = Pipeline::run(c);
+    }
+
+    #[test]
+    fn try_run_surfaces_invalid_config_as_typed_error() {
+        let mut c = PipelineConfig::tiny();
+        c.top_m = c.grid.len() + 1;
+        match Pipeline::try_run(c) {
+            Err(PipelineError::InvalidConfig(msg)) => {
+                assert!(msg.contains("top_m"))
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 }

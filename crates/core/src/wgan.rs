@@ -24,8 +24,97 @@ use rand::SeedableRng;
 use vehigan_tensor::init::{randn, seeded_rng};
 use vehigan_tensor::layers::{Activation, Conv2D, Dense, Flatten, Padding, Reshape, UpSample2D};
 use vehigan_tensor::optim::{Optimizer, RmsProp};
-use vehigan_tensor::serialize::ModelFormatError;
+use vehigan_tensor::serialize::{ModelFormatError, ModelSnapshot};
 use vehigan_tensor::{Init, Sequential, Tensor, Workspace};
+
+/// Rollback state captured at every healthy epoch boundary (in-memory, so
+/// no wire-format validation gets in the way of snapshotting).
+struct WganSnapshot {
+    generator: ModelSnapshot,
+    critic: ModelSnapshot,
+    history: Vec<TrainStats>,
+}
+
+/// What a divergence sentinel observed when it tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceReason {
+    /// A mini-batch produced a non-finite critic mean (Wasserstein loss
+    /// term) — the classic WGAN blow-up.
+    NonFiniteLoss,
+    /// A network parameter went NaN/Inf (gradient explosion surfaces here
+    /// after the optimizer step applies the bad update).
+    NonFiniteWeights,
+}
+
+impl std::fmt::Display for DivergenceReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivergenceReason::NonFiniteLoss => write!(f, "non-finite Wasserstein loss"),
+            DivergenceReason::NonFiniteWeights => write!(f, "non-finite network weights"),
+        }
+    }
+}
+
+/// Unrecoverable training failure surfaced by the divergence sentinels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// Training diverged and every rollback + reseeded retry in the budget
+    /// diverged again. The model is left at its last healthy state.
+    Diverged {
+        /// Epoch (within this call) at which the final attempt tripped.
+        epoch: usize,
+        /// Total attempts made (initial try + retries).
+        attempts: usize,
+        /// What the sentinel observed.
+        reason: DivergenceReason,
+    },
+    /// The model was already poisoned (non-finite weights) before training
+    /// started — nothing to roll back to.
+    PoisonedAtEntry {
+        /// What the sentinel observed.
+        reason: DivergenceReason,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged { epoch, attempts, reason } => write!(
+                f,
+                "training diverged at epoch {epoch} after {attempts} attempts ({reason})"
+            ),
+            TrainError::PoisonedAtEntry { reason } => {
+                write!(f, "model poisoned before training started ({reason})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Divergence-sentinel policy: how many rollback + reseeded-retry cycles a
+/// training call may spend before giving up with [`TrainError::Diverged`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentinelPolicy {
+    /// Maximum retries after the initial attempt (total attempts =
+    /// `max_retries + 1`).
+    pub max_retries: usize,
+}
+
+impl Default for SentinelPolicy {
+    fn default() -> Self {
+        SentinelPolicy { max_retries: 2 }
+    }
+}
+
+/// Outcome of a sentinel-guarded training call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrainReport {
+    /// Epochs successfully trained by this call.
+    pub epochs: usize,
+    /// Rollback + reseeded-retry cycles that were needed along the way.
+    pub rollbacks: usize,
+}
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -136,6 +225,9 @@ pub struct Wgan {
     /// serial case; parallel ensemble scoring gives each member its own
     /// `Wgan`, so there is no cross-thread contention either).
     scratch: Mutex<Workspace>,
+    /// Test-only scheduled divergences: `(attempt, epoch)` pairs at which a
+    /// critic weight is poisoned (see [`Wgan::inject_training_fault`]).
+    fault_plan: Vec<(usize, usize)>,
 }
 
 impl std::fmt::Debug for Wgan {
@@ -174,6 +266,7 @@ impl Wgan {
             history: Vec::new(),
             sn_state: Vec::new(),
             scratch: Mutex::new(Workspace::new()),
+            fault_plan: Vec::new(),
         }
     }
 
@@ -221,7 +314,49 @@ impl Wgan {
 
     /// Trains for an explicit number of epochs (used by the zoo to share
     /// partially-trained models across epoch grid points).
+    ///
+    /// Runs under the default [`SentinelPolicy`]; see
+    /// [`Wgan::train_epochs_checked`] for the non-panicking variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training diverges beyond the default retry budget.
     pub fn train_epochs(&mut self, x: &Tensor, epochs: usize) {
+        if let Err(e) = self.train_epochs_checked(x, epochs, &SentinelPolicy::default()) {
+            panic!("WGAN training failed: {e}");
+        }
+    }
+
+    /// Sentinel-guarded training: trains `epochs` epochs, watching every
+    /// epoch for divergence (non-finite Wasserstein loss terms per batch,
+    /// non-finite weights after the optimizer steps — exploding gradients
+    /// surface as the latter).
+    ///
+    /// On a tripped sentinel the model **rolls back** to its last healthy
+    /// end-of-epoch snapshot (optimizer state resets; the snapshot carries
+    /// weights and history) and retries with a **derived reseed** of the
+    /// batch/noise RNG, up to `policy.max_retries` times. A run that stays
+    /// healthy consumes the RNG identically to the unguarded loop, so
+    /// sentinel-guarded training is bitwise identical to historical
+    /// behavior whenever no rollback fires.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::Diverged`] when the retry budget is exhausted (the
+    /// model is left at its last healthy state);
+    /// [`TrainError::PoisonedAtEntry`] when the weights are already
+    /// non-finite on entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the configured snapshot shape or holds
+    /// fewer than one batch (programmer error, not a runtime fault).
+    pub fn train_epochs_checked(
+        &mut self,
+        x: &Tensor,
+        epochs: usize,
+        policy: &SentinelPolicy,
+    ) -> Result<TrainReport, TrainError> {
         assert_eq!(
             &x.shape()[1..],
             &[self.config.window, self.config.features, 1],
@@ -233,21 +368,35 @@ impl Wgan {
         let n = x.shape()[0];
         let b = self.config.batch_size.min(n);
         assert!(n >= b && b > 0, "need at least one batch of data");
+        if let Some(reason) = self.health_violation() {
+            return Err(TrainError::PoisonedAtEntry { reason });
+        }
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x7264);
         let mut indices: Vec<usize> = (0..n).collect();
+        let mut snapshot = self.state_snapshot();
+        let mut attempt = 0usize;
+        let mut rollbacks = 0usize;
+        let mut done = 0usize;
 
-        for _ in 0..epochs {
+        while done < epochs {
             indices.shuffle(&mut rng);
             let mut w_sum = 0.0f32;
             let mut real_sum = 0.0f32;
             let mut fake_sum = 0.0f32;
             let mut n_batches = 0usize;
+            let mut violation: Option<DivergenceReason> = None;
             for (batch_idx, chunk) in indices.chunks(b).enumerate() {
                 if chunk.len() < 2 {
                     continue;
                 }
                 let real = x.take(chunk);
                 let stats = self.critic_step(&real, &mut rng);
+                // Cheap per-batch sentinel: the critic means are the
+                // Wasserstein loss terms; a blow-up shows here first.
+                if !stats.0.is_finite() || !stats.1.is_finite() {
+                    violation = Some(DivergenceReason::NonFiniteLoss);
+                    break;
+                }
                 w_sum += stats.0 - stats.1;
                 real_sum += stats.0;
                 fake_sum += stats.1;
@@ -256,15 +405,110 @@ impl Wgan {
                     self.generator_step(chunk.len(), &mut rng);
                 }
             }
-            let epoch = self.history.len();
-            let nb = n_batches.max(1) as f32;
-            self.history.push(TrainStats {
-                epoch,
-                wasserstein: w_sum / nb,
-                critic_real: real_sum / nb,
-                critic_fake: fake_sum / nb,
-            });
+            if let Some(pos) = self
+                .fault_plan
+                .iter()
+                .position(|&(a, e)| a == attempt && e == done)
+            {
+                // Test hook: poison one critic weight as if this epoch's
+                // updates had exploded. One-shot — a consumed fault does
+                // not re-fire in later incremental training calls.
+                self.fault_plan.remove(pos);
+                if let Some(p) = self.critic.params_mut().first_mut() {
+                    p.value.as_mut_slice()[0] = f32::NAN;
+                }
+            }
+            if violation.is_none() {
+                violation = self.health_violation();
+            }
+            match violation {
+                None => {
+                    let epoch = self.history.len();
+                    let nb = n_batches.max(1) as f32;
+                    self.history.push(TrainStats {
+                        epoch,
+                        wasserstein: w_sum / nb,
+                        critic_real: real_sum / nb,
+                        critic_fake: fake_sum / nb,
+                    });
+                    done += 1;
+                    snapshot = self.state_snapshot();
+                }
+                Some(reason) => {
+                    attempt += 1;
+                    self.restore_snapshot(&snapshot);
+                    if attempt > policy.max_retries {
+                        return Err(TrainError::Diverged {
+                            epoch: done,
+                            attempts: attempt,
+                            reason,
+                        });
+                    }
+                    rollbacks += 1;
+                    rng = rand::rngs::StdRng::seed_from_u64(
+                        self.config.seed
+                            ^ 0x7264
+                            ^ (attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                    );
+                }
+            }
         }
+        Ok(TrainReport {
+            epochs: done,
+            rollbacks,
+        })
+    }
+
+    /// First sentinel violation visible in the current parameters, if any.
+    fn health_violation(&self) -> Option<DivergenceReason> {
+        let finite = |model: &Sequential| {
+            model
+                .params()
+                .iter()
+                .all(|p| p.value.as_slice().iter().all(|v| v.is_finite()))
+        };
+        if finite(&self.critic) && finite(&self.generator) {
+            None
+        } else {
+            Some(DivergenceReason::NonFiniteWeights)
+        }
+    }
+
+    /// Captures the state a rollback restores: both networks plus the
+    /// training history. In-memory snapshots skip the wire format's
+    /// finite-value validation, so a poisoned model can still be
+    /// snapshotted/restored while the sentinel decides what to do.
+    fn state_snapshot(&self) -> WganSnapshot {
+        WganSnapshot {
+            generator: self.generator.save(),
+            critic: self.critic.save(),
+            history: self.history.clone(),
+        }
+    }
+
+    /// Rolls the model back to a snapshot. Optimizer moments and spectral
+    /// power-iteration vectors reset — the retry starts from clean
+    /// optimizer state, which is part of what breaks the divergent
+    /// trajectory.
+    fn restore_snapshot(&mut self, snap: &WganSnapshot) {
+        self.generator =
+            Sequential::from_snapshot(&snap.generator).expect("rollback snapshot is self-made");
+        self.critic =
+            Sequential::from_snapshot(&snap.critic).expect("rollback snapshot is self-made");
+        self.history = snap.history.clone();
+        self.opt_g = RmsProp::new(self.config.learning_rate);
+        self.opt_d = RmsProp::new(self.config.learning_rate);
+        self.sn_state = Vec::new();
+    }
+
+    /// Schedules a training fault for tests: on attempt `attempt` (0 = the
+    /// first try), after epoch-offset `epoch` of a
+    /// [`Wgan::train_epochs_checked`] call, one critic weight is poisoned
+    /// with NaN — deterministically simulating a divergence so rollback and
+    /// reseeded-retry paths can be exercised.
+    #[doc(hidden)]
+    pub fn inject_training_fault(&mut self, attempt: usize, epoch: usize) {
+        self.fault_plan.push((attempt, epoch));
     }
 
     /// One critic update; returns `(mean D(real), mean D(fake))`.
@@ -325,8 +569,10 @@ impl Wgan {
         }
         // Input gradient per interpolate. This backward pollutes the
         // parameter-gradient buffers with ∇_θ ΣD(x̂), so run it on a
-        // scratch clone of the critic.
-        let mut scratch = Sequential::from_bytes(&self.critic.to_bytes())
+        // scratch clone of the critic. Cloned via the in-memory snapshot:
+        // the wire format rejects non-finite weights, and mid-divergence
+        // batches must reach the sentinel, not panic here.
+        let mut scratch = Sequential::from_snapshot(&self.critic.save())
             .expect("critic clone for gradient penalty");
         let out = scratch.forward(&x_hat);
         let grad_x = scratch.backward(&Tensor::ones(out.shape()));
@@ -521,6 +767,7 @@ impl Wgan {
             history: Vec::new(),
             sn_state: Vec::new(),
             scratch: Mutex::new(Workspace::new()),
+            fault_plan: Vec::new(),
         })
     }
 }
@@ -744,6 +991,83 @@ mod tests {
         a.train(&x);
         b.train(&x);
         assert_eq!(a.score_batch(&x), b.score_batch(&x));
+    }
+
+    #[test]
+    fn sentinel_rolls_back_and_retries_deterministically() {
+        let x = benign_snapshots(64, 2);
+        let mut faulty = Wgan::new(quick_config());
+        faulty.inject_training_fault(0, 1); // first attempt trips after epoch 1
+        let report = faulty
+            .train_epochs_checked(&x, 2, &SentinelPolicy::default())
+            .expect("fault is recoverable within the budget");
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(report.epochs, 2);
+        assert_eq!(faulty.history().len(), 2);
+        for s in faulty.history() {
+            assert!(s.wasserstein.is_finite());
+        }
+        // The rollback + reseed path is itself deterministic.
+        let mut again = Wgan::new(quick_config());
+        again.inject_training_fault(0, 1);
+        again
+            .train_epochs_checked(&x, 2, &SentinelPolicy::default())
+            .unwrap();
+        assert_eq!(faulty.score_batch(&x), again.score_batch(&x));
+    }
+
+    #[test]
+    fn sentinel_gives_up_beyond_retry_budget() {
+        let x = benign_snapshots(64, 2);
+        let mut wgan = Wgan::new(quick_config());
+        for attempt in 0..=3 {
+            wgan.inject_training_fault(attempt, 0);
+        }
+        let err = wgan
+            .train_epochs_checked(&x, 2, &SentinelPolicy { max_retries: 2 })
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TrainError::Diverged {
+                    attempts: 3,
+                    reason: DivergenceReason::NonFiniteWeights,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        // The instance is rolled back to its last healthy state, not left
+        // poisoned.
+        assert!(wgan.score_batch(&x).iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn poisoned_model_rejected_at_entry() {
+        let mut wgan = Wgan::new(quick_config());
+        wgan.critic_mut().params_mut()[0].value.as_mut_slice()[0] = f32::NAN;
+        let x = benign_snapshots(64, 2);
+        assert!(matches!(
+            wgan.train_epochs_checked(&x, 1, &SentinelPolicy::default()),
+            Err(TrainError::PoisonedAtEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn recovered_training_still_separates_benign_from_garbage() {
+        let mut wgan = Wgan::new(WganConfig { epochs: 6, ..quick_config() });
+        wgan.inject_training_fault(0, 2);
+        let x = benign_snapshots(256, 4);
+        let report = wgan
+            .train_epochs_checked(&x, 6, &SentinelPolicy::default())
+            .unwrap();
+        assert_eq!(report.rollbacks, 1);
+        let benign_scores = wgan.score_batch(&benign_snapshots(32, 5));
+        let mut rng = seeded_rng(6);
+        let garbage = rand_uniform(&[32, 10, 12, 1], -1.0, 1.0, &mut rng);
+        let garbage_scores = wgan.score_batch(&garbage);
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean(&garbage_scores) > mean(&benign_scores));
     }
 
     #[test]

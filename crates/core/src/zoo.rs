@@ -1,9 +1,25 @@
 //! The model zoo: grid-search training, pre-evaluation, and top-*m*
 //! candidate selection (§III-D, §III-E).
+//!
+//! Training sixty WGANs is the most expensive and the most fragile stage of
+//! the pipeline, so [`ModelZoo::train_grid`] is built to survive the three
+//! failure modes that actually occur at that scale: a single configuration
+//! diverging (handled inside [`Wgan::train_epochs_checked`] by rollback +
+//! reseeded retry, and **quarantined** here if the retry budget runs out), a
+//! worker thread panicking (isolated with `catch_unwind`; only that group's
+//! unfinished members are quarantined), and the whole process dying
+//! (every finished member is persisted through a [`CheckpointStore`], so the
+//! next run resumes from the manifest instead of restarting).
 
+use crate::checkpoint::{grid_fingerprint, CheckpointError, CheckpointStore, Manifest};
 use crate::config::{GridConfig, WganConfig};
-use crate::wgan::Wgan;
+use crate::wgan::{SentinelPolicy, TrainError, Wgan};
 use parking_lot::Mutex;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use vehigan_features::WindowDataset;
 use vehigan_metrics::{auprc, auroc};
 use vehigan_tensor::Tensor;
@@ -32,10 +48,155 @@ impl DetectionScore {
     }
 }
 
+/// Why a grid configuration was excluded from the zoo.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuarantineReason {
+    /// Training diverged past the sentinel retry budget (or the model was
+    /// poisoned at entry).
+    Train(TrainError),
+    /// The worker thread training this group panicked; the payload is the
+    /// panic message.
+    Panicked(String),
+    /// Quarantined during a previous (interrupted) run; the reason is the
+    /// text recorded in the manifest.
+    Recorded(String),
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::Train(e) => write!(f, "{e}"),
+            QuarantineReason::Panicked(msg) => write!(f, "worker panicked: {msg}"),
+            QuarantineReason::Recorded(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// A grid configuration excluded from the zoo, with the structured reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// The excluded configuration.
+    pub config: WganConfig,
+    /// Position of the configuration in [`GridConfig::expand`] order.
+    pub grid_index: usize,
+    /// Why it was excluded.
+    pub reason: QuarantineReason,
+}
+
+impl QuarantineRecord {
+    /// The quarantined configuration's id string.
+    pub fn id(&self) -> String {
+        self.config.id()
+    }
+}
+
+/// Error from fault-tolerant zoo training.
+#[derive(Debug)]
+pub enum ZooError {
+    /// The hyperparameter grid expands to zero configurations.
+    EmptyGrid,
+    /// `threads == 0`.
+    NoThreads,
+    /// The checkpoint store failed (I/O, corruption, or a manifest from a
+    /// different grid).
+    Checkpoint(CheckpointError),
+    /// Every configuration was quarantined — there is no zoo to return.
+    AllQuarantined(Vec<QuarantineRecord>),
+}
+
+impl fmt::Display for ZooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZooError::EmptyGrid => write!(f, "empty hyperparameter grid"),
+            ZooError::NoThreads => write!(f, "need at least one worker thread"),
+            ZooError::Checkpoint(e) => write!(f, "checkpoint store: {e}"),
+            ZooError::AllQuarantined(q) => {
+                write!(f, "all {} grid configurations were quarantined", q.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZooError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ZooError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ZooError {
+    fn from(e: CheckpointError) -> Self {
+        ZooError::Checkpoint(e)
+    }
+}
+
+/// Options for [`ModelZoo::train_grid`].
+#[derive(Clone, Default)]
+pub struct ZooTrainOptions {
+    /// Worker threads (must be ≥ 1; [`ZooTrainOptions::new`] sets it).
+    pub threads: usize,
+    /// Divergence-sentinel retry budget passed to every training run.
+    pub sentinel: SentinelPolicy,
+    /// When set, every finished member is checkpointed here and an
+    /// interrupted run resumes from the directory's manifest.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Stop (cleanly) after this many training groups finish — the
+    /// remaining work is left for a resumed run. Used to exercise the
+    /// kill/resume path deterministically; `None` trains everything.
+    pub stop_after_groups: Option<usize>,
+    /// Test-only hook invoked on each freshly constructed training run
+    /// (e.g. to schedule fault injection for a specific config).
+    #[doc(hidden)]
+    pub fault_hook: Option<Arc<dyn Fn(&mut Wgan) + Send + Sync>>,
+}
+
+impl fmt::Debug for ZooTrainOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ZooTrainOptions")
+            .field("threads", &self.threads)
+            .field("sentinel", &self.sentinel)
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("stop_after_groups", &self.stop_after_groups)
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish()
+    }
+}
+
+impl ZooTrainOptions {
+    /// Options with the given thread count and defaults elsewhere.
+    pub fn new(threads: usize) -> Self {
+        ZooTrainOptions {
+            threads,
+            ..ZooTrainOptions::default()
+        }
+    }
+}
+
+/// Outcome of a fault-tolerant [`ModelZoo::train_grid`] run.
+#[derive(Debug)]
+pub struct ZooTrainReport {
+    /// The trained zoo (quarantined configurations excluded).
+    pub zoo: ModelZoo,
+    /// Configurations excluded from the zoo, with reasons.
+    pub quarantined: Vec<QuarantineRecord>,
+    /// Members restored from the checkpoint store instead of retrained.
+    pub resumed: usize,
+    /// Total divergence rollbacks performed across all runs.
+    pub rollbacks: usize,
+    /// `false` when `stop_after_groups` halted the run before the grid was
+    /// exhausted — call [`ModelZoo::train_grid`] again to continue.
+    pub complete: bool,
+}
+
 /// One trained zoo member with its pre-evaluation results.
 pub struct ZooEntry {
     /// The trained WGAN.
     pub wgan: Wgan,
+    /// Position of this configuration in [`GridConfig::expand`] order
+    /// (stable even when other configurations are quarantined).
+    pub grid_index: usize,
     /// Detection score (AUROC) per validation attack, filled by
     /// [`ModelZoo::pre_evaluate`].
     pub per_attack: Vec<(Attack, f64)>,
@@ -71,6 +232,200 @@ impl std::fmt::Debug for ModelZoo {
     }
 }
 
+/// A training group: configurations differing only in epoch count share one
+/// run, checkpointed at each requested epoch budget.
+struct TrainGroup {
+    base: WganConfig,
+    /// `(grid index, epoch budget)`, sorted ascending by epochs.
+    members: Vec<(usize, usize)>,
+}
+
+impl TrainGroup {
+    /// The seed-adjusted configuration the shared run actually trains with.
+    fn run_config(&self) -> WganConfig {
+        // Seed the run from the group's first grid entry so checkpoints
+        // share one trajectory.
+        let run_seed = self.members.first().map(|&(idx, _)| idx).expect("nonempty group");
+        WganConfig {
+            seed: self.base.seed ^ (run_seed as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..self.base
+        }
+    }
+
+    /// The on-disk / in-zoo configuration of the member at `epochs`.
+    fn member_config(&self, epochs: usize) -> WganConfig {
+        WganConfig {
+            epochs,
+            ..self.run_config()
+        }
+    }
+}
+
+/// Splits a grid into training groups keyed by everything except the epoch
+/// budget and seed.
+fn group_grid(configs: &[WganConfig]) -> Vec<TrainGroup> {
+    let mut groups: Vec<TrainGroup> = Vec::new();
+    for (idx, config) in configs.iter().enumerate() {
+        let key = WganConfig {
+            epochs: 0,
+            seed: 0,
+            ..*config
+        };
+        match groups.iter_mut().find(|g| {
+            WganConfig {
+                epochs: 0,
+                seed: 0,
+                ..g.base
+            } == key
+        }) {
+            Some(g) => g.members.push((idx, config.epochs)),
+            None => groups.push(TrainGroup {
+                base: *config,
+                members: vec![(idx, config.epochs)],
+            }),
+        }
+    }
+    for g in &mut groups {
+        g.members.sort_by_key(|&(_, epochs)| epochs);
+    }
+    groups
+}
+
+/// Renders a panic payload into a printable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Shared mutable state for the training workers.
+struct TrainShared<'a> {
+    work: Mutex<Vec<TrainGroup>>,
+    results: Mutex<Vec<(usize, Wgan)>>,
+    quarantined: Mutex<Vec<QuarantineRecord>>,
+    errors: Mutex<Vec<CheckpointError>>,
+    manifest: Mutex<Manifest>,
+    store: Option<&'a CheckpointStore>,
+    groups_done: AtomicUsize,
+    rollbacks: AtomicUsize,
+    options: &'a ZooTrainOptions,
+    train: &'a Tensor,
+}
+
+impl TrainShared<'_> {
+    /// Records a finished member: into the results, the checkpoint store,
+    /// and the manifest (in that order — the manifest only ever names
+    /// members whose checkpoint rename has completed).
+    fn commit_member(&self, idx: usize, checkpoint: Wgan) -> Result<(), CheckpointError> {
+        let id = checkpoint.config().id();
+        if let Some(store) = self.store {
+            store.save_member(&checkpoint)?;
+            let mut manifest = self.manifest.lock();
+            manifest.done.push(id);
+            store.write_manifest(&manifest)?;
+        }
+        self.results.lock().push((idx, checkpoint));
+        Ok(())
+    }
+
+    /// Records a quarantined member in memory and in the manifest.
+    fn quarantine(&self, record: QuarantineRecord) -> Result<(), CheckpointError> {
+        if let Some(store) = self.store {
+            let mut manifest = self.manifest.lock();
+            manifest.quarantined.push((record.id(), record.reason.to_string()));
+            store.write_manifest(&manifest)?;
+        }
+        self.quarantined.lock().push(record);
+        Ok(())
+    }
+
+    /// Trains one group, committing each epoch checkpoint as it completes.
+    /// Divergence past the retry budget quarantines the failing member and
+    /// every later member of the group (they share the dead trajectory).
+    fn train_group(&self, group: &TrainGroup) -> Result<(), CheckpointError> {
+        let run_config = group.run_config();
+        let mut wgan = Wgan::new(run_config);
+        if let Some(hook) = &self.options.fault_hook {
+            hook(&mut wgan);
+        }
+        let mut trained = 0usize;
+        for (pos, &(idx, epochs)) in group.members.iter().enumerate() {
+            match wgan.train_epochs_checked(self.train, epochs - trained, &self.options.sentinel) {
+                Ok(report) => {
+                    self.rollbacks.fetch_add(report.rollbacks, Ordering::Relaxed);
+                    trained = epochs;
+                    let mut checkpoint =
+                        Wgan::from_critic_bytes(group.member_config(epochs), &wgan.critic_bytes())
+                            .map_err(CheckpointError::Model)?;
+                    checkpoint.set_history(wgan.history().to_vec());
+                    self.commit_member(idx, checkpoint)?;
+                }
+                Err(err) => {
+                    for &(q_idx, q_epochs) in &group.members[pos..] {
+                        self.quarantine(QuarantineRecord {
+                            config: group.member_config(q_epochs),
+                            grid_index: q_idx,
+                            reason: QuarantineReason::Train(err.clone()),
+                        })?;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Worker loop: pop groups until the queue is empty or the
+    /// `stop_after_groups` budget is spent. Panics inside a group are
+    /// caught; the group's unfinished members are quarantined and the
+    /// worker moves on to the next group.
+    fn worker(&self) {
+        loop {
+            if let Some(cap) = self.options.stop_after_groups {
+                if self.groups_done.load(Ordering::SeqCst) >= cap {
+                    break;
+                }
+            }
+            let item = self.work.lock().pop();
+            let Some(group) = item else { break };
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| self.train_group(&group)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(ckpt_err)) => {
+                    self.errors.lock().push(ckpt_err);
+                    break;
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload);
+                    let finished = self.results.lock();
+                    let finished_idx: Vec<usize> =
+                        finished.iter().map(|&(idx, _)| idx).collect();
+                    drop(finished);
+                    for &(idx, epochs) in &group.members {
+                        if finished_idx.contains(&idx) {
+                            continue;
+                        }
+                        let record = QuarantineRecord {
+                            config: group.member_config(epochs),
+                            grid_index: idx,
+                            reason: QuarantineReason::Panicked(msg.clone()),
+                        };
+                        if let Err(e) = self.quarantine(record) {
+                            self.errors.lock().push(e);
+                            return;
+                        }
+                    }
+                }
+            }
+            self.groups_done.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
 impl ModelZoo {
     /// Trains every configuration of the grid on benign snapshots
     /// `[n, w, f, 1]`, using up to `threads` worker threads.
@@ -83,87 +438,165 @@ impl ModelZoo {
     /// Each run is fully determined by its group's seed, so the zoo is
     /// reproducible regardless of thread scheduling.
     ///
+    /// This is the infallible convenience wrapper around
+    /// [`ModelZoo::train_grid`] (no checkpointing, default sentinels).
+    ///
     /// # Panics
     ///
-    /// Panics if the grid is empty or `threads == 0`.
+    /// Panics if the grid is empty, `threads == 0`, or every configuration
+    /// was quarantined.
     pub fn train(grid: &GridConfig, train: &Tensor, threads: usize) -> Self {
-        let configs = grid.expand();
-        assert!(!configs.is_empty(), "empty hyperparameter grid");
-        assert!(threads > 0, "need at least one worker thread");
+        match Self::train_grid(grid, train, &ZooTrainOptions::new(threads)) {
+            Ok(report) => report.zoo,
+            Err(e) => panic!("zoo training failed: {e}"),
+        }
+    }
 
-        // Group by everything except the epoch budget: one training run
-        // per group, checkpointed at each requested epoch count.
-        let mut groups: Vec<(WganConfig, Vec<(usize, usize)>)> = Vec::new();
-        for (idx, config) in configs.iter().enumerate() {
-            let key = WganConfig {
-                epochs: 0,
-                seed: 0,
-                ..*config
-            };
-            match groups.iter_mut().find(|(k, _)| {
-                WganConfig {
-                    epochs: 0,
-                    seed: 0,
-                    ..*k
-                } == key
-            }) {
-                Some((_, members)) => members.push((idx, config.epochs)),
-                None => groups.push((*config, vec![(idx, config.epochs)])),
+    /// Fault-tolerant grid training.
+    ///
+    /// Beyond [`ModelZoo::train`], this:
+    ///
+    /// - **quarantines** configurations whose training diverges past the
+    ///   sentinel retry budget (or whose worker panics) instead of taking
+    ///   the whole run down — the report lists each exclusion with a
+    ///   structured [`QuarantineReason`];
+    /// - **checkpoints** every finished member through a
+    ///   [`CheckpointStore`] when `options.checkpoint_dir` is set, and
+    ///   **resumes** from the store's manifest on the next call: fully
+    ///   persisted groups are loaded instead of retrained, partially
+    ///   persisted groups are retrained from scratch (training is
+    ///   deterministic, so the result is identical).
+    ///
+    /// # Errors
+    ///
+    /// [`ZooError::EmptyGrid`] / [`ZooError::NoThreads`] on bad arguments,
+    /// [`ZooError::Checkpoint`] if the store fails or holds a manifest for
+    /// a different grid, and [`ZooError::AllQuarantined`] when no
+    /// configuration survived.
+    pub fn train_grid(
+        grid: &GridConfig,
+        train: &Tensor,
+        options: &ZooTrainOptions,
+    ) -> Result<ZooTrainReport, ZooError> {
+        let configs = grid.expand();
+        if configs.is_empty() {
+            return Err(ZooError::EmptyGrid);
+        }
+        if options.threads == 0 {
+            return Err(ZooError::NoThreads);
+        }
+
+        let store = match &options.checkpoint_dir {
+            Some(dir) => Some(CheckpointStore::open(dir)?),
+            None => None,
+        };
+        let fingerprint = grid_fingerprint(grid);
+
+        // Resume bookkeeping: load the manifest (if any), verify it belongs
+        // to this grid, and split groups into fully-accounted (loaded from
+        // disk) and pending (retrained).
+        let mut manifest = Manifest {
+            fingerprint,
+            ..Manifest::default()
+        };
+        if let Some(store) = &store {
+            if let Some(found) = store.read_manifest()? {
+                if found.fingerprint != fingerprint {
+                    return Err(CheckpointError::ManifestMismatch {
+                        expected: fingerprint,
+                        found: found.fingerprint,
+                    }
+                    .into());
+                }
+                manifest = found;
+            } else {
+                store.write_manifest(&manifest)?;
             }
         }
-        for (_, members) in &mut groups {
-            members.sort_by_key(|&(_, epochs)| epochs);
-        }
 
-        let work: Mutex<Vec<(WganConfig, Vec<(usize, usize)>)>> = Mutex::new(groups);
-        let results: Mutex<Vec<(usize, Wgan)>> = Mutex::new(Vec::new());
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let item = work.lock().pop();
-                    let Some((base, members)) = item else { break };
-                    // Seed the run from the group's first grid entry so
-                    // checkpoints share one trajectory.
-                    let run_seed = members
-                        .first()
-                        .map(|&(idx, _)| idx)
-                        .expect("nonempty group");
-                    let run_config = WganConfig {
-                        seed: base.seed ^ (run_seed as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        ..base
-                    };
-                    let mut wgan = Wgan::new(run_config);
-                    let mut trained = 0usize;
-                    for &(idx, epochs) in &members {
-                        wgan.train_epochs(train, epochs - trained);
-                        trained = epochs;
-                        let checkpoint_config = WganConfig {
-                            epochs,
-                            ..run_config
-                        };
-                        let mut checkpoint =
-                            Wgan::from_critic_bytes(checkpoint_config, &wgan.critic_bytes())
-                                .expect("checkpoint roundtrip");
-                        checkpoint.set_history(wgan.history().to_vec());
-                        results.lock().push((idx, checkpoint));
-                    }
+        let mut pending: Vec<TrainGroup> = Vec::new();
+        let mut preloaded: Vec<(usize, Wgan)> = Vec::new();
+        let mut carried: Vec<QuarantineRecord> = Vec::new();
+        for group in group_grid(&configs) {
+            let accounted = store.is_some()
+                && group.members.iter().all(|&(_, epochs)| {
+                    let id = group.member_config(epochs).id();
+                    manifest.done.iter().any(|d| *d == id)
+                        || manifest.quarantined.iter().any(|(q, _)| *q == id)
                 });
+            if !accounted {
+                pending.push(group);
+                continue;
+            }
+            let store = store.as_ref().expect("accounted implies store");
+            for &(idx, epochs) in &group.members {
+                let config = group.member_config(epochs);
+                let id = config.id();
+                if let Some((_, reason)) =
+                    manifest.quarantined.iter().find(|(q, _)| *q == id)
+                {
+                    carried.push(QuarantineRecord {
+                        config,
+                        grid_index: idx,
+                        reason: QuarantineReason::Recorded(reason.clone()),
+                    });
+                } else {
+                    preloaded.push((idx, store.load_member(config)?));
+                }
+            }
+        }
+        let resumed = preloaded.len();
+        let pending_left;
+
+        let shared = TrainShared {
+            work: Mutex::new(pending),
+            results: Mutex::new(preloaded),
+            quarantined: Mutex::new(carried),
+            errors: Mutex::new(Vec::new()),
+            manifest: Mutex::new(manifest),
+            store: store.as_ref(),
+            groups_done: AtomicUsize::new(0),
+            rollbacks: AtomicUsize::new(0),
+            options,
+            train,
+        };
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..options.threads {
+                scope.spawn(|_| shared.worker());
             }
         })
-        .expect("zoo training thread panicked");
+        .expect("zoo training scope");
 
-        let mut trained = results.into_inner();
-        trained.sort_by_key(|(idx, _)| *idx);
-        ModelZoo {
-            entries: trained
-                .into_iter()
-                .map(|(_, wgan)| ZooEntry {
-                    wgan,
-                    per_attack: Vec::new(),
-                    ads: 0.0,
-                })
-                .collect(),
+        if let Some(err) = shared.errors.into_inner().into_iter().next() {
+            return Err(err.into());
         }
+        pending_left = shared.work.into_inner().len();
+
+        let mut trained = shared.results.into_inner();
+        trained.sort_by_key(|(idx, _)| *idx);
+        let mut quarantined = shared.quarantined.into_inner();
+        quarantined.sort_by_key(|r| r.grid_index);
+        let complete = pending_left == 0;
+        if complete && trained.is_empty() {
+            return Err(ZooError::AllQuarantined(quarantined));
+        }
+        Ok(ZooTrainReport {
+            zoo: ModelZoo {
+                entries: trained
+                    .into_iter()
+                    .map(|(grid_index, wgan)| ZooEntry {
+                        wgan,
+                        grid_index,
+                        per_attack: Vec::new(),
+                        ads: 0.0,
+                    })
+                    .collect(),
+            },
+            quarantined,
+            resumed,
+            rollbacks: shared.rollbacks.into_inner(),
+            complete,
+        })
     }
 
     /// Builds a zoo from already-trained models (e.g. deserialized).
@@ -171,8 +604,10 @@ impl ModelZoo {
         ModelZoo {
             entries: models
                 .into_iter()
-                .map(|wgan| ZooEntry {
+                .enumerate()
+                .map(|(grid_index, wgan)| ZooEntry {
                     wgan,
+                    grid_index,
                     per_attack: Vec::new(),
                     ads: 0.0,
                 })
@@ -216,7 +651,10 @@ impl ModelZoo {
     ///
     /// Entries are evaluated in parallel on crossbeam scoped threads; each
     /// entry's result depends only on its own critic, so the outcome is
-    /// identical to the serial loop regardless of scheduling.
+    /// identical to the serial loop regardless of scheduling. A panic while
+    /// scoring one entry (e.g. a poisoned critic) is isolated: that entry's
+    /// ADS is set to `-inf` so [`ModelZoo::top_m`] ranks it last, and every
+    /// other entry evaluates normally.
     ///
     /// # Panics
     ///
@@ -228,16 +666,27 @@ impl ModelZoo {
     ) {
         assert!(!validation.is_empty(), "need at least one validation attack");
         let evaluate = |entry: &mut ZooEntry| {
-            let mut per_attack = Vec::with_capacity(validation.len());
-            let mut sum = 0.0;
-            for (attack, dataset) in validation {
-                let scores = entry.wgan.score_batch(&dataset.x);
-                let ds = metric.evaluate(&scores, &dataset.labels);
-                per_attack.push((*attack, ds));
-                sum += ds;
+            let scored = panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut per_attack = Vec::with_capacity(validation.len());
+                let mut sum = 0.0;
+                for (attack, dataset) in validation {
+                    let scores = entry.wgan.score_batch(&dataset.x);
+                    let ds = metric.evaluate(&scores, &dataset.labels);
+                    per_attack.push((*attack, ds));
+                    sum += ds;
+                }
+                (per_attack, sum / validation.len() as f64)
+            }));
+            match scored {
+                Ok((per_attack, ads)) => {
+                    entry.per_attack = per_attack;
+                    entry.ads = ads;
+                }
+                Err(_) => {
+                    entry.per_attack = Vec::new();
+                    entry.ads = f64::NEG_INFINITY;
+                }
             }
-            entry.ads = sum / validation.len() as f64;
-            entry.per_attack = per_attack;
         };
         if self.entries.len() <= 1 {
             for entry in &mut self.entries {
@@ -255,19 +704,21 @@ impl ModelZoo {
     }
 
     /// Indices of the top-`m` models by ADS (descending). Requires a prior
-    /// [`ModelZoo::pre_evaluate`].
+    /// [`ModelZoo::pre_evaluate`]. Non-finite ADS values (a quarantine-worthy
+    /// critic that slipped through, or a panicked evaluation) sort last
+    /// rather than poisoning the comparison.
     ///
     /// # Panics
     ///
     /// Panics if `m` is zero or exceeds the zoo size.
     pub fn top_m(&self, m: usize) -> Vec<usize> {
         assert!(m >= 1 && m <= self.entries.len(), "m must be in [1, {}]", self.entries.len());
+        let sort_key = |ads: f64| if ads.is_nan() { f64::NEG_INFINITY } else { ads };
         let mut order: Vec<usize> = (0..self.entries.len()).collect();
         order.sort_by(|&a, &b| {
-            self.entries[b]
-                .ads
-                .partial_cmp(&self.entries[a].ads)
-                .expect("finite ADS")
+            sort_key(self.entries[b].ads)
+                .partial_cmp(&sort_key(self.entries[a].ads))
+                .expect("NaN mapped to -inf")
         });
         order.truncate(m);
         order
@@ -335,8 +786,9 @@ mod tests {
     fn trains_all_grid_points() {
         let zoo = tiny_zoo();
         assert_eq!(zoo.len(), GridConfig::tiny().len());
-        for e in zoo.entries() {
+        for (i, e) in zoo.entries().iter().enumerate() {
             assert!(!e.wgan.history().is_empty());
+            assert_eq!(e.grid_index, i);
         }
     }
 
@@ -390,6 +842,16 @@ mod tests {
     }
 
     #[test]
+    fn top_m_tolerates_nan_ads() {
+        let mut zoo = tiny_zoo();
+        zoo.pre_evaluate(&synthetic_validation(2));
+        zoo.entries_mut()[0].ads = f64::NAN;
+        let top = zoo.top_m(zoo.len());
+        // The NaN entry must sort last, not crash the comparator.
+        assert_eq!(*top.last().unwrap(), 0);
+    }
+
+    #[test]
     fn take_models_preserves_order() {
         let mut zoo = tiny_zoo();
         zoo.pre_evaluate(&synthetic_validation(3));
@@ -406,5 +868,106 @@ mod tests {
     fn top_m_bounds_checked() {
         let zoo = tiny_zoo();
         let _ = zoo.top_m(zoo.len() + 1);
+    }
+
+    #[test]
+    fn train_grid_rejects_bad_arguments() {
+        let train = benign(32, 0);
+        let empty = GridConfig {
+            noise_dims: vec![],
+            ..GridConfig::tiny()
+        };
+        assert!(matches!(
+            ModelZoo::train_grid(&empty, &train, &ZooTrainOptions::new(2)),
+            Err(ZooError::EmptyGrid)
+        ));
+        assert!(matches!(
+            ModelZoo::train_grid(&GridConfig::tiny(), &train, &ZooTrainOptions::new(0)),
+            Err(ZooError::NoThreads)
+        ));
+    }
+
+    #[test]
+    fn unrecoverable_divergence_quarantines_only_that_group() {
+        let train = benign(64, 0);
+        let mut options = ZooTrainOptions::new(2);
+        // Poison every attempt of the noise_dim=8 run at its first epoch:
+        // the sentinel budget runs dry and both of that group's epoch
+        // checkpoints must be quarantined.
+        options.fault_hook = Some(Arc::new(|wgan: &mut Wgan| {
+            if wgan.config().noise_dim == 8 {
+                for attempt in 0..8 {
+                    wgan.inject_training_fault(attempt, 0);
+                }
+            }
+        }));
+        let report = ModelZoo::train_grid(&GridConfig::tiny(), &train, &options).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.quarantined.len(), 2);
+        for q in &report.quarantined {
+            assert_eq!(q.config.noise_dim, 8);
+            // Every retry in the budget was spent before giving up.
+            match &q.reason {
+                QuarantineReason::Train(TrainError::Diverged { attempts, .. }) => {
+                    assert_eq!(*attempts, SentinelPolicy::default().max_retries + 1)
+                }
+                other => panic!("expected Diverged quarantine, got {other:?}"),
+            }
+        }
+        assert_eq!(report.zoo.len(), GridConfig::tiny().len() - 2);
+        for e in report.zoo.entries() {
+            assert_eq!(e.wgan.config().noise_dim, 16);
+        }
+    }
+
+    #[test]
+    fn recoverable_divergence_rolls_back_and_keeps_the_member() {
+        let train = benign(64, 0);
+        let mut options = ZooTrainOptions::new(1);
+        // One fault on the first attempt only: rollback + reseed recovers.
+        options.fault_hook = Some(Arc::new(|wgan: &mut Wgan| {
+            if wgan.config().noise_dim == 8 {
+                wgan.inject_training_fault(0, 0);
+            }
+        }));
+        let report = ModelZoo::train_grid(&GridConfig::tiny(), &train, &options).unwrap();
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.zoo.len(), GridConfig::tiny().len());
+        assert_eq!(report.rollbacks, 1);
+    }
+
+    #[test]
+    fn worker_panic_quarantines_group_and_spares_the_rest() {
+        let train = benign(64, 0);
+        let mut options = ZooTrainOptions::new(2);
+        options.fault_hook = Some(Arc::new(|wgan: &mut Wgan| {
+            if wgan.config().noise_dim == 8 {
+                panic!("synthetic worker crash");
+            }
+        }));
+        let report = ModelZoo::train_grid(&GridConfig::tiny(), &train, &options).unwrap();
+        assert_eq!(report.quarantined.len(), 2);
+        for q in &report.quarantined {
+            match &q.reason {
+                QuarantineReason::Panicked(msg) => {
+                    assert!(msg.contains("synthetic worker crash"))
+                }
+                other => panic!("expected panic quarantine, got {other:?}"),
+            }
+        }
+        assert_eq!(report.zoo.len(), GridConfig::tiny().len() - 2);
+    }
+
+    #[test]
+    fn all_quarantined_is_a_typed_error() {
+        let train = benign(64, 0);
+        let mut options = ZooTrainOptions::new(1);
+        options.fault_hook = Some(Arc::new(|_: &mut Wgan| panic!("everything burns")));
+        match ModelZoo::train_grid(&GridConfig::tiny(), &train, &options) {
+            Err(ZooError::AllQuarantined(q)) => {
+                assert_eq!(q.len(), GridConfig::tiny().len())
+            }
+            other => panic!("expected AllQuarantined, got {other:?}"),
+        }
     }
 }

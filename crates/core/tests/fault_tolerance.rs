@@ -1,0 +1,312 @@
+//! Integration tests for the fault-tolerant training runtime: crash-safe
+//! checkpoints, kill/resume of an interrupted grid run, divergence
+//! quarantine, and degraded ensemble scoring.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vehigan_core::{
+    CheckpointError, CheckpointStore, CriticMember, EnsembleError, GridConfig, ModelZoo, VehiGan,
+    Wgan, WganConfig, ZooTrainOptions,
+};
+use vehigan_features::WindowDataset;
+use vehigan_tensor::init::{rand_uniform, seeded_rng};
+use vehigan_tensor::Tensor;
+use vehigan_vasp::Attack;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "vehigan-ft-test-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn benign(n: usize, seed: u64) -> Tensor {
+    let mut rng = seeded_rng(seed);
+    let base = rand_uniform(&[n, 1], -0.2, 0.2, &mut rng);
+    let mut data = Vec::with_capacity(n * 120);
+    for i in 0..n {
+        for j in 0..120 {
+            data.push(base.as_slice()[i] + 0.05 * (j as f32 * 0.4).cos());
+        }
+    }
+    Tensor::from_vec(data, &[n, 10, 12, 1])
+}
+
+fn synthetic_validation(seed: u64) -> Vec<(Attack, WindowDataset)> {
+    let mut rng = seeded_rng(seed);
+    let b = benign(40, seed);
+    let garbage = rand_uniform(&[40, 10, 12, 1], -1.0, 1.0, &mut rng);
+    let mut data = b.as_slice().to_vec();
+    data.extend_from_slice(garbage.as_slice());
+    let x = Tensor::from_vec(data, &[80, 10, 12, 1]);
+    let labels: Vec<bool> = (0..80).map(|i| i >= 40).collect();
+    let vehicles = vec![vehigan_sim::VehicleId(0); 80];
+    vec![(
+        Attack::by_name("RandomSpeed").unwrap(),
+        WindowDataset { x, labels, vehicles },
+    )]
+}
+
+/// ADS ranking of a zoo after pre-evaluation: `(config id, ADS)` in
+/// `top_m(len)` order.
+fn ads_ranking(mut zoo: ModelZoo) -> Vec<(String, f64)> {
+    zoo.pre_evaluate(&synthetic_validation(11));
+    let order = zoo.top_m(zoo.len());
+    order
+        .into_iter()
+        .map(|i| {
+            let e = &zoo.entries()[i];
+            (e.wgan.config().id(), e.ads)
+        })
+        .collect()
+}
+
+#[test]
+fn interrupted_grid_run_resumes_to_identical_ads_ranking() {
+    let train = benign(96, 0);
+    let grid = GridConfig::tiny();
+    let dir = scratch_dir("resume");
+
+    // Reference: one uninterrupted run, no checkpointing.
+    let reference = ModelZoo::train_grid(&grid, &train, &ZooTrainOptions::new(1))
+        .unwrap()
+        .zoo;
+    let want = ads_ranking(reference);
+
+    // "Killed" run: stop after the first training group, leaving the
+    // manifest naming only that group's members.
+    let mut options = ZooTrainOptions::new(1);
+    options.checkpoint_dir = Some(dir.clone());
+    options.stop_after_groups = Some(1);
+    let partial = ModelZoo::train_grid(&grid, &train, &options).unwrap();
+    assert!(!partial.complete, "stop_after_groups must interrupt the run");
+    assert!(partial.zoo.len() < grid.len());
+
+    // Resumed run: same directory, no stop. Finished members load from
+    // disk; the rest train now.
+    let mut options = ZooTrainOptions::new(1);
+    options.checkpoint_dir = Some(dir.clone());
+    let resumed = ModelZoo::train_grid(&grid, &train, &options).unwrap();
+    assert!(resumed.complete);
+    assert_eq!(resumed.resumed, partial.zoo.len(), "persisted members must load, not retrain");
+    assert_eq!(resumed.zoo.len(), grid.len());
+
+    // The acceptance bar: identical pre-evaluation ADS ranking.
+    let got = ads_ranking(resumed.zoo);
+    assert_eq!(got, want, "resumed zoo must rank identically to an uninterrupted run");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn completed_run_is_a_pure_reload() {
+    let train = benign(96, 0);
+    let grid = GridConfig::tiny();
+    let dir = scratch_dir("reload");
+
+    let mut options = ZooTrainOptions::new(2);
+    options.checkpoint_dir = Some(dir.clone());
+    let first = ModelZoo::train_grid(&grid, &train, &options).unwrap();
+    assert!(first.complete);
+    assert_eq!(first.resumed, 0);
+
+    let second = ModelZoo::train_grid(&grid, &train, &options).unwrap();
+    assert_eq!(second.resumed, grid.len(), "second run must load everything");
+    let probe = benign(8, 3);
+    for (a, b) in first.zoo.entries().iter().zip(second.zoo.entries()) {
+        assert_eq!(a.wgan.score_batch(&probe), b.wgan.score_batch(&probe));
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manifest_from_a_different_grid_is_rejected() {
+    let train = benign(96, 0);
+    let dir = scratch_dir("gridswap");
+
+    let mut options = ZooTrainOptions::new(1);
+    options.checkpoint_dir = Some(dir.clone());
+    options.stop_after_groups = Some(1);
+    ModelZoo::train_grid(&GridConfig::tiny(), &train, &options).unwrap();
+
+    // Same directory, different grid: typed mismatch, not silent reuse.
+    let other = GridConfig {
+        noise_dims: vec![4],
+        ..GridConfig::tiny()
+    };
+    match ModelZoo::train_grid(&other, &train, &options) {
+        Err(vehigan_core::ZooError::Checkpoint(CheckpointError::ManifestMismatch {
+            ..
+        })) => {}
+        other => panic!("expected ManifestMismatch, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_checkpoints_yield_typed_errors() {
+    let dir = scratch_dir("corrupt");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let config = WganConfig {
+        noise_dim: 8,
+        layers: 3,
+        epochs: 1,
+        batch_size: 16,
+        n_critic: 1,
+        ..WganConfig::default()
+    };
+    let mut wgan = Wgan::new(config);
+    wgan.train(&benign(32, 1));
+    store.save_member(&wgan).unwrap();
+    let path = store.member_path(&config.id());
+    let pristine = fs::read(&path).unwrap();
+
+    // Truncation at several depths.
+    for keep in [3, 12, pristine.len() / 3, pristine.len() - 2] {
+        fs::write(&path, &pristine[..keep]).unwrap();
+        assert!(
+            matches!(
+                store.load_member(config),
+                Err(CheckpointError::Truncated { .. })
+            ),
+            "keep={keep}"
+        );
+    }
+
+    // A single flipped bit deep in the payload.
+    let mut flipped = pristine.clone();
+    let mid = 20 + (flipped.len() - 20) * 2 / 3;
+    flipped[mid] ^= 0x01;
+    fs::write(&path, &flipped).unwrap();
+    assert!(matches!(
+        store.load_member(config),
+        Err(CheckpointError::ChecksumMismatch { .. })
+    ));
+
+    // Wrong magic.
+    let mut wrong_magic = pristine.clone();
+    wrong_magic[0] = b'X';
+    fs::write(&path, &wrong_magic).unwrap();
+    assert!(matches!(
+        store.load_member(config),
+        Err(CheckpointError::BadMagic)
+    ));
+
+    // Intact bytes still load after all that.
+    fs::write(&path, &pristine).unwrap();
+    let restored = store.load_member(config).unwrap();
+    let probe = benign(4, 2);
+    assert_eq!(restored.score_batch(&probe), wgan.score_batch(&probe));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn nan_injection_triggers_deterministic_rollback_and_retry() {
+    let x = benign(48, 5);
+    let config = WganConfig {
+        noise_dim: 8,
+        layers: 3,
+        epochs: 3,
+        batch_size: 16,
+        n_critic: 1,
+        seed: 77,
+        ..WganConfig::default()
+    };
+    let run = |inject: bool| -> (usize, Vec<f32>) {
+        let mut wgan = Wgan::new(config);
+        if inject {
+            wgan.inject_training_fault(0, 1);
+        }
+        let report = wgan
+            .train_epochs_checked(&x, 3, &vehigan_core::SentinelPolicy::default())
+            .unwrap();
+        (report.rollbacks, wgan.score_batch(&x))
+    };
+    let (rollbacks_a, scores_a) = run(true);
+    let (rollbacks_b, scores_b) = run(true);
+    assert_eq!(rollbacks_a, 1, "one injected fault, one rollback");
+    assert_eq!(
+        (rollbacks_a, &scores_a),
+        (rollbacks_b, &scores_b),
+        "recovery must be deterministic"
+    );
+    for s in &scores_a {
+        assert!(s.is_finite(), "recovered model must score finitely");
+    }
+    // The reseeded retry takes a different trajectory than a clean run.
+    let (_, clean) = run(false);
+    assert_ne!(clean, scores_a, "reseed must change the trajectory");
+}
+
+#[test]
+fn zoo_with_quarantined_member_still_scores_degraded() {
+    // Train a small pool, quarantine one deployed member, and verify the
+    // ensemble still detects with the healthy subset (healthy ≥ k).
+    let train = benign(96, 0);
+    let report = ModelZoo::train_grid(&GridConfig::tiny(), &train, &ZooTrainOptions::new(2))
+        .unwrap();
+    let mut zoo = report.zoo;
+    zoo.pre_evaluate(&synthetic_validation(13));
+    let selected = zoo.top_m(3);
+    let members: Vec<CriticMember> = zoo
+        .take_models(&selected)
+        .into_iter()
+        .map(|e| CriticMember::calibrate(e.wgan, e.ads, &train, 99.0))
+        .collect();
+    let mut vehigan = VehiGan::new(members, 2, 7).unwrap();
+
+    vehigan.quarantine_member(0).unwrap();
+    let x = benign(20, 9);
+    // healthy = 2 ≥ k = 2: scoring succeeds using only healthy members.
+    let ens = vehigan.score_batch(&x).unwrap();
+    assert_eq!(ens.members, vec![1, 2]);
+    assert!(ens.scores.iter().all(|s| s.is_finite()));
+
+    // One more quarantine starves the ensemble: typed error, no panic.
+    vehigan.quarantine_member(2).unwrap();
+    assert_eq!(
+        vehigan.score_batch(&x).unwrap_err(),
+        EnsembleError::InsufficientHealthy { healthy: 1, k: 2 }
+    );
+}
+
+#[test]
+fn quarantine_survives_resume() {
+    // A group that diverges unrecoverably is recorded in the manifest; a
+    // resumed run carries the quarantine records instead of retraining the
+    // doomed group.
+    let train = benign(64, 0);
+    let dir = scratch_dir("qresume");
+    let mut options = ZooTrainOptions::new(1);
+    options.checkpoint_dir = Some(dir.clone());
+    options.fault_hook = Some(Arc::new(|wgan: &mut Wgan| {
+        if wgan.config().noise_dim == 8 {
+            for attempt in 0..8 {
+                wgan.inject_training_fault(attempt, 0);
+            }
+        }
+    }));
+    let first = ModelZoo::train_grid(&GridConfig::tiny(), &train, &options).unwrap();
+    assert_eq!(first.quarantined.len(), 2);
+
+    // Resume without the fault hook: the quarantine must come from the
+    // manifest, not from re-diverging.
+    let mut options = ZooTrainOptions::new(1);
+    options.checkpoint_dir = Some(dir.clone());
+    let second = ModelZoo::train_grid(&GridConfig::tiny(), &train, &options).unwrap();
+    assert_eq!(second.quarantined.len(), 2);
+    for q in &second.quarantined {
+        assert!(
+            matches!(q.reason, vehigan_core::QuarantineReason::Recorded(_)),
+            "expected manifest-carried quarantine, got {:?}",
+            q.reason
+        );
+    }
+    assert_eq!(second.resumed, second.zoo.len());
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -30,7 +30,7 @@ fn quick_pipeline_completes_with_ensemble_at_least_best_single() {
     let mean_auroc = |indices: &[usize]| -> f64 {
         let mut total = 0.0;
         for (_, ds) in &p.validation {
-            let result = p.vehigan.score_with_members(indices, &ds.x);
+            let result = p.vehigan.score_with_members(indices, &ds.x).unwrap();
             total += auroc(&result.scores, &ds.labels);
         }
         total / p.validation.len() as f64

@@ -30,6 +30,12 @@ pub enum ModelFormatError {
     MissingField(&'static str),
     /// Structural corruption (lengths, shapes, UTF-8).
     Corrupt(&'static str),
+    /// A tensor held a non-finite (NaN/Inf) value — a poisoned model that
+    /// must never be loaded into a scoring path.
+    NonFinite {
+        /// Flat element index of the first offending value.
+        index: usize,
+    },
 }
 
 impl fmt::Display for ModelFormatError {
@@ -41,6 +47,9 @@ impl fmt::Display for ModelFormatError {
             ModelFormatError::UnknownLayer(k) => write!(f, "unknown layer kind `{k}`"),
             ModelFormatError::MissingField(k) => write!(f, "missing field `{k}`"),
             ModelFormatError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+            ModelFormatError::NonFinite { index } => {
+                write!(f, "non-finite tensor value at element {index} (poisoned model)")
+            }
         }
     }
 }
@@ -185,9 +194,15 @@ fn read_tensor(r: &mut impl Read) -> Result<Tensor, ModelFormatError> {
     }
     let mut data = Vec::with_capacity(n);
     let mut f4 = [0u8; 4];
-    for _ in 0..n {
+    for i in 0..n {
         r.read_exact(&mut f4)?;
-        data.push(f32::from_le_bytes(f4));
+        let v = f32::from_le_bytes(f4);
+        // A NaN/Inf weight silently corrupts every downstream score; a
+        // diverged trainer or a bit flip must surface as a typed error.
+        if !v.is_finite() {
+            return Err(ModelFormatError::NonFinite { index: i });
+        }
+        data.push(v);
     }
     Ok(Tensor::from_vec(data, &shape))
 }
@@ -346,6 +361,23 @@ mod tests {
             ModelSnapshot::from_bytes(truncated),
             Err(ModelFormatError::Io(_))
         ));
+    }
+
+    #[test]
+    fn non_finite_tensor_values_rejected() {
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let snap = ModelSnapshot {
+                layers: vec![LayerSnapshot::new("Dense")
+                    .with_tensor("w", Tensor::from_vec(vec![0.5, poison, 0.25], &[3]))],
+            };
+            // Serialize through the raw writer (to_bytes works on any value);
+            // deserialization must refuse to load the poisoned weight.
+            let bytes = snap.to_bytes();
+            assert!(matches!(
+                ModelSnapshot::from_bytes(&bytes),
+                Err(ModelFormatError::NonFinite { index: 1 })
+            ));
+        }
     }
 
     #[test]

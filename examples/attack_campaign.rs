@@ -11,7 +11,7 @@ use vehigan::vasp::Attack;
 
 fn main() {
     println!("=== VehiGAN 35-attack campaign ===\n");
-    let mut pipeline = Pipeline::run(PipelineConfig::demo());
+    let pipeline = Pipeline::run(PipelineConfig::demo());
     let members: Vec<usize> = (0..pipeline.vehigan.m()).collect();
 
     println!(
@@ -25,7 +25,7 @@ fn main() {
     let catalog = Attack::catalog();
     for &attack in &catalog {
         let test = pipeline.test_attack_windows(attack);
-        let result = pipeline.vehigan.score_with_members(&members, &test.x);
+        let result = pipeline.vehigan.score_with_members(&members, &test.x).unwrap();
         let roc = auroc(&result.scores, &test.labels);
         let prc = auprc(&result.scores, &test.labels);
         println!(

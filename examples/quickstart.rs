@@ -46,7 +46,7 @@ fn main() {
     );
 
     println!("\n[3/3] scoring with the randomized ensemble…");
-    let result = pipeline.vehigan.score_batch(&test.x);
+    let result = pipeline.vehigan.score_batch(&test.x).unwrap();
     let score = auroc(&result.scores, &test.labels);
     let confusion = Confusion::at_threshold(&result.scores, &test.labels, result.threshold);
     println!("      deployed members this inference: {:?}", result.members);

@@ -66,7 +66,7 @@ fn main() {
                 continue;
             }
             *checks.entry(bsm.vehicle_id).or_insert(0) += 1;
-            if let Some(report) = pipeline.vehigan.check_vehicle(bsm.vehicle_id, &snapshot) {
+            if let Some(report) = pipeline.vehigan.check_vehicle(bsm.vehicle_id, &snapshot).unwrap() {
                 *reports.entry(report.vehicle).or_insert(0) += 1;
                 if first_detection.is_none() && report.vehicle == attacker_id {
                     first_detection = Some((report.vehicle, bsm.timestamp));

@@ -30,7 +30,7 @@
 //!
 //! // Evaluate against a Table III attack on held-out traffic.
 //! let test = pipeline.test_attack_windows(Attack::by_name("RandomSpeed").unwrap());
-//! let result = pipeline.vehigan.score_batch(&test.x);
+//! let result = pipeline.vehigan.score_batch(&test.x).unwrap();
 //! println!("RandomSpeed AUROC = {:.3}", auroc(&result.scores, &test.labels));
 //! ```
 //!

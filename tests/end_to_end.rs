@@ -44,13 +44,13 @@ fn ensemble_matches_or_beats_best_single_model_on_validation() {
     for single in 0..m {
         let mut s = 0.0;
         for (_, ds) in &validation {
-            let scores = p.vehigan.score_with_members(&[single], &ds.x);
+            let scores = p.vehigan.score_with_members(&[single], &ds.x).unwrap();
             s += auroc(&scores.scores, &ds.labels);
         }
         best_single = best_single.max(s / validation.len() as f64);
     }
     for (_, ds) in &validation {
-        let scores = p.vehigan.score_with_members(&members, &ds.x);
+        let scores = p.vehigan.score_with_members(&members, &ds.x).unwrap();
         ens_sum += auroc(&scores.scores, &ds.labels);
     }
     let ens = ens_sum / validation.len() as f64;
@@ -69,7 +69,7 @@ fn advanced_coupled_attacks_are_detected() {
     let mut n = 0;
     for attack in Attack::catalog().into_iter().filter(Attack::is_advanced) {
         let ds = p.test_attack_windows(attack);
-        let result = p.vehigan.score_with_members(&members, &ds.x);
+        let result = p.vehigan.score_with_members(&members, &ds.x).unwrap();
         sum += auroc(&result.scores, &ds.labels);
         n += 1;
     }
@@ -108,7 +108,7 @@ fn whitebox_afp_cripples_single_model_but_not_ensemble() {
 
     let m = p.vehigan.m();
     let all: Vec<usize> = (0..m).collect();
-    let before_ens = mean(&p.vehigan.score_with_members(&all, &x).scores);
+    let before_ens = mean(&p.vehigan.score_with_members(&all, &x).unwrap().scores);
     let adv_multi = {
         let members = p.vehigan.members_mut();
         let mut critics: Vec<&mut Sequential> =
@@ -116,7 +116,7 @@ fn whitebox_afp_cripples_single_model_but_not_ensemble() {
         multi_model_afp(&mut critics, &x, eps)
     };
     let ensemble_shift =
-        mean(&p.vehigan.score_with_members(&all, &adv_multi).scores) - before_ens;
+        mean(&p.vehigan.score_with_members(&all, &adv_multi).unwrap().scores) - before_ens;
 
     assert!(
         single_shift > 3.0 * noise_shift,
@@ -151,7 +151,7 @@ fn benign_false_positive_rate_respects_calibration() {
     let p = pipeline();
     let benign = p.test_benign_windows();
     let all: Vec<usize> = (0..p.vehigan.m()).collect();
-    let result = p.vehigan.score_with_members(&all, &benign.x);
+    let result = p.vehigan.score_with_members(&all, &benign.x).unwrap();
     let fpr = rate_above(&result.scores, result.threshold);
     assert!(fpr < 0.15, "benign FPR {fpr:.3} too high");
 }
@@ -206,7 +206,7 @@ fn streaming_detection_flags_the_attacker_not_the_honest() {
                     continue;
                 }
                 scored[slot] += 1;
-                if p.vehigan.check_vehicle(bsm.vehicle_id, &snapshot).is_some() {
+                if p.vehigan.check_vehicle(bsm.vehicle_id, &snapshot).unwrap().is_some() {
                     flagged[slot] += 1;
                 }
             }
@@ -230,7 +230,7 @@ fn streaming_detection_flags_the_attacker_not_the_honest() {
                 if i % 7 != 0 {
                     continue;
                 }
-                let r = p.vehigan.score_with_members(&members, &snapshot);
+                let r = p.vehigan.score_with_members(&members, &snapshot).unwrap();
                 sums[slot] += r.scores[0] as f64;
                 counts[slot] += 1;
             }

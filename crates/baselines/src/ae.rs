@@ -70,9 +70,19 @@ impl AeDetector {
         let mut m = Sequential::new();
         m.push(Dense::new(d, h, Init::HeUniform, &mut rng));
         m.push(Activation::leaky_relu(0.2));
-        m.push(Dense::new(h, self.config.bottleneck, Init::HeUniform, &mut rng));
+        m.push(Dense::new(
+            h,
+            self.config.bottleneck,
+            Init::HeUniform,
+            &mut rng,
+        ));
         m.push(Activation::leaky_relu(0.2));
-        m.push(Dense::new(self.config.bottleneck, h, Init::HeUniform, &mut rng));
+        m.push(Dense::new(
+            self.config.bottleneck,
+            h,
+            Init::HeUniform,
+            &mut rng,
+        ));
         m.push(Activation::leaky_relu(0.2));
         m.push(Dense::new(h, d, Init::XavierUniform, &mut rng));
         m

@@ -174,7 +174,10 @@ impl AnomalyDetector for GmmDetector {
     }
 
     fn score_batch(&mut self, x: &Tensor) -> Vec<f32> {
-        assert!(!self.means.is_empty(), "GmmDetector::score_batch before fit");
+        assert!(
+            !self.means.is_empty(),
+            "GmmDetector::score_batch before fit"
+        );
         rows_f64(x)
             .into_iter()
             .map(|row| (-self.log_likelihood(&row)) as f32)

@@ -75,12 +75,14 @@ impl AnomalyDetector for KnnDetector {
     }
 
     fn score_batch(&mut self, x: &Tensor) -> Vec<f32> {
-        assert!(!self.train.is_empty(), "KnnDetector::score_batch before fit");
+        assert!(
+            !self.train.is_empty(),
+            "KnnDetector::score_batch before fit"
+        );
         rows_f64(x)
             .into_iter()
             .map(|query| {
-                let mut dists: Vec<f64> =
-                    self.train.iter().map(|t| dist_sq(&query, t)).collect();
+                let mut dists: Vec<f64> = self.train.iter().map(|t| dist_sq(&query, t)).collect();
                 let kth = self.k - 1;
                 dists.select_nth_unstable_by(kth, |a, b| {
                     a.partial_cmp(b).expect("finite distances")
@@ -101,7 +103,9 @@ mod tests {
 
     fn cluster(n: usize) -> Tensor {
         // Tight cluster around the origin.
-        let data: Vec<f32> = (0..n * 2).map(|i| ((i * 37) % 100) as f32 / 1000.0).collect();
+        let data: Vec<f32> = (0..n * 2)
+            .map(|i| ((i * 37) % 100) as f32 / 1000.0)
+            .collect();
         Tensor::from_vec(data, &[n, 2])
     }
 

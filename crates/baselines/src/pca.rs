@@ -60,8 +60,7 @@ impl AnomalyDetector for PcaDetector {
         rows_f64(x)
             .into_iter()
             .map(|row| {
-                let centered: Vec<f64> =
-                    row.iter().zip(&self.mean).map(|(&v, &m)| v - m).collect();
+                let centered: Vec<f64> = row.iter().zip(&self.mean).map(|(&v, &m)| v - m).collect();
                 let score: f64 = self
                     .eigenvectors
                     .iter()

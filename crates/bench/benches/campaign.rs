@@ -1,0 +1,74 @@
+//! Criterion benches for the campaign data plane: serial monolithic
+//! dataset builds vs the cache-aware `CampaignPlane`.
+//!
+//! Run with `cargo bench -p vehigan-bench --bench campaign`. The quick
+//! JSON-emitting variant over the full 35-attack catalog is
+//! `vehigan-bench campaign`, which writes `results/BENCH_campaign.json`.
+//!
+//! The fleet is kept small (16 vehicles, 60 s) so each iteration stays in
+//! criterion's measurement budget; the shape of the work — engineer,
+//! scale, window every trace per attack vs once per campaign — is the
+//! same as at evaluation scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vehigan_bench::experiments::campaign::seed_build_windows;
+use vehigan_core::CampaignPlane;
+use vehigan_features::{build_windows, fit_scaler, WindowConfig};
+use vehigan_sim::{SimConfig, TrafficSimulator};
+use vehigan_vasp::{Attack, DatasetBuilder, DatasetConfig};
+
+fn bench_campaign(c: &mut Criterion) {
+    let fleet = TrafficSimulator::new(SimConfig {
+        n_vehicles: 16,
+        duration_s: 60.0,
+        seed: 42,
+        ..SimConfig::default()
+    })
+    .run();
+    let window = WindowConfig {
+        stride: 4,
+        ..WindowConfig::default()
+    };
+    let builder = DatasetBuilder::new(&fleet, DatasetConfig::default());
+    let scaler = fit_scaler(&builder.benign_dataset(), window.representation);
+    let attacks = Attack::catalog();
+
+    let mut group = c.benchmark_group("campaign");
+    // The pre-data-plane builder, reproduced in experiments::campaign.
+    group.bench_function("serial_35_attacks", |bch| {
+        bch.iter(|| {
+            let datasets: Vec<_> = attacks
+                .iter()
+                .map(|&a| seed_build_windows(&builder.attack_dataset(a), window, &scaler))
+                .collect();
+            black_box(datasets.len())
+        });
+    });
+    // The staged allocation-free monolithic build, still once per attack.
+    group.bench_function("staged_35_attacks", |bch| {
+        bch.iter(|| {
+            let datasets: Vec<_> = attacks
+                .iter()
+                .map(|&a| build_windows(&builder.attack_dataset(a), window, &scaler))
+                .collect();
+            black_box(datasets.len())
+        });
+    });
+    group.bench_function("plane_35_attacks", |bch| {
+        bch.iter(|| {
+            let plane = CampaignPlane::new(&fleet, DatasetConfig::default(), window, &scaler);
+            black_box(plane.campaign(&attacks).len())
+        });
+    });
+    // The steady-state case: the benign cache already exists (one plane
+    // serves table3, fig3, fig4, … on the same harness).
+    let plane = CampaignPlane::new(&fleet, DatasetConfig::default(), window, &scaler);
+    group.bench_function("warm_plane_35_attacks", |bch| {
+        bch.iter(|| black_box(plane.campaign(&attacks).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -65,29 +65,62 @@ fn bench_backward(c: &mut Criterion) {
         bch.iter(|| {
             gemm::transpose_into(batch, in_dim, black_box(&x), &mut scratch[..batch * in_dim]);
             dw.iter_mut().for_each(|v| *v = 0.0);
-            gemm::naive(in_dim, batch, out_dim, &scratch[..batch * in_dim], black_box(&dy), &mut dw);
+            gemm::naive(
+                in_dim,
+                batch,
+                out_dim,
+                &scratch[..batch * in_dim],
+                black_box(&dy),
+                &mut dw,
+            );
             black_box(dw[0])
         });
     });
     group.bench_function("dw_tn", |bch| {
         bch.iter(|| {
             dw.iter_mut().for_each(|v| *v = 0.0);
-            gemm::gemm_tn(in_dim, out_dim, batch, black_box(&x), black_box(&dy), &mut dw);
+            gemm::gemm_tn(
+                in_dim,
+                out_dim,
+                batch,
+                black_box(&x),
+                black_box(&dy),
+                &mut dw,
+            );
             black_box(dw[0])
         });
     });
     group.bench_function("dx_transpose_then_naive", |bch| {
         bch.iter(|| {
-            gemm::transpose_into(in_dim, out_dim, black_box(&w), &mut scratch[..in_dim * out_dim]);
+            gemm::transpose_into(
+                in_dim,
+                out_dim,
+                black_box(&w),
+                &mut scratch[..in_dim * out_dim],
+            );
             dx.iter_mut().for_each(|v| *v = 0.0);
-            gemm::naive(batch, out_dim, in_dim, black_box(&dy), &scratch[..in_dim * out_dim], &mut dx);
+            gemm::naive(
+                batch,
+                out_dim,
+                in_dim,
+                black_box(&dy),
+                &scratch[..in_dim * out_dim],
+                &mut dx,
+            );
             black_box(dx[0])
         });
     });
     group.bench_function("dx_nt", |bch| {
         bch.iter(|| {
             dx.iter_mut().for_each(|v| *v = 0.0);
-            gemm::gemm_nt(batch, in_dim, out_dim, black_box(&dy), black_box(&w), &mut dx);
+            gemm::gemm_nt(
+                batch,
+                in_dim,
+                out_dim,
+                black_box(&dy),
+                black_box(&w),
+                &mut dx,
+            );
             black_box(dx[0])
         });
     });

@@ -40,8 +40,8 @@ fn bench_lite(c: &mut Criterion) {
     for layers in [6usize, 7, 8] {
         let cfg = config(layers);
         let critic = build_critic(&cfg, &mut seeded_rng(layers as u64));
-        let mut lite = LiteCritic::compile(&critic, (cfg.window, cfg.features, 1))
-            .expect("critic compiles");
+        let mut lite =
+            LiteCritic::compile(&critic, (cfg.window, cfg.features, 1)).expect("critic compiles");
         let mut rng = seeded_rng(1);
         let x = rand_uniform(&[1, cfg.window, cfg.features, 1], -1.0, 1.0, &mut rng);
         let flat: Vec<f32> = x.as_slice().to_vec();

@@ -76,7 +76,10 @@ pub fn run() {
     let data = build_data(&fleet, 10);
     let mut rows = Vec::new();
     for (label, mode) in [
-        ("gradient-penalty(λ=10)", LipschitzMode::GradientPenalty { lambda: 10.0 }),
+        (
+            "gradient-penalty(λ=10)",
+            LipschitzMode::GradientPenalty { lambda: 10.0 },
+        ),
         ("spectral-norm", LipschitzMode::Spectral),
         ("weight-clip(0.03)", LipschitzMode::Clip),
     ] {
@@ -176,6 +179,10 @@ pub fn run() {
         println!("{p:>7} {fpr:>10.4} {tpr:>10.4}");
         rows.push(format!("{p},{fpr:.4},{tpr:.4}"));
     }
-    write_csv("ablation_percentile.csv", "percentile,benign_fpr,attack_tpr", &rows);
+    write_csv(
+        "ablation_percentile.csv",
+        "percentile,benign_fpr,attack_tpr",
+        &rows,
+    );
     println!("\n(lower p trades benign FPR for attack TPR; the paper fixes p=99 for <1% FPR)");
 }

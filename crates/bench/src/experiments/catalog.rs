@@ -7,7 +7,7 @@ use vehigan_vasp::{Attack, AttackKind, TargetField};
 /// Prints the Table I attack matrix and writes `results/table1_catalog.csv`.
 pub fn run() {
     println!("Table I — attack matrix (kind × targeted field)");
-    println!("{:<16} {}", "kind", "fields");
+    println!("{:<16} fields", "kind");
     for kind in AttackKind::ALL {
         let fields: Vec<&str> = TargetField::ALL
             .iter()
@@ -29,9 +29,25 @@ pub fn run() {
         .iter()
         .enumerate()
         .map(|(i, a)| {
-            println!("  {:>2}. {}{}", i + 1, a, if a.is_advanced() { "  [advanced]" } else { "" });
-            format!("{},{},{:?},{:?},{}", i + 1, a, a.kind(), a.field(), a.is_advanced())
+            println!(
+                "  {:>2}. {}{}",
+                i + 1,
+                a,
+                if a.is_advanced() { "  [advanced]" } else { "" }
+            );
+            format!(
+                "{},{},{:?},{:?},{}",
+                i + 1,
+                a,
+                a.kind(),
+                a.field(),
+                a.is_advanced()
+            )
         })
         .collect();
-    write_csv("table1_catalog.csv", "index,name,kind,field,advanced", &rows);
+    write_csv(
+        "table1_catalog.csv",
+        "index,name,kind,field,advanced",
+        &rows,
+    );
 }

@@ -19,10 +19,12 @@ pub fn run(harness: &mut Harness) {
 
     // auroc_matrix[model][attack]
     let mut matrix = vec![vec![0.0f64; n_attacks]; n_models];
-    for mi in 0..n_models {
+    for (mi, row) in matrix.iter_mut().enumerate() {
         for (ai, ds) in harness.attack_windows.iter().enumerate() {
-            let scores = harness.pipeline.zoo.entries_mut()[mi].wgan.score_batch(&ds.x);
-            matrix[mi][ai] = auroc(&scores, &ds.labels);
+            let scores = harness.pipeline.zoo.entries_mut()[mi]
+                .wgan
+                .score_batch(&ds.x);
+            row[ai] = auroc(&scores, &ds.labels);
         }
     }
 
@@ -44,7 +46,10 @@ pub fn run(harness: &mut Harness) {
     let top3 = &order[..3.min(n_models)];
 
     println!("Fig 3 — per-attack AUROC across the zoo");
-    println!("{:<30} {:>8} {:>8} {:>8} {:>8}", "attack", "min", "max", "top1", "top3avg");
+    println!(
+        "{:<30} {:>8} {:>8} {:>8} {:>8}",
+        "attack", "min", "max", "top1", "top3avg"
+    );
     let mut rows = Vec::with_capacity(n_attacks);
     let mut envelope_sum = 0.0;
     let mut top1_sum = 0.0;
@@ -56,7 +61,10 @@ pub fn run(harness: &mut Harness) {
         let top3avg = top3.iter().map(|&mi| matrix[mi][ai]).sum::<f64>() / top3.len() as f64;
         envelope_sum += max;
         top1_sum += top1;
-        println!("{:<30} {min:>8.3} {max:>8.3} {top1:>8.3} {top3avg:>8.3}", attack.name());
+        println!(
+            "{:<30} {min:>8.3} {max:>8.3} {top1:>8.3} {top3avg:>8.3}",
+            attack.name()
+        );
         let per_model: Vec<String> = col.iter().map(|v| format!("{v:.4}")).collect();
         rows.push(format!("{},{}", attack.name(), per_model.join(",")));
     }

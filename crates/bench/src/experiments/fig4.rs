@@ -71,12 +71,19 @@ pub fn run(harness: &mut Harness) {
     }
     let header = format!(
         "m,{}",
-        (1..=m_max).map(|k| format!("k{k}")).collect::<Vec<_>>().join(",")
+        (1..=m_max)
+            .map(|k| format!("k{k}"))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     write_csv("fig4_ensemble_auroc.csv", &header, &rows);
     println!(
         "\nVEHIGAN_1^1 = {cell_11:.3}, VEHIGAN_{m_max}^{m_max} = {cell_full:.3} \
          (ensembling {} the single model); plateau band healthy: {plateau_ok}",
-        if cell_full >= cell_11 { "matches or beats" } else { "trails" }
+        if cell_full >= cell_11 {
+            "matches or beats"
+        } else {
+            "trails"
+        }
     );
 }

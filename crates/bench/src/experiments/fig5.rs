@@ -83,11 +83,11 @@ pub fn run_5a(harness: &mut Harness) {
         let mut line = format!("ε={eps:<6}");
         let mut csv = format!("{eps}");
         let mut sum = 0.0;
-        for i in 0..m {
+        for (i, &tau) in taus.iter().enumerate() {
             let member = &mut harness.pipeline.vehigan.members_mut()[i];
             let adv = afp_attack(member.wgan.critic_mut(), &benign, eps);
             let scores = member.wgan.score_batch(&adv);
-            let fpr = rate_above(&scores, taus[i]);
+            let fpr = rate_above(&scores, tau);
             sum += fpr;
             line.push_str(&format!(" {fpr:>6.3}"));
             csv.push_str(&format!(",{fpr:.4}"));
@@ -98,10 +98,10 @@ pub fn run_5a(harness: &mut Harness) {
         // Random-noise control averaged across models.
         let noisy = random_noise(&benign, eps, &mut rng);
         let mut noise_sum = 0.0;
-        for i in 0..m {
+        for (i, &tau) in taus.iter().enumerate() {
             let member = &mut harness.pipeline.vehigan.members_mut()[i];
             let scores = member.wgan.score_batch(&noisy);
-            noise_sum += rate_above(&scores, taus[i]);
+            noise_sum += rate_above(&scores, tau);
         }
         let noise_fpr = noise_sum / m as f64;
         line.push_str(&format!("   noise={noise_fpr:.3}"));
@@ -111,7 +111,10 @@ pub fn run_5a(harness: &mut Harness) {
     }
     let header = format!(
         "epsilon,{},noise",
-        (0..m).map(|i| format!("model{i}")).collect::<Vec<_>>().join(",")
+        (0..m)
+            .map(|i| format!("model{i}"))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     write_csv("fig5a_afp_whitebox.csv", &header, &rows);
     println!(
@@ -133,12 +136,12 @@ pub fn run_5b(harness: &mut Harness) {
         let mut line = format!("ε={eps:<6}");
         let mut csv = format!("{eps}");
         let mut sum = 0.0;
-        for i in 0..m {
+        for (i, &tau) in taus.iter().enumerate() {
             let member = &mut harness.pipeline.vehigan.members_mut()[i];
             let adv = afn_attack(member.wgan.critic_mut(), &malicious, eps);
             let scores = member.wgan.score_batch(&adv);
             // FNR: malicious windows whose score fails to exceed τ.
-            let fnr = 1.0 - rate_above(&scores, taus[i]);
+            let fnr = 1.0 - rate_above(&scores, tau);
             sum += fnr;
             line.push_str(&format!(" {fnr:>6.3}"));
             csv.push_str(&format!(",{fnr:.4}"));
@@ -153,7 +156,10 @@ pub fn run_5b(harness: &mut Harness) {
     }
     let header = format!(
         "epsilon,{}",
-        (0..m).map(|i| format!("model{i}")).collect::<Vec<_>>().join(",")
+        (0..m)
+            .map(|i| format!("model{i}"))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     write_csv("fig5b_afn_whitebox.csv", &header, &rows);
     println!(
@@ -181,10 +187,10 @@ pub fn run_5c(harness: &mut Harness) {
         let mut line = format!("ε={eps:<6}");
         let mut csv = format!("{eps}");
         let mut bb_sum = 0.0;
-        for i in 0..m {
+        for (i, &tau) in taus.iter().enumerate() {
             let member = &mut harness.pipeline.vehigan.members_mut()[i];
             let scores = member.wgan.score_batch(&adv);
-            let fpr = rate_above(&scores, taus[i]);
+            let fpr = rate_above(&scores, tau);
             if i == 0 {
                 if (eps - 0.01).abs() < 1e-6 {
                     wb_at_001 = fpr;
@@ -203,7 +209,10 @@ pub fn run_5c(harness: &mut Harness) {
     }
     let header = format!(
         "epsilon,whitebox,{}",
-        (1..m).map(|i| format!("blackbox{i}")).collect::<Vec<_>>().join(",")
+        (1..m)
+            .map(|i| format!("blackbox{i}"))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     write_csv("fig5c_afp_transfer.csv", &header, &rows);
     println!(

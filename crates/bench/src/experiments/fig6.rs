@@ -20,21 +20,34 @@ pub fn run(harness: &mut Harness) {
     let w = harness.benign_windows.window();
     let f = harness.benign_windows.features();
     println!("Fig 6 — AFP perturbation anatomy (window 0, ε = {eps})");
-    println!("anomaly score: {before:.4} → {after:.4} (threshold {:.4})", member.threshold);
+    println!(
+        "anomaly score: {before:.4} → {after:.4} (threshold {:.4})",
+        member.threshold
+    );
     println!("gradient sign pattern (+ = value pushed up), rows = time steps:");
     let mut rows = Vec::with_capacity(w * f);
     for t in 0..w {
         let mut line = String::new();
-        for j in 0..f {
+        for (j, name) in FEATURE_NAMES.iter().enumerate().take(f) {
             let g = grad.get(&[0, t, j, 0]);
             let b = x.get(&[0, t, j, 0]);
             let a = adv.get(&[0, t, j, 0]);
-            line.push(if g > 0.0 { '+' } else if g < 0.0 { '-' } else { '.' });
-            rows.push(format!("{t},{},{g:.6},{b:.6},{a:.6}", FEATURE_NAMES[j]));
+            line.push(if g > 0.0 {
+                '+'
+            } else if g < 0.0 {
+                '-'
+            } else {
+                '.'
+            });
+            rows.push(format!("{t},{name},{g:.6},{b:.6},{a:.6}"));
         }
         println!("  t{t:<2} {line}");
     }
-    write_csv("fig6_gradient.csv", "time,feature,gradient,benign,adversarial", &rows);
+    write_csv(
+        "fig6_gradient.csv",
+        "time,feature,gradient,benign,adversarial",
+        &rows,
+    );
     assert!(
         after > before,
         "AFP must raise the anomaly score (got {before} → {after})"

@@ -86,7 +86,11 @@ fn print_grid(
 fn score_all_members(harness: &mut Harness, adv: &Tensor) -> Vec<Vec<f32>> {
     let m = harness.pipeline.vehigan.m();
     (0..m)
-        .map(|i| harness.pipeline.vehigan.members_mut()[i].wgan.score_batch(adv))
+        .map(|i| {
+            harness.pipeline.vehigan.members_mut()[i]
+                .wgan
+                .score_batch(adv)
+        })
         .collect()
 }
 
@@ -109,7 +113,10 @@ pub fn run_7a(harness: &mut Harness) -> f64 {
     let (rows, ens_fpr) = print_grid(&taus, &member_scores, m_max, 71);
     let header = format!(
         "m,{}",
-        (1..=m_max).map(|k| format!("k{k}")).collect::<Vec<_>>().join(",")
+        (1..=m_max)
+            .map(|k| format!("k{k}"))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     write_csv("fig7a_afp_graybox.csv", &header, &rows);
     println!(
@@ -176,7 +183,10 @@ pub fn run_7b(harness: &mut Harness) -> (f64, f64) {
     }
     let header = format!(
         "m,{}",
-        (1..=m_max).map(|k| format!("k{k}")).collect::<Vec<_>>().join(",")
+        (1..=m_max)
+            .map(|k| format!("k{k}"))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     write_csv("fig7b_afp_multimodel.csv", &header, &rows);
 

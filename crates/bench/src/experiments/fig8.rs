@@ -39,7 +39,10 @@ fn time_ms(mut f: impl FnMut(), reps: usize) -> f64 {
 pub fn run() {
     let mut rng = seeded_rng(8);
     println!("Fig 8 — per-snapshot inference latency (ms), BSM budget = 100 ms");
-    println!("{:>7} {:>14} {:>14} {:>9}", "layers", "standard (8a)", "lite (8b)", "speedup");
+    println!(
+        "{:>7} {:>14} {:>14} {:>9}",
+        "layers", "standard (8a)", "lite (8b)", "speedup"
+    );
     let mut rows = Vec::new();
     for layers in LAYER_COUNTS {
         let config = critic_config(layers);

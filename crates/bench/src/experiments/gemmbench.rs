@@ -42,10 +42,34 @@ struct Case {
 
 /// The benched shapes. Public callers go through [`run`].
 const CASES: [Case; 4] = [
-    Case { name: "critic_forward", m: 128, k: 120, n: 64, kind: Kind::Nn },
-    Case { name: "im2col_gemm", m: 15360, k: 32, n: 16, kind: Kind::Nn },
-    Case { name: "dense_backward_dw", m: 120, k: 128, n: 64, kind: Kind::Tn },
-    Case { name: "dense_backward_dx", m: 128, k: 64, n: 120, kind: Kind::Nt },
+    Case {
+        name: "critic_forward",
+        m: 128,
+        k: 120,
+        n: 64,
+        kind: Kind::Nn,
+    },
+    Case {
+        name: "im2col_gemm",
+        m: 15360,
+        k: 32,
+        n: 16,
+        kind: Kind::Nn,
+    },
+    Case {
+        name: "dense_backward_dw",
+        m: 120,
+        k: 128,
+        n: 64,
+        kind: Kind::Tn,
+    },
+    Case {
+        name: "dense_backward_dx",
+        m: 128,
+        k: 64,
+        n: 120,
+        kind: Kind::Nt,
+    },
 ];
 
 /// Deterministic xorshift fill — no RNG dependency, same data every run.

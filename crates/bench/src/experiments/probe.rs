@@ -20,7 +20,10 @@ pub fn run() {
     let builder = DatasetBuilder::new(train_fleet, DatasetConfig::default());
     let benign = builder.benign_dataset();
     let scaler = fit_scaler(&benign, pc.window.representation);
-    let wcfg = WindowConfig { stride: 4, ..WindowConfig::default() };
+    let wcfg = WindowConfig {
+        stride: 4,
+        ..WindowConfig::default()
+    };
     let train = build_windows(&benign, wcfg, &scaler);
     let test_builder = DatasetBuilder::new(test_fleet, DatasetConfig::default());
     let test_benign = build_windows(&test_builder.benign_dataset(), wcfg, &scaler);
@@ -46,10 +49,34 @@ pub fn run() {
         "ep", "lipschitz", "lr", "layers", "auroc", "fnr@99", "fpr@99", "afpFPR", "secs"
     );
     for &(epochs, lipschitz, gain, lr, layers) in &[
-        (4usize, LipschitzMode::GradientPenalty { lambda: 10.0 }, 4.0f32, 1e-4f32, 5usize),
-        (4, LipschitzMode::GradientPenalty { lambda: 10.0 }, 4.0, 3e-4, 5),
-        (8, LipschitzMode::GradientPenalty { lambda: 10.0 }, 4.0, 1e-4, 5),
-        (4, LipschitzMode::GradientPenalty { lambda: 3.0 }, 4.0, 1e-4, 5),
+        (
+            4usize,
+            LipschitzMode::GradientPenalty { lambda: 10.0 },
+            4.0f32,
+            1e-4f32,
+            5usize,
+        ),
+        (
+            4,
+            LipschitzMode::GradientPenalty { lambda: 10.0 },
+            4.0,
+            3e-4,
+            5,
+        ),
+        (
+            8,
+            LipschitzMode::GradientPenalty { lambda: 10.0 },
+            4.0,
+            1e-4,
+            5,
+        ),
+        (
+            4,
+            LipschitzMode::GradientPenalty { lambda: 3.0 },
+            4.0,
+            1e-4,
+            5,
+        ),
         (4, LipschitzMode::Spectral, 4.0, 1e-4, 5),
     ] {
         let n_critic = 2usize;

@@ -69,11 +69,31 @@ pub fn run(harness: &mut Harness) {
     let columns = vec![
         col_v10,
         col_v5,
-        baseline_column("Base-AE", &mut AeDetector::new(ae_config), &raw_train, &raw_tests),
-        baseline_column("Vehi-AE", &mut AeDetector::new(ae_config), eng_train, eng_tests),
+        baseline_column(
+            "Base-AE",
+            &mut AeDetector::new(ae_config),
+            &raw_train,
+            &raw_tests,
+        ),
+        baseline_column(
+            "Vehi-AE",
+            &mut AeDetector::new(ae_config),
+            eng_train,
+            eng_tests,
+        ),
         baseline_column("Vehi-PCA", &mut PcaDetector::new(), eng_train, eng_tests),
-        baseline_column("Vehi-KNN", &mut KnnDetector::default(), eng_train, eng_tests),
-        baseline_column("Vehi-GMM", &mut GmmDetector::default(), eng_train, eng_tests),
+        baseline_column(
+            "Vehi-KNN",
+            &mut KnnDetector::default(),
+            eng_train,
+            eng_tests,
+        ),
+        baseline_column(
+            "Vehi-GMM",
+            &mut GmmDetector::default(),
+            eng_train,
+            eng_tests,
+        ),
     ];
 
     // Print the table.
@@ -99,7 +119,10 @@ pub fn run(harness: &mut Harness) {
         println!();
         rows.push(format!(
             "{name},{}",
-            vals.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(",")
+            vals.iter()
+                .map(|v| format!("{v:.4}"))
+                .collect::<Vec<_>>()
+                .join(",")
         ));
     }
     // Averages row.
@@ -115,7 +138,11 @@ pub fn run(harness: &mut Harness) {
 
     let header = format!(
         "attack,{}",
-        columns.iter().map(|c| c.name.to_string()).collect::<Vec<_>>().join(",")
+        columns
+            .iter()
+            .map(|c| c.name.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     );
     write_csv("table3_auroc.csv", &header, &rows);
 
@@ -127,9 +154,8 @@ pub fn run(harness: &mut Harness) {
     let advanced: Vec<usize> = (0..n_attacks)
         .filter(|&ai| harness.attacks[ai].is_advanced())
         .collect();
-    let adv_avg = |c: &Column| {
-        advanced.iter().map(|&ai| c.auroc[ai]).sum::<f64>() / advanced.len() as f64
-    };
+    let adv_avg =
+        |c: &Column| advanced.iter().map(|&ai| c.auroc[ai]).sum::<f64>() / advanced.len() as f64;
     println!(
         "\nadvanced heading&yaw-rate attacks: VehiGAN-10/10 avg {:.3} vs Base-AE avg {:.3} \
          (paper: VEHIGAN dominates the advanced block)",

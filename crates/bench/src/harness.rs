@@ -3,7 +3,7 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use vehigan_core::{GridConfig, Pipeline, PipelineConfig};
+use vehigan_core::{score_matrix, GridConfig, Pipeline, PipelineConfig, Wgan};
 use vehigan_features::{WindowConfig, WindowDataset};
 use vehigan_sim::SimConfig;
 use vehigan_vasp::Attack;
@@ -97,21 +97,29 @@ pub struct Harness {
 impl Harness {
     /// Trains the system at `scale` and populates the score cache.
     pub fn build(scale: Scale) -> Harness {
-        Self::build_with(scale, None)
+        Self::build_with(scale, None, false)
     }
 
     /// Like [`Harness::build`], but with an optional checkpoint directory:
     /// zoo training persists every finished member there, and a rerun of
     /// the same scale resumes from the directory's manifest instead of
-    /// retraining from scratch (the `--resume <dir>` CLI flag).
-    pub fn build_with(scale: Scale, resume_dir: Option<PathBuf>) -> Harness {
+    /// retraining from scratch (the `--resume <dir>` CLI flag). With
+    /// `retry_quarantined` (the `--retry-quarantined` flag), a resumed run
+    /// retrains previously quarantined configurations with a fresh derived
+    /// seed instead of skipping them.
+    pub fn build_with(
+        scale: Scale,
+        resume_dir: Option<PathBuf>,
+        retry_quarantined: bool,
+    ) -> Harness {
         eprintln!("[harness] training pipeline at {scale:?} scale…");
         let mut config = scale.pipeline_config();
         if let Some(dir) = resume_dir {
             eprintln!("[harness] checkpointing zoo training in {}", dir.display());
             config.checkpoint_dir = Some(dir);
         }
-        let mut pipeline = Pipeline::run(config);
+        config.retry_quarantined = retry_quarantined;
+        let pipeline = Pipeline::run(config);
         if !pipeline.quarantined.is_empty() {
             eprintln!(
                 "[harness] WARNING: {} grid configurations quarantined:",
@@ -126,26 +134,35 @@ impl Harness {
             pipeline.zoo.len(),
             pipeline.vehigan.m()
         );
+        // The campaign plane engineers each benign test trace once and
+        // shares its windows across all 36 datasets; assembly runs in
+        // parallel across attacks, bitwise identical to the serial
+        // per-attack `test_attack_windows` path.
         let attacks = Attack::catalog();
-        let attack_windows: Vec<WindowDataset> = attacks
-            .iter()
-            .map(|&a| pipeline.test_attack_windows(a))
-            .collect();
-        let benign_windows = pipeline.test_benign_windows();
+        let (attack_windows, benign_windows) = {
+            let plane = pipeline.campaign_plane();
+            (plane.campaign(&attacks), plane.benign_windows())
+        };
 
-        eprintln!("[harness] caching per-member scores on {} attacks…", attacks.len());
-        let m = pipeline.vehigan.m();
-        let mut member_scores = Vec::with_capacity(m);
-        let mut member_benign = Vec::with_capacity(m);
-        for i in 0..m {
-            let member = &mut pipeline.vehigan.members_mut()[i];
-            let per_attack: Vec<Vec<f32>> = attack_windows
-                .iter()
-                .map(|ds| member.wgan.score_batch(&ds.x))
-                .collect();
-            member_benign.push(member.wgan.score_batch(&benign_windows.x));
-            member_scores.push(per_attack);
-        }
+        eprintln!(
+            "[harness] caching per-member scores on {} attacks…",
+            attacks.len()
+        );
+        let (member_scores, member_benign) = {
+            let members: Vec<&Wgan> = pipeline.vehigan.members().iter().map(|m| &m.wgan).collect();
+            // Benign rides along as the final dataset of the score matrix so
+            // one parallel-across-members pass fills both caches.
+            let mut datasets: Vec<&WindowDataset> = attack_windows.iter().collect();
+            datasets.push(&benign_windows);
+            let matrix = score_matrix(&members, &datasets);
+            let mut member_scores = Vec::with_capacity(matrix.len());
+            let mut member_benign = Vec::with_capacity(matrix.len());
+            for mut per_dataset in matrix {
+                member_benign.push(per_dataset.pop().expect("benign scores"));
+                member_scores.push(per_dataset);
+            }
+            (member_scores, member_benign)
+        };
         Harness {
             pipeline,
             attacks,

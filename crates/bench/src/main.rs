@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>]
+//!                            [--retry-quarantined]
 //! ```
 //!
-//! Experiments: `catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b
-//! fig8 gemm table3 all`.
+//! Experiments: `campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a
+//! fig7b fig8 gemm table3 all`.
 //!
 //! `--resume <dir>` makes zoo training crash-safe: every finished model is
 //! checkpointed in `<dir>`, and rerunning the same command after an
 //! interruption resumes from the directory's manifest.
+//! `--retry-quarantined` additionally retrains configurations the previous
+//! run quarantined, using a fresh derived seed, instead of skipping them.
 
 use std::path::PathBuf;
 use vehigan_bench::experiments::{ablation, catalog, fig3, fig4, fig5, fig6, fig7, fig8, table3};
@@ -17,8 +20,8 @@ use vehigan_bench::harness::{Harness, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>]\n\
-         experiments: catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm table3 adv ablation probe all"
+        "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>] [--retry-quarantined]\n\
+         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm table3 adv ablation probe all"
     );
     std::process::exit(2);
 }
@@ -31,6 +34,7 @@ fn main() {
     let experiment = args[0].as_str();
     let mut scale = Scale::Quick;
     let mut resume_dir: Option<PathBuf> = None;
+    let mut retry_quarantined = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -44,6 +48,10 @@ fn main() {
                 let Some(v) = args.get(i + 1) else { usage() };
                 resume_dir = Some(PathBuf::from(v));
                 i += 2;
+            }
+            "--retry-quarantined" => {
+                retry_quarantined = true;
+                i += 1;
             }
             _ => usage(),
         }
@@ -71,20 +79,23 @@ fn main() {
             vehigan_bench::experiments::gemmbench::run();
             return;
         }
+        "campaign" => {
+            vehigan_bench::experiments::campaign::run(scale);
+            return;
+        }
         _ => {}
     }
 
     // Reject unknown experiment names *before* spending minutes training
     // the harness they would never use.
     const TRAINED: &[&str] = &[
-        "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "table3", "adv",
-        "all",
+        "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "table3", "adv", "all",
     ];
     if !TRAINED.contains(&experiment) {
         usage();
     }
 
-    let mut harness = Harness::build_with(scale, resume_dir);
+    let mut harness = Harness::build_with(scale, resume_dir, retry_quarantined);
     let section = |title: &str| println!("\n=== {title} ===");
     match experiment {
         "fig3" => fig3::run(&mut harness),

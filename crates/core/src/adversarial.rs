@@ -154,8 +154,7 @@ mod tests {
         let analytic = score_gradient(wgan.critic_mut(), &x);
         let numeric = vehigan_tensor::gradcheck::finite_diff_grad(
             |xx| {
-                let mut c =
-                    Sequential::from_bytes(&wgan.critic_bytes()).expect("roundtrip");
+                let mut c = Sequential::from_bytes(&wgan.critic_bytes()).expect("roundtrip");
                 -c.forward(xx).sum()
             },
             &x,

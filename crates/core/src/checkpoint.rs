@@ -143,10 +143,22 @@ impl From<ModelFormatError> for CheckpointError {
 pub fn crc32(bytes: &[u8]) -> u32 {
     // Nibble-driven table: 16 entries, no build-time codegen needed.
     const TABLE: [u32; 16] = [
-        0x0000_0000, 0x1DB7_1064, 0x3B6E_20C8, 0x26D9_30AC,
-        0x76DC_4190, 0x6B6B_51F4, 0x4DB2_6158, 0x5005_713C,
-        0xEDB8_8320, 0xF00F_9344, 0xD6D6_A3E8, 0xCB61_B38C,
-        0x9B64_C2B0, 0x86D3_D2D4, 0xA00A_E278, 0xBDBD_F21C,
+        0x0000_0000,
+        0x1DB7_1064,
+        0x3B6E_20C8,
+        0x26D9_30AC,
+        0x76DC_4190,
+        0x6B6B_51F4,
+        0x4DB2_6158,
+        0x5005_713C,
+        0xEDB8_8320,
+        0xF00F_9344,
+        0xD6D6_A3E8,
+        0xCB61_B38C,
+        0x9B64_C2B0,
+        0x86D3_D2D4,
+        0xA00A_E278,
+        0xBDBD_F21C,
     ];
     let mut crc = !0u32;
     for &b in bytes {
@@ -358,12 +370,16 @@ impl CheckpointStore {
             Err(e) => return Err(e.into()),
         };
         let mut lines = text.lines();
-        let header = lines.next().ok_or(CheckpointError::BadManifest("empty file"))?;
+        let header = lines
+            .next()
+            .ok_or(CheckpointError::BadManifest("empty file"))?;
         let mut fields = header.split('\t');
         if fields.next() != Some("vehigan-zoo-manifest") || fields.next() != Some("v1") {
             return Err(CheckpointError::BadManifest("bad header"));
         }
-        let fp_hex = fields.next().ok_or(CheckpointError::BadManifest("missing fingerprint"))?;
+        let fp_hex = fields
+            .next()
+            .ok_or(CheckpointError::BadManifest("missing fingerprint"))?;
         let fingerprint = u64::from_str_radix(fp_hex.trim_start_matches("0x"), 16)
             .map_err(|_| CheckpointError::BadManifest("unparseable fingerprint"))?;
         let mut manifest = Manifest {
@@ -377,7 +393,9 @@ impl CheckpointStore {
             let mut fields = line.split('\t');
             match fields.next() {
                 Some("done") => {
-                    let id = fields.next().ok_or(CheckpointError::BadManifest("done without id"))?;
+                    let id = fields
+                        .next()
+                        .ok_or(CheckpointError::BadManifest("done without id"))?;
                     manifest.done.push(id.to_string());
                 }
                 Some("quarantined") => {
@@ -385,7 +403,9 @@ impl CheckpointStore {
                         .next()
                         .ok_or(CheckpointError::BadManifest("quarantined without id"))?;
                     let reason = fields.next().unwrap_or("unknown");
-                    manifest.quarantined.push((id.to_string(), reason.to_string()));
+                    manifest
+                        .quarantined
+                        .push((id.to_string(), reason.to_string()));
                 }
                 _ => return Err(CheckpointError::BadManifest("unknown record")),
             }
@@ -399,10 +419,7 @@ impl CheckpointStore {
     ///
     /// Returns an error on I/O failure.
     pub fn write_manifest(&self, manifest: &Manifest) -> Result<(), CheckpointError> {
-        let mut out = format!(
-            "vehigan-zoo-manifest\tv1\t{:#018x}\n",
-            manifest.fingerprint
-        );
+        let mut out = format!("vehigan-zoo-manifest\tv1\t{:#018x}\n", manifest.fingerprint);
         for id in &manifest.done {
             out.push_str("done\t");
             out.push_str(id);
@@ -576,7 +593,7 @@ mod tests {
         let dir = scratch_dir("missing");
         let store = CheckpointStore::open(&dir).unwrap();
         assert!(matches!(
-            store.load_member(quick_wgan().config().clone()),
+            store.load_member(*quick_wgan().config()),
             Err(CheckpointError::Io(_))
         ));
         let _ = fs::remove_dir_all(&dir);

@@ -103,8 +103,14 @@ impl WganConfig {
     /// upsamples a half-size seed) or the layer count is below 3.
     pub fn validate(&self) {
         assert!(self.layers >= 3, "critic needs at least 3 weight layers");
-        assert!(self.window >= 2 && self.window % 2 == 0, "window must be even and ≥ 2");
-        assert!(self.features >= 2 && self.features % 2 == 0, "features must be even and ≥ 2");
+        assert!(
+            self.window >= 2 && self.window.is_multiple_of(2),
+            "window must be even and ≥ 2"
+        );
+        assert!(
+            self.features >= 2 && self.features.is_multiple_of(2),
+            "features must be even and ≥ 2"
+        );
         assert!(self.noise_dim > 0, "noise dim must be positive");
         assert!(self.epochs > 0, "epochs must be positive");
         assert!(self.batch_size > 0, "batch size must be positive");
@@ -178,7 +184,8 @@ impl GridConfig {
             for (j, &layers) in self.layer_counts.iter().enumerate() {
                 for (k, &epochs) in self.epoch_counts.iter().enumerate() {
                     let seed = self.base.seed
-                        ^ ((i as u64) << 32 | (j as u64) << 16 | k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        ^ ((i as u64) << 32 | (j as u64) << 16 | k as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
                     configs.push(WganConfig {
                         noise_dim,
                         layers,

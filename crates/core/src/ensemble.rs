@@ -108,7 +108,11 @@ impl std::fmt::Debug for CriticMember {
             self.id,
             self.threshold,
             self.ads,
-            if self.quarantined { ", QUARANTINED" } else { "" }
+            if self.quarantined {
+                ", QUARANTINED"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -463,7 +467,11 @@ mod tests {
     fn poison_member(v: &mut VehiGan, i: usize) {
         let critic = v.members_mut()[i].wgan.critic_mut();
         let mut params = critic.params_mut();
-        params.first_mut().expect("critic has params").value.as_mut_slice()[0] = f32::NAN;
+        params
+            .first_mut()
+            .expect("critic has params")
+            .value
+            .as_mut_slice()[0] = f32::NAN;
     }
 
     #[test]
@@ -504,8 +512,9 @@ mod tests {
     fn random_subsets_vary_across_inferences() {
         let mut v = ensemble(4, 2);
         let x = benign(4, 1);
-        let subsets: Vec<Vec<usize>> =
-            (0..10).map(|_| v.score_batch(&x).unwrap().members).collect();
+        let subsets: Vec<Vec<usize>> = (0..10)
+            .map(|_| v.score_batch(&x).unwrap().members)
+            .collect();
         assert!(subsets.iter().any(|s| s != &subsets[0]));
         for s in &subsets {
             assert_eq!(s.len(), 2);
@@ -559,8 +568,7 @@ mod tests {
         let v = ensemble(3, 3);
         let x = benign(2, 3);
         let ens = v.score_with_members(&[0, 1, 2], &x).unwrap();
-        let expect: f32 =
-            v.members().iter().map(|m| m.threshold).sum::<f32>() / 3.0;
+        let expect: f32 = v.members().iter().map(|m| m.threshold).sum::<f32>() / 3.0;
         assert!((ens.threshold - expect).abs() < 1e-6);
     }
 
@@ -654,7 +662,9 @@ mod tests {
         poison_member(&mut v, 1);
         assert_eq!(
             v.score_with_members(&[0, 1], &x).unwrap_err(),
-            EnsembleError::AllMembersFailed { attempted: vec![0, 1] }
+            EnsembleError::AllMembersFailed {
+                attempted: vec![0, 1]
+            }
         );
     }
 

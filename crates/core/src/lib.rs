@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+mod campaign;
 mod checkpoint;
 mod config;
 mod ensemble;
@@ -52,14 +53,13 @@ mod pipeline;
 mod wgan;
 mod zoo;
 
+pub use campaign::{score_matrix, CampaignPlane};
 pub use checkpoint::{
     crc32, grid_fingerprint, CheckpointError, CheckpointStore, Manifest, CHECKPOINT_MAGIC,
     CHECKPOINT_VERSION,
 };
 pub use config::{GridConfig, LipschitzMode, WganConfig};
-pub use ensemble::{
-    CriticMember, EnsembleError, EnsembleScore, MisbehaviorReport, VehiGan,
-};
+pub use ensemble::{CriticMember, EnsembleError, EnsembleScore, MisbehaviorReport, VehiGan};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineError};
 pub use wgan::{
     build_critic, build_generator, DivergenceReason, SentinelPolicy, TrainError, TrainReport,

@@ -79,7 +79,11 @@ pub enum TrainError {
 impl std::fmt::Display for TrainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TrainError::Diverged { epoch, attempts, reason } => write!(
+            TrainError::Diverged {
+                epoch,
+                attempts,
+                reason,
+            } => write!(
                 f,
                 "training diverged at epoch {epoch} after {attempts} attempts ({reason})"
             ),
@@ -142,7 +146,14 @@ pub fn build_critic(config: &WganConfig, rng: &mut rand::rngs::StdRng) -> Sequen
     let mut cin = 1;
     for i in 0..n_convs {
         let cout = critic_channels(i);
-        critic.push(Conv2D::new(cin, cout, (2, 2), Padding::Same, Init::HeUniform, rng));
+        critic.push(Conv2D::new(
+            cin,
+            cout,
+            (2, 2),
+            Padding::Same,
+            Init::HeUniform,
+            rng,
+        ));
         critic.push(Activation::leaky_relu(config.leaky_alpha));
         cin = cout;
     }
@@ -183,7 +194,14 @@ pub fn build_generator(config: &WganConfig, rng: &mut rand::rngs::StdRng) -> Seq
         ));
         g.push(Activation::leaky_relu(config.leaky_alpha));
     }
-    let mut out_conv = Conv2D::new(seed_channels, 1, (2, 2), Padding::Same, Init::XavierUniform, rng);
+    let mut out_conv = Conv2D::new(
+        seed_channels,
+        1,
+        (2, 2),
+        Padding::Same,
+        Init::XavierUniform,
+        rng,
+    );
     if config.g_output_gain != 1.0 {
         use vehigan_tensor::layer::Layer;
         for p in out_conv.params_mut() {
@@ -592,8 +610,8 @@ impl Wgan {
         let mut x_probe = x_hat.clone();
         {
             let xp = x_probe.as_mut_slice();
-            for i in 0..bsz {
-                let inv = h / norms[i];
+            for (i, &norm) in norms.iter().enumerate() {
+                let inv = h / norm;
                 for j in 0..elems {
                     let idx = i * elems + j;
                     xp[idx] += gx[idx] * inv;
@@ -603,9 +621,9 @@ impl Wgan {
         // ∇_θ GP ≈ Σᵢ (cᵢ/h)·[∇_θ D(x̂ᵢ + h·vᵢ) − ∇_θ D(x̂ᵢ)].
         let mut g_plus = Tensor::zeros(&[bsz, 1]);
         let mut g_minus = Tensor::zeros(&[bsz, 1]);
-        for i in 0..bsz {
-            g_plus.as_mut_slice()[i] = coeffs[i] / h;
-            g_minus.as_mut_slice()[i] = -coeffs[i] / h;
+        for (i, &c) in coeffs.iter().enumerate() {
+            g_plus.as_mut_slice()[i] = c / h;
+            g_minus.as_mut_slice()[i] = -c / h;
         }
         let _ = self.critic.forward(&x_probe);
         let _ = self.critic.backward(&g_plus);
@@ -815,8 +833,20 @@ mod tests {
     #[test]
     fn layer_count_scales_critic_depth() {
         let mut rng = seeded_rng(0);
-        let d6 = build_critic(&WganConfig { layers: 6, ..quick_config() }, &mut rng);
-        let d8 = build_critic(&WganConfig { layers: 8, ..quick_config() }, &mut rng);
+        let d6 = build_critic(
+            &WganConfig {
+                layers: 6,
+                ..quick_config()
+            },
+            &mut rng,
+        );
+        let d8 = build_critic(
+            &WganConfig {
+                layers: 8,
+                ..quick_config()
+            },
+            &mut rng,
+        );
         let convs = |m: &Sequential| m.layer_names().iter().filter(|n| **n == "Conv2D").count();
         assert_eq!(convs(&d6), 5);
         assert_eq!(convs(&d8), 7);
@@ -1055,7 +1085,10 @@ mod tests {
 
     #[test]
     fn recovered_training_still_separates_benign_from_garbage() {
-        let mut wgan = Wgan::new(WganConfig { epochs: 6, ..quick_config() });
+        let mut wgan = Wgan::new(WganConfig {
+            epochs: 6,
+            ..quick_config()
+        });
         wgan.inject_training_fault(0, 2);
         let x = benign_snapshots(256, 4);
         let report = wgan

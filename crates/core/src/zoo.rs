@@ -132,6 +132,10 @@ impl From<CheckpointError> for ZooError {
     }
 }
 
+/// Test-only callback run on each freshly constructed training run.
+#[doc(hidden)]
+pub type FaultHook = Arc<dyn Fn(&mut Wgan) + Send + Sync>;
+
 /// Options for [`ModelZoo::train_grid`].
 #[derive(Clone, Default)]
 pub struct ZooTrainOptions {
@@ -146,10 +150,16 @@ pub struct ZooTrainOptions {
     /// remaining work is left for a resumed run. Used to exercise the
     /// kill/resume path deterministically; `None` trains everything.
     pub stop_after_groups: Option<usize>,
+    /// On resume, retrain previously quarantined configurations with a
+    /// fresh derived seed instead of carrying the quarantine records
+    /// forward. Member ids stay stable (they keep the original derived
+    /// seed), so a successful retry slots into the manifest and zoo
+    /// exactly where the doomed run would have.
+    pub retry_quarantined: bool,
     /// Test-only hook invoked on each freshly constructed training run
     /// (e.g. to schedule fault injection for a specific config).
     #[doc(hidden)]
-    pub fault_hook: Option<Arc<dyn Fn(&mut Wgan) + Send + Sync>>,
+    pub fault_hook: Option<FaultHook>,
 }
 
 impl fmt::Debug for ZooTrainOptions {
@@ -159,6 +169,7 @@ impl fmt::Debug for ZooTrainOptions {
             .field("sentinel", &self.sentinel)
             .field("checkpoint_dir", &self.checkpoint_dir)
             .field("stop_after_groups", &self.stop_after_groups)
+            .field("retry_quarantined", &self.retry_quarantined)
             .field("fault_hook", &self.fault_hook.is_some())
             .finish()
     }
@@ -206,7 +217,12 @@ pub struct ZooEntry {
 
 impl std::fmt::Debug for ZooEntry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ZooEntry({}, ADS={:.3})", self.wgan.config().id(), self.ads)
+        write!(
+            f,
+            "ZooEntry({}, ADS={:.3})",
+            self.wgan.config().id(),
+            self.ads
+        )
     }
 }
 
@@ -232,31 +248,52 @@ impl std::fmt::Debug for ModelZoo {
     }
 }
 
+/// Seed salt applied to the training run (not the member ids) when a
+/// quarantined group is retried under
+/// [`ZooTrainOptions::retry_quarantined`].
+const RETRY_SEED_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
 /// A training group: configurations differing only in epoch count share one
 /// run, checkpointed at each requested epoch budget.
 struct TrainGroup {
     base: WganConfig,
     /// `(grid index, epoch budget)`, sorted ascending by epochs.
     members: Vec<(usize, usize)>,
+    /// Extra salt folded into the run seed when retraining a previously
+    /// quarantined group; zero on a normal run.
+    retry_salt: u64,
 }
 
 impl TrainGroup {
-    /// The seed-adjusted configuration the shared run actually trains with.
+    /// The deterministic seed derived from the group's first grid entry
+    /// (so checkpoints share one trajectory).
+    fn derived_seed(&self) -> u64 {
+        let run_seed = self
+            .members
+            .first()
+            .map(|&(idx, _)| idx)
+            .expect("nonempty group");
+        self.base.seed ^ (run_seed as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// The seed-adjusted configuration the shared run actually trains
+    /// with. A quarantine retry folds in [`RETRY_SEED_SALT`] for a fresh
+    /// trajectory.
     fn run_config(&self) -> WganConfig {
-        // Seed the run from the group's first grid entry so checkpoints
-        // share one trajectory.
-        let run_seed = self.members.first().map(|&(idx, _)| idx).expect("nonempty group");
         WganConfig {
-            seed: self.base.seed ^ (run_seed as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            seed: self.derived_seed() ^ self.retry_salt,
             ..self.base
         }
     }
 
     /// The on-disk / in-zoo configuration of the member at `epochs`.
+    /// Always keyed by the original derived seed — never the retry salt —
+    /// so ids stay stable across retry runs and manifest accounting.
     fn member_config(&self, epochs: usize) -> WganConfig {
         WganConfig {
             epochs,
-            ..self.run_config()
+            seed: self.derived_seed(),
+            ..self.base
         }
     }
 }
@@ -282,6 +319,7 @@ fn group_grid(configs: &[WganConfig]) -> Vec<TrainGroup> {
             None => groups.push(TrainGroup {
                 base: *config,
                 members: vec![(idx, config.epochs)],
+                retry_salt: 0,
             }),
         }
     }
@@ -336,7 +374,9 @@ impl TrainShared<'_> {
     fn quarantine(&self, record: QuarantineRecord) -> Result<(), CheckpointError> {
         if let Some(store) = self.store {
             let mut manifest = self.manifest.lock();
-            manifest.quarantined.push((record.id(), record.reason.to_string()));
+            manifest
+                .quarantined
+                .push((record.id(), record.reason.to_string()));
             store.write_manifest(&manifest)?;
         }
         self.quarantined.lock().push(record);
@@ -356,7 +396,8 @@ impl TrainShared<'_> {
         for (pos, &(idx, epochs)) in group.members.iter().enumerate() {
             match wgan.train_epochs_checked(self.train, epochs - trained, &self.options.sentinel) {
                 Ok(report) => {
-                    self.rollbacks.fetch_add(report.rollbacks, Ordering::Relaxed);
+                    self.rollbacks
+                        .fetch_add(report.rollbacks, Ordering::Relaxed);
                     trained = epochs;
                     let mut checkpoint =
                         Wgan::from_critic_bytes(group.member_config(epochs), &wgan.critic_bytes())
@@ -402,8 +443,7 @@ impl TrainShared<'_> {
                 Err(payload) => {
                     let msg = panic_message(payload);
                     let finished = self.results.lock();
-                    let finished_idx: Vec<usize> =
-                        finished.iter().map(|&(idx, _)| idx).collect();
+                    let finished_idx: Vec<usize> = finished.iter().map(|&(idx, _)| idx).collect();
                     drop(finished);
                     for &(idx, epochs) in &group.members {
                         if finished_idx.contains(&idx) {
@@ -514,14 +554,50 @@ impl ModelZoo {
             }
         }
 
+        let mut groups = group_grid(&configs);
+
+        // Quarantine retry: strip every record of a quarantined group from
+        // the manifest and re-queue the whole group with a salted run seed.
+        // The rewritten manifest lands on disk before training starts, so a
+        // crash mid-retry resumes cleanly (the group simply trains again).
+        let retry_store = if options.retry_quarantined && !manifest.quarantined.is_empty() {
+            store.as_ref()
+        } else {
+            None
+        };
+        if let Some(retry_store) = retry_store {
+            let mut stripped = false;
+            for group in &mut groups {
+                let hit = group.members.iter().any(|&(_, epochs)| {
+                    let id = group.member_config(epochs).id();
+                    manifest.quarantined.iter().any(|(q, _)| *q == id)
+                });
+                if !hit {
+                    continue;
+                }
+                group.retry_salt = RETRY_SEED_SALT;
+                let ids: Vec<String> = group
+                    .members
+                    .iter()
+                    .map(|&(_, epochs)| group.member_config(epochs).id())
+                    .collect();
+                manifest.done.retain(|d| !ids.contains(d));
+                manifest.quarantined.retain(|(q, _)| !ids.contains(q));
+                stripped = true;
+            }
+            if stripped {
+                retry_store.write_manifest(&manifest)?;
+            }
+        }
+
         let mut pending: Vec<TrainGroup> = Vec::new();
         let mut preloaded: Vec<(usize, Wgan)> = Vec::new();
         let mut carried: Vec<QuarantineRecord> = Vec::new();
-        for group in group_grid(&configs) {
+        for group in groups {
             let accounted = store.is_some()
                 && group.members.iter().all(|&(_, epochs)| {
                     let id = group.member_config(epochs).id();
-                    manifest.done.iter().any(|d| *d == id)
+                    manifest.done.contains(&id)
                         || manifest.quarantined.iter().any(|(q, _)| *q == id)
                 });
             if !accounted {
@@ -532,9 +608,7 @@ impl ModelZoo {
             for &(idx, epochs) in &group.members {
                 let config = group.member_config(epochs);
                 let id = config.id();
-                if let Some((_, reason)) =
-                    manifest.quarantined.iter().find(|(q, _)| *q == id)
-                {
+                if let Some((_, reason)) = manifest.quarantined.iter().find(|(q, _)| *q == id) {
                     carried.push(QuarantineRecord {
                         config,
                         grid_index: idx,
@@ -546,7 +620,6 @@ impl ModelZoo {
             }
         }
         let resumed = preloaded.len();
-        let pending_left;
 
         let shared = TrainShared {
             work: Mutex::new(pending),
@@ -570,7 +643,7 @@ impl ModelZoo {
         if let Some(err) = shared.errors.into_inner().into_iter().next() {
             return Err(err.into());
         }
-        pending_left = shared.work.into_inner().len();
+        let pending_left = shared.work.into_inner().len();
 
         let mut trained = shared.results.into_inner();
         trained.sort_by_key(|(idx, _)| *idx);
@@ -664,7 +737,10 @@ impl ModelZoo {
         validation: &[(Attack, WindowDataset)],
         metric: DetectionScore,
     ) {
-        assert!(!validation.is_empty(), "need at least one validation attack");
+        assert!(
+            !validation.is_empty(),
+            "need at least one validation attack"
+        );
         let evaluate = |entry: &mut ZooEntry| {
             let scored = panic::catch_unwind(AssertUnwindSafe(|| {
                 let mut per_attack = Vec::with_capacity(validation.len());
@@ -712,7 +788,11 @@ impl ModelZoo {
     ///
     /// Panics if `m` is zero or exceeds the zoo size.
     pub fn top_m(&self, m: usize) -> Vec<usize> {
-        assert!(m >= 1 && m <= self.entries.len(), "m must be in [1, {}]", self.entries.len());
+        assert!(
+            m >= 1 && m <= self.entries.len(),
+            "m must be in [1, {}]",
+            self.entries.len()
+        );
         let sort_key = |ads: f64| if ads.is_nan() { f64::NEG_INFINITY } else { ads };
         let mut order: Vec<usize> = (0..self.entries.len()).collect();
         order.sort_by(|&a, &b| {
@@ -773,7 +853,11 @@ mod tests {
         let vehicles = vec![vehigan_sim::VehicleId(0); 80];
         vec![(
             Attack::by_name("RandomSpeed").unwrap(),
-            WindowDataset { x, labels, vehicles },
+            WindowDataset {
+                x,
+                labels,
+                vehicles,
+            },
         )]
     }
 
@@ -856,8 +940,10 @@ mod tests {
         let mut zoo = tiny_zoo();
         zoo.pre_evaluate(&synthetic_validation(3));
         let top = zoo.top_m(2);
-        let expect_ids: Vec<String> =
-            top.iter().map(|&i| zoo.entries()[i].wgan.config().id()).collect();
+        let expect_ids: Vec<String> = top
+            .iter()
+            .map(|&i| zoo.entries()[i].wgan.config().id())
+            .collect();
         let taken = zoo.take_models(&top);
         let got_ids: Vec<String> = taken.iter().map(|e| e.wgan.config().id()).collect();
         assert_eq!(expect_ids, got_ids);

@@ -1,0 +1,100 @@
+//! The campaign data plane's contract: parallel, cache-aware assembly and
+//! scoring are *bitwise* identical to the serial monolithic path — same
+//! window bytes, labels, vehicle ids, and member scores, for every attack
+//! in the full Table III catalog.
+
+use vehigan_core::{score_matrix, CampaignPlane, Wgan, WganConfig};
+use vehigan_features::{build_windows, fit_scaler, WindowConfig, WindowDataset};
+use vehigan_sim::{SimConfig, TrafficSimulator, VehicleTrace};
+use vehigan_vasp::{Attack, DatasetBuilder, DatasetConfig};
+
+fn fleet() -> Vec<VehicleTrace> {
+    TrafficSimulator::new(SimConfig {
+        n_vehicles: 8,
+        duration_s: 45.0,
+        seed: 3,
+        ..SimConfig::default()
+    })
+    .run()
+}
+
+fn assert_identical(got: &WindowDataset, want: &WindowDataset, ctx: &str) {
+    assert_eq!(got.x.shape(), want.x.shape(), "{ctx}: shape");
+    assert_eq!(got.x.as_slice(), want.x.as_slice(), "{ctx}: window bytes");
+    assert_eq!(got.labels, want.labels, "{ctx}: labels");
+    assert_eq!(got.vehicles, want.vehicles, "{ctx}: vehicle ids");
+}
+
+#[test]
+fn full_catalog_campaign_is_bitwise_identical_to_serial() {
+    let fleet = fleet();
+    let window = WindowConfig {
+        stride: 3,
+        ..WindowConfig::default()
+    };
+    let builder = DatasetBuilder::new(&fleet, DatasetConfig::default());
+    let scaler = fit_scaler(&builder.benign_dataset(), window.representation);
+    let attacks = Attack::catalog();
+
+    let plane = CampaignPlane::new(&fleet, DatasetConfig::default(), window, &scaler);
+    let parallel = plane.campaign(&attacks);
+    assert_eq!(parallel.len(), attacks.len());
+
+    for (got, &attack) in parallel.iter().zip(&attacks) {
+        let want = build_windows(&builder.attack_dataset(attack), window, &scaler);
+        assert_identical(got, &want, &attack.name());
+    }
+    assert_identical(
+        &plane.benign_windows(),
+        &build_windows(&builder.benign_dataset(), window, &scaler),
+        "benign",
+    );
+}
+
+#[test]
+fn parallel_score_cache_is_bitwise_identical_to_serial() {
+    let fleet = fleet();
+    let window = WindowConfig {
+        stride: 3,
+        ..WindowConfig::default()
+    };
+    let builder = DatasetBuilder::new(&fleet, DatasetConfig::default());
+    let scaler = fit_scaler(&builder.benign_dataset(), window.representation);
+    let plane = CampaignPlane::new(&fleet, DatasetConfig::default(), window, &scaler);
+
+    // A few catalog attacks plus benign — the exact dataset list the bench
+    // harness feeds score_matrix.
+    let attacks: Vec<Attack> = Attack::catalog().into_iter().take(4).collect();
+    let mut datasets = plane.campaign(&attacks);
+    datasets.push(plane.benign_windows());
+    let refs: Vec<&WindowDataset> = datasets.iter().collect();
+
+    let train = plane.benign_windows();
+    let wgans: Vec<Wgan> = (0..3)
+        .map(|seed| {
+            let mut w = Wgan::new(WganConfig {
+                noise_dim: 8,
+                layers: 3,
+                epochs: 1,
+                batch_size: 16,
+                n_critic: 1,
+                seed,
+                ..WganConfig::default()
+            });
+            w.train(&train.x);
+            w
+        })
+        .collect();
+    let members: Vec<&Wgan> = wgans.iter().collect();
+
+    let parallel = score_matrix(&members, &refs);
+    for (mi, member) in members.iter().enumerate() {
+        for (di, ds) in refs.iter().enumerate() {
+            assert_eq!(
+                parallel[mi][di],
+                member.score_batch(&ds.x),
+                "member {mi}, dataset {di}: scores must be bitwise identical"
+            );
+        }
+    }
+}

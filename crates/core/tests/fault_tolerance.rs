@@ -18,10 +18,8 @@ use vehigan_vasp::Attack;
 fn scratch_dir(tag: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir().join(format!(
-        "vehigan-ft-test-{}-{tag}-{n}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("vehigan-ft-test-{}-{tag}-{n}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     dir
 }
@@ -49,7 +47,11 @@ fn synthetic_validation(seed: u64) -> Vec<(Attack, WindowDataset)> {
     let vehicles = vec![vehigan_sim::VehicleId(0); 80];
     vec![(
         Attack::by_name("RandomSpeed").unwrap(),
-        WindowDataset { x, labels, vehicles },
+        WindowDataset {
+            x,
+            labels,
+            vehicles,
+        },
     )]
 }
 
@@ -85,7 +87,10 @@ fn interrupted_grid_run_resumes_to_identical_ads_ranking() {
     options.checkpoint_dir = Some(dir.clone());
     options.stop_after_groups = Some(1);
     let partial = ModelZoo::train_grid(&grid, &train, &options).unwrap();
-    assert!(!partial.complete, "stop_after_groups must interrupt the run");
+    assert!(
+        !partial.complete,
+        "stop_after_groups must interrupt the run"
+    );
     assert!(partial.zoo.len() < grid.len());
 
     // Resumed run: same directory, no stop. Finished members load from
@@ -94,12 +99,19 @@ fn interrupted_grid_run_resumes_to_identical_ads_ranking() {
     options.checkpoint_dir = Some(dir.clone());
     let resumed = ModelZoo::train_grid(&grid, &train, &options).unwrap();
     assert!(resumed.complete);
-    assert_eq!(resumed.resumed, partial.zoo.len(), "persisted members must load, not retrain");
+    assert_eq!(
+        resumed.resumed,
+        partial.zoo.len(),
+        "persisted members must load, not retrain"
+    );
     assert_eq!(resumed.zoo.len(), grid.len());
 
     // The acceptance bar: identical pre-evaluation ADS ranking.
     let got = ads_ranking(resumed.zoo);
-    assert_eq!(got, want, "resumed zoo must rank identically to an uninterrupted run");
+    assert_eq!(
+        got, want,
+        "resumed zoo must rank identically to an uninterrupted run"
+    );
     let _ = fs::remove_dir_all(&dir);
 }
 
@@ -116,7 +128,11 @@ fn completed_run_is_a_pure_reload() {
     assert_eq!(first.resumed, 0);
 
     let second = ModelZoo::train_grid(&grid, &train, &options).unwrap();
-    assert_eq!(second.resumed, grid.len(), "second run must load everything");
+    assert_eq!(
+        second.resumed,
+        grid.len(),
+        "second run must load everything"
+    );
     let probe = benign(8, 3);
     for (a, b) in first.zoo.entries().iter().zip(second.zoo.entries()) {
         assert_eq!(a.wgan.score_batch(&probe), b.wgan.score_batch(&probe));
@@ -140,9 +156,7 @@ fn manifest_from_a_different_grid_is_rejected() {
         ..GridConfig::tiny()
     };
     match ModelZoo::train_grid(&other, &train, &options) {
-        Err(vehigan_core::ZooError::Checkpoint(CheckpointError::ManifestMismatch {
-            ..
-        })) => {}
+        Err(vehigan_core::ZooError::Checkpoint(CheckpointError::ManifestMismatch { .. })) => {}
         other => panic!("expected ManifestMismatch, got {other:?}"),
     }
     let _ = fs::remove_dir_all(&dir);
@@ -248,8 +262,8 @@ fn zoo_with_quarantined_member_still_scores_degraded() {
     // Train a small pool, quarantine one deployed member, and verify the
     // ensemble still detects with the healthy subset (healthy ≥ k).
     let train = benign(96, 0);
-    let report = ModelZoo::train_grid(&GridConfig::tiny(), &train, &ZooTrainOptions::new(2))
-        .unwrap();
+    let report =
+        ModelZoo::train_grid(&GridConfig::tiny(), &train, &ZooTrainOptions::new(2)).unwrap();
     let mut zoo = report.zoo;
     zoo.pre_evaluate(&synthetic_validation(13));
     let selected = zoo.top_m(3);
@@ -308,5 +322,87 @@ fn quarantine_survives_resume() {
         );
     }
     assert_eq!(second.resumed, second.zoo.len());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retry_quarantined_retrains_with_a_fresh_seed() {
+    // First run: the noise_dim=8 group diverges past the retry budget and
+    // is quarantined in the manifest. A resume with `retry_quarantined`
+    // (and the fault gone) must retrain exactly that group on a fresh
+    // trajectory and return a full zoo under the original member ids.
+    let train = benign(64, 0);
+    let grid = GridConfig::tiny();
+    let dir = scratch_dir("qretry");
+    let mut options = ZooTrainOptions::new(1);
+    options.checkpoint_dir = Some(dir.clone());
+    options.fault_hook = Some(Arc::new(|wgan: &mut Wgan| {
+        if wgan.config().noise_dim == 8 {
+            for attempt in 0..8 {
+                wgan.inject_training_fault(attempt, 0);
+            }
+        }
+    }));
+    let first = ModelZoo::train_grid(&grid, &train, &options).unwrap();
+    assert_eq!(first.quarantined.len(), 2);
+
+    // Reference ids from an untouched full run: retry must not change
+    // member identity.
+    let reference = ModelZoo::train_grid(&grid, &train, &ZooTrainOptions::new(1))
+        .unwrap()
+        .zoo;
+    let want_ids: Vec<String> = reference
+        .entries()
+        .iter()
+        .map(|e| e.wgan.config().id())
+        .collect();
+
+    let mut options = ZooTrainOptions::new(1);
+    options.checkpoint_dir = Some(dir.clone());
+    options.retry_quarantined = true;
+    let retried = ModelZoo::train_grid(&grid, &train, &options).unwrap();
+    assert!(retried.complete);
+    assert!(
+        retried.quarantined.is_empty(),
+        "retry must clear the quarantine"
+    );
+    assert_eq!(retried.zoo.len(), grid.len());
+    let got_ids: Vec<String> = retried
+        .zoo
+        .entries()
+        .iter()
+        .map(|e| e.wgan.config().id())
+        .collect();
+    assert_eq!(
+        got_ids, want_ids,
+        "member ids must stay stable across retry"
+    );
+
+    // The retried members trained on a salted trajectory — different
+    // weights than a clean same-seed run, proving the fresh seed was used.
+    let probe = benign(8, 3);
+    for (r, e) in reference.entries().iter().zip(retried.zoo.entries()) {
+        if e.wgan.config().noise_dim == 8 {
+            assert_ne!(
+                r.wgan.score_batch(&probe),
+                e.wgan.score_batch(&probe),
+                "retried member must come from a reseeded run"
+            );
+        } else {
+            assert_eq!(
+                r.wgan.score_batch(&probe),
+                e.wgan.score_batch(&probe),
+                "untouched members must be bit-identical resumes"
+            );
+        }
+    }
+
+    // A further resume without the flag is a pure reload of the now-full
+    // manifest.
+    let mut options = ZooTrainOptions::new(1);
+    options.checkpoint_dir = Some(dir.clone());
+    let reloaded = ModelZoo::train_grid(&grid, &train, &options).unwrap();
+    assert_eq!(reloaded.resumed, grid.len());
+    assert!(reloaded.quarantined.is_empty());
     let _ = fs::remove_dir_all(&dir);
 }

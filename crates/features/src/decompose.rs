@@ -25,8 +25,18 @@ pub const NUM_RAW_FEATURES: usize = 6;
 
 /// Names of the engineered features, in column order.
 pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
-    "delta_x", "delta_y", "v_x", "v_y", "delta_v_x", "delta_v_y", "a_x", "a_y", "delta_theta_x",
-    "delta_theta_y", "omega_x", "omega_y",
+    "delta_x",
+    "delta_y",
+    "v_x",
+    "v_y",
+    "delta_v_x",
+    "delta_v_y",
+    "a_x",
+    "a_y",
+    "delta_theta_x",
+    "delta_theta_y",
+    "omega_x",
+    "omega_y",
 ];
 
 /// One engineered feature row (from a consecutive BSM pair).
@@ -66,18 +76,18 @@ pub fn decompose_pair(prev: &Bsm, curr: &Bsm) -> FeatureRow {
     let vy_prev = prev.speed * sin_p;
     FeatureRow {
         values: [
-            curr.pos_x - prev.pos_x,     // Δx
-            curr.pos_y - prev.pos_y,     // Δy
-            vx,                          // vx = v·cosθ
-            vy,                          // vy = v·sinθ
-            vx - vx_prev,                // Δvx
-            vy - vy_prev,                // Δvy
-            curr.acceleration * cos_c,   // ax = a·cosθ
-            curr.acceleration * sin_c,   // ay = a·sinθ
-            cos_c - cos_p,               // Δθx (θx = cosθ)
-            sin_c - sin_p,               // Δθy (θy = sinθ)
-            curr.yaw_rate * cos_c,       // ωx = ω·cosθ
-            curr.yaw_rate * sin_c,       // ωy = ω·sinθ
+            curr.pos_x - prev.pos_x,   // Δx
+            curr.pos_y - prev.pos_y,   // Δy
+            vx,                        // vx = v·cosθ
+            vy,                        // vy = v·sinθ
+            vx - vx_prev,              // Δvx
+            vy - vy_prev,              // Δvy
+            curr.acceleration * cos_c, // ax = a·cosθ
+            curr.acceleration * sin_c, // ay = a·sinθ
+            cos_c - cos_p,             // Δθx (θx = cosθ)
+            sin_c - sin_p,             // Δθy (θy = sinθ)
+            curr.yaw_rate * cos_c,     // ωx = ω·cosθ
+            curr.yaw_rate * sin_c,     // ωy = ω·sinθ
         ],
         timestamp: curr.timestamp,
     }
@@ -197,7 +207,10 @@ mod tests {
     fn raw_rows_are_translation_invariant() {
         let trace = noiseless_trace();
         let rows = raw_trace(&trace);
-        assert!(rows[0][0].abs() < 5.0, "first raw Δ position should be near origin");
+        assert!(
+            rows[0][0].abs() < 5.0,
+            "first raw Δ position should be near origin"
+        );
     }
 
     #[test]

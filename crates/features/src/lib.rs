@@ -43,4 +43,8 @@ pub use decompose::{
 };
 pub use scaler::MinMaxScaler;
 pub use stream::{StreamTracker, WindowBuffer};
-pub use window::{build_windows, fit_scaler, Representation, WindowConfig, WindowDataset};
+pub use window::{
+    assemble_fragments, build_fragment, build_windows, build_windows_from_rows, engineer_rows,
+    engineer_trace, fit_scaler, fit_scaler_from_rows, Representation, TraceRows, WindowConfig,
+    WindowDataset, WindowFragment,
+};

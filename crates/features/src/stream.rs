@@ -41,8 +41,7 @@ impl WindowBuffer {
     pub fn push(&mut self, bsm: &Bsm) -> Option<Tensor> {
         if let Some(prev) = self.prev {
             let row = decompose_pair(&prev, bsm);
-            self.rows
-                .push_back(self.scaler.transform_row(&row.values));
+            self.rows.push_back(self.scaler.transform_row(&row.values));
             if self.rows.len() > self.window {
                 self.rows.pop_front();
             }
@@ -156,11 +155,7 @@ mod tests {
         // (stride 1) of the same trace.
         let (fleet, scaler) = setup();
         let builder = DatasetBuilder::new(&fleet[..1], DatasetConfig::default());
-        let batch = build_windows(
-            &builder.benign_dataset(),
-            WindowConfig::default(),
-            &scaler,
-        );
+        let batch = build_windows(&builder.benign_dataset(), WindowConfig::default(), &scaler);
         let mut buf = WindowBuffer::new(10, scaler);
         let mut last = None;
         for bsm in &fleet[0] {

@@ -202,7 +202,10 @@ impl LiteCritic {
     ///
     /// Returns an error if the model uses layers beyond
     /// Conv2D(same)/LeakyReLU/Flatten/Dense or does not end in a scalar.
-    pub fn compile(model: &Sequential, input_shape: (usize, usize, usize)) -> Result<Self, CompileError> {
+    pub fn compile(
+        model: &Sequential,
+        input_shape: (usize, usize, usize),
+    ) -> Result<Self, CompileError> {
         Self::compile_snapshot(&model.save(), input_shape)
     }
 
@@ -462,7 +465,14 @@ mod tests {
         let mut cin = 1;
         for i in 0..convs {
             let cout = (8 << i).min(32);
-            m.push(Conv2D::new(cin, cout, (2, 2), Padding::Same, Init::HeUniform, &mut rng));
+            m.push(Conv2D::new(
+                cin,
+                cout,
+                (2, 2),
+                Padding::Same,
+                Init::HeUniform,
+                &mut rng,
+            ));
             m.push(Activation::leaky_relu(0.2));
             cin = cout;
         }
@@ -503,7 +513,14 @@ mod tests {
         // (pad_top = 1), unlike the paper's 2×2 kernels.
         let mut rng = seeded_rng(31);
         let mut critic = Sequential::new();
-        critic.push(Conv2D::new(1, 4, (3, 3), Padding::Same, Init::HeUniform, &mut rng));
+        critic.push(Conv2D::new(
+            1,
+            4,
+            (3, 3),
+            Padding::Same,
+            Init::HeUniform,
+            &mut rng,
+        ));
         critic.push(Activation::leaky_relu(0.2));
         critic.push(Flatten::new());
         critic.push(Dense::new(10 * 12 * 4, 1, Init::XavierUniform, &mut rng));
@@ -527,7 +544,10 @@ mod tests {
         let xs: Vec<Tensor> = (0..20)
             .map(|_| rand_uniform(&[1, 10, 12, 1], -1.0, 1.0, &mut rng))
             .collect();
-        let float_scores: Vec<f32> = xs.iter().map(|x| -critic.forward(x).as_slice()[0]).collect();
+        let float_scores: Vec<f32> = xs
+            .iter()
+            .map(|x| -critic.forward(x).as_slice()[0])
+            .collect();
         let lite_scores: Vec<f32> = xs.iter().map(|x| lite.score(x.as_slice())).collect();
         let mut agree = 0;
         let mut pairs = 0;
@@ -542,7 +562,12 @@ mod tests {
             }
         }
         assert!(pairs > 0);
-        assert_eq!(agree, pairs, "quantization reordered {}/{pairs} pairs", pairs - agree);
+        assert_eq!(
+            agree,
+            pairs,
+            "quantization reordered {}/{pairs} pairs",
+            pairs - agree
+        );
     }
 
     #[test]
@@ -569,7 +594,10 @@ mod tests {
         g.push(Dense::new(8, 60, Init::HeUniform, &mut rng));
         g.push(vehigan_tensor::layers::Reshape::new(&[5, 6, 2]));
         let err = LiteCritic::compile(&g, (1, 1, 8));
-        assert!(matches!(err, Err(CompileError::UnsupportedLayer(_)) | Err(CompileError::NotACritic(_))));
+        assert!(matches!(
+            err,
+            Err(CompileError::UnsupportedLayer(_)) | Err(CompileError::NotACritic(_))
+        ));
     }
 
     #[test]

@@ -148,8 +148,7 @@ impl MisbehaviorAuthority {
         }
         let reporters: HashSet<VehicleId> = queue.iter().map(|r| r.reporter).collect();
         if reporters.len() >= self.policy.min_reporters && queue.len() >= self.policy.min_reports {
-            let mean_margin =
-                queue.iter().map(Mbr::margin).sum::<f32>() / queue.len() as f32;
+            let mean_margin = queue.iter().map(Mbr::margin).sum::<f32>() / queue.len() as f32;
             let record = RevocationRecord {
                 revoked_at: now,
                 reporter_count: reporters.len(),
@@ -214,8 +213,14 @@ mod tests {
     #[test]
     fn corroborated_reports_convict() {
         let mut ma = MisbehaviorAuthority::new(policy());
-        assert!(matches!(ma.ingest(report(1, 9, 0.0)), IngestOutcome::Pending { .. }));
-        assert!(matches!(ma.ingest(report(2, 9, 1.0)), IngestOutcome::Pending { .. }));
+        assert!(matches!(
+            ma.ingest(report(1, 9, 0.0)),
+            IngestOutcome::Pending { .. }
+        ));
+        assert!(matches!(
+            ma.ingest(report(2, 9, 1.0)),
+            IngestOutcome::Pending { .. }
+        ));
         let out = ma.ingest(report(1, 9, 2.0));
         match out {
             IngestOutcome::Revoked(rec) => {
@@ -238,7 +243,13 @@ mod tests {
         // longer corroborate.
         let out = ma.ingest(report(3, 9, 1000.0));
         assert!(
-            matches!(out, IngestOutcome::Pending { reporters: 1, reports: 1 }),
+            matches!(
+                out,
+                IngestOutcome::Pending {
+                    reporters: 1,
+                    reports: 1
+                }
+            ),
             "{out:?}"
         );
     }
@@ -259,7 +270,10 @@ mod tests {
         let _ = ma.ingest(report(2, 9, 1.0));
         let _ = ma.ingest(report(3, 9, 2.0));
         assert!(ma.crl().is_revoked(VehicleId(9), 2.0));
-        assert!(matches!(ma.ingest(report(4, 9, 3.0)), IngestOutcome::AlreadyRevoked));
+        assert!(matches!(
+            ma.ingest(report(4, 9, 3.0)),
+            IngestOutcome::AlreadyRevoked
+        ));
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl CertificateRevocationList {
 
     /// Adds (or refreshes) a revocation. Returns the previous record if
     /// the vehicle was already revoked.
-    pub fn revoke(&mut self, vehicle: VehicleId, record: RevocationRecord) -> Option<RevocationRecord> {
+    pub fn revoke(
+        &mut self,
+        vehicle: VehicleId,
+        record: RevocationRecord,
+    ) -> Option<RevocationRecord> {
         self.entries.insert(vehicle, record)
     }
 
@@ -82,7 +86,8 @@ impl CertificateRevocationList {
     /// Drops entries that expired before `now` (no-op for permanent CRLs).
     pub fn prune(&mut self, now: f64) {
         if let Some(validity) = self.validity_s {
-            self.entries.retain(|_, rec| now - rec.revoked_at <= validity);
+            self.entries
+                .retain(|_, rec| now - rec.revoked_at <= validity);
         }
     }
 

@@ -7,7 +7,9 @@ use std::collections::HashMap;
 use vehigan_sim::VehicleId;
 
 /// A vehicle's long-term enrollment identity (never transmitted).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct LongTermId(pub u32);
 
 /// Issues short-term pseudonyms and retains the linkage map.

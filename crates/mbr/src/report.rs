@@ -52,7 +52,10 @@ impl std::fmt::Display for InvalidMbrError {
             }
             InvalidMbrError::NonFiniteScore => write!(f, "score or threshold is not finite"),
             InvalidMbrError::BadEvidence { expected, got } => {
-                write!(f, "evidence length {got} does not match expected {expected}")
+                write!(
+                    f,
+                    "evidence length {got} does not match expected {expected}"
+                )
             }
             InvalidMbrError::SelfReport => write!(f, "reporter and suspect are the same vehicle"),
             InvalidMbrError::EvidenceOutOfRange => {

@@ -114,17 +114,26 @@ mod tests {
 
     #[test]
     fn perfect_ranking_is_one() {
-        assert_eq!(auroc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]), 1.0);
+        assert_eq!(
+            auroc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]),
+            1.0
+        );
     }
 
     #[test]
     fn inverted_ranking_is_zero() {
-        assert_eq!(auroc(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]), 0.0);
+        assert_eq!(
+            auroc(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]),
+            0.0
+        );
     }
 
     #[test]
     fn all_tied_is_half() {
-        assert_eq!(auroc(&[0.5, 0.5, 0.5, 0.5], &[true, true, false, false]), 0.5);
+        assert_eq!(
+            auroc(&[0.5, 0.5, 0.5, 0.5], &[true, true, false, false]),
+            0.5
+        );
     }
 
     #[test]

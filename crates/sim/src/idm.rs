@@ -50,8 +50,9 @@ impl IdmParams {
                 let gap = gap.max(0.01);
                 let dv = v - v_obs;
                 let s_star = self.s0
-                    + (v * self.time_headway + v * dv / (2.0 * (self.a_max * self.b_comfort).sqrt()))
-                        .max(0.0);
+                    + (v * self.time_headway
+                        + v * dv / (2.0 * (self.a_max * self.b_comfort).sqrt()))
+                    .max(0.0);
                 (s_star / gap).powi(2)
             }
             None => 0.0,

@@ -211,7 +211,12 @@ mod tests {
 
     #[test]
     fn direction_turns_compose() {
-        for d in [Direction::East, Direction::North, Direction::West, Direction::South] {
+        for d in [
+            Direction::East,
+            Direction::North,
+            Direction::West,
+            Direction::South,
+        ] {
             assert_eq!(d.left().right(), d);
             assert_eq!(d.left().left().left().left(), d);
             assert_eq!(d.right().right(), d.left().left());
@@ -220,7 +225,12 @@ mod tests {
 
     #[test]
     fn heading_matches_unit_vector() {
-        for d in [Direction::East, Direction::North, Direction::West, Direction::South] {
+        for d in [
+            Direction::East,
+            Direction::North,
+            Direction::West,
+            Direction::South,
+        ] {
             let (ux, uy) = d.unit();
             assert!((d.heading().cos() - ux).abs() < 1e-12);
             assert!((d.heading().sin() - uy).abs() < 1e-12);

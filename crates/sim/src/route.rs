@@ -66,10 +66,7 @@ impl Segment {
     pub fn pose(&self, s: f64) -> Pose {
         match *self {
             Segment::Straight {
-                x0,
-                y0,
-                heading,
-                ..
+                x0, y0, heading, ..
             } => Pose {
                 x: x0 + s * heading.cos(),
                 y: y0 + s * heading.sin(),

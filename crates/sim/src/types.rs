@@ -10,7 +10,19 @@ pub const BSM_INTERVAL_S: f64 = 0.1;
 /// Real deployments rotate pseudonyms through the SCMS; within a simulation
 /// horizon a vehicle keeps one id, matching how the VehiGAN dataset groups
 /// messages per vehicle.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    Default,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct VehicleId(pub u32);
 
 impl fmt::Display for VehicleId {

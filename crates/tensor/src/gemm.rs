@@ -122,8 +122,7 @@ macro_rules! gemm_body {
                 let base = s * kc * NR;
                 for kk in 0..kc {
                     let src = (kb + kk) * $n + js;
-                    $pb[base + kk * NR..base + kk * NR + w]
-                        .copy_from_slice(&$b[src..src + w]);
+                    $pb[base + kk * NR..base + kk * NR + w].copy_from_slice(&$b[src..src + w]);
                 }
             }
             for ib in (0..$m).step_by(MC) {
@@ -399,8 +398,18 @@ pub fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) 
 ///
 /// Panics if `src`/`dst` lengths differ from `m·n`.
 pub fn transpose_into(m: usize, n: usize, src: &[f32], dst: &mut [f32]) {
-    assert_eq!(src.len(), m * n, "transpose: src length {} != {m}×{n}", src.len());
-    assert_eq!(dst.len(), m * n, "transpose: dst length {} != {m}×{n}", dst.len());
+    assert_eq!(
+        src.len(),
+        m * n,
+        "transpose: src length {} != {m}×{n}",
+        src.len()
+    );
+    assert_eq!(
+        dst.len(),
+        m * n,
+        "transpose: dst length {} != {m}×{n}",
+        dst.len()
+    );
     const TILE: usize = 32;
     for it in (0..m).step_by(TILE) {
         let ih = TILE.min(m - it);

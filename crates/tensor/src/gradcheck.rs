@@ -42,7 +42,11 @@ pub fn finite_diff_grad(f: impl Fn(&Tensor) -> f32, x: &Tensor, eps: f32) -> Ten
 /// Relative error is `|a − n| / max(1, |a|, |n|)` element-wise, so small
 /// gradients are compared absolutely and large ones relatively.
 pub fn max_relative_error(analytic: &Tensor, numeric: &Tensor) -> f32 {
-    assert_eq!(analytic.shape(), numeric.shape(), "gradcheck shape mismatch");
+    assert_eq!(
+        analytic.shape(),
+        numeric.shape(),
+        "gradcheck shape mismatch"
+    );
     analytic
         .as_slice()
         .iter()
@@ -58,7 +62,11 @@ mod tests {
     #[test]
     fn quadratic_gradient_is_exact() {
         let x = Tensor::from_slice(&[1.0, -2.0, 0.5]);
-        let g = finite_diff_grad(|t| t.as_slice().iter().map(|v| v * v).sum::<f32>(), &x, 1e-3);
+        let g = finite_diff_grad(
+            |t| t.as_slice().iter().map(|v| v * v).sum::<f32>(),
+            &x,
+            1e-3,
+        );
         let expected = &x * 2.0;
         assert!(max_relative_error(&expected, &g) < 1e-3);
     }

@@ -24,7 +24,13 @@ pub enum Init {
 
 impl Init {
     /// Samples a tensor of the given shape using `fan_in`/`fan_out`.
-    pub fn sample(self, shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    pub fn sample(
+        self,
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut StdRng,
+    ) -> Tensor {
         let n: usize = shape.iter().product();
         let data: Vec<f32> = match self {
             Init::XavierUniform => {

@@ -63,6 +63,14 @@ pub trait Layer: Send + Sync {
     /// Panics if called before `forward` (no cached activation).
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// Hands a dead output tensor of this layer back so its allocation can
+    /// be reused by the next [`forward`]. Called by
+    /// [`crate::Sequential::forward`] once the following layer has consumed
+    /// the activation; the default implementation simply drops it.
+    ///
+    /// [`forward`]: Layer::forward
+    fn reclaim(&mut self, _output: Tensor) {}
+
     /// Mutable access to the layer's trainable parameters (possibly empty).
     fn params_mut(&mut self) -> Vec<&mut Param>;
 

@@ -127,7 +127,11 @@ impl Activation {
             "ReLU" => ActivationKind::Relu,
             "Tanh" => ActivationKind::Tanh,
             "Sigmoid" => ActivationKind::Sigmoid,
-            other => return Err(crate::serialize::ModelFormatError::UnknownLayer(other.into())),
+            other => {
+                return Err(crate::serialize::ModelFormatError::UnknownLayer(
+                    other.into(),
+                ))
+            }
         };
         Ok(Activation::new(kind))
     }

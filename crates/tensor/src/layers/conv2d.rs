@@ -32,7 +32,9 @@ impl Padding {
         match tag {
             0 => Ok(Padding::Same),
             1 => Ok(Padding::Valid),
-            _ => Err(crate::serialize::ModelFormatError::Corrupt("bad padding tag")),
+            _ => Err(crate::serialize::ModelFormatError::Corrupt(
+                "bad padding tag",
+            )),
         }
     }
 }
@@ -63,6 +65,7 @@ pub struct Conv2D {
     b: Param,
     cached_input_shape: Option<Vec<usize>>,
     cached_cols: Option<Tensor>,
+    cached_out: Option<Vec<f32>>,
 }
 
 impl Conv2D {
@@ -80,7 +83,10 @@ impl Conv2D {
         rng: &mut StdRng,
     ) -> Self {
         let (kh, kw) = kernel;
-        assert!(cin > 0 && cout > 0 && kh > 0 && kw > 0, "conv dims must be nonzero");
+        assert!(
+            cin > 0 && cout > 0 && kh > 0 && kw > 0,
+            "conv dims must be nonzero"
+        );
         let fan_in = kh * kw * cin;
         let fan_out = kh * kw * cout;
         let w = init.sample(&[fan_in, cout], fan_in, fan_out, rng);
@@ -94,6 +100,7 @@ impl Conv2D {
             b: Param::new(Tensor::zeros(&[cout])),
             cached_input_shape: None,
             cached_cols: None,
+            cached_out: None,
         }
     }
 
@@ -121,6 +128,7 @@ impl Conv2D {
             b: Param::new(b),
             cached_input_shape: None,
             cached_cols: None,
+            cached_out: None,
         })
     }
 
@@ -236,7 +244,12 @@ impl Conv2D {
 }
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
-    assert_eq!(t.ndim(), 4, "conv expects NHWC 4-D input, got {:?}", t.shape());
+    assert_eq!(
+        t.ndim(),
+        4,
+        "conv expects NHWC 4-D input, got {:?}",
+        t.shape()
+    );
     let s = t.shape();
     (s[0], s[1], s[2], s[3])
 }
@@ -258,14 +271,29 @@ impl Layer for Conv2D {
             _ => Tensor::zeros(&[rows, cols_w]),
         };
         self.im2col_into(input, cols.as_mut_slice());
-        let mut out = cols.matmul(&self.w.value);
+        // The output buffer is served from the reclaim cache (see
+        // `Layer::reclaim`) and fed straight through the blocked GEMM — same
+        // kernel and reduction order as `matmul`/`infer`, minus the per-step
+        // allocation. The GEMM accumulates, so the buffer is zeroed first.
+        let mut out = match self.cached_out.take() {
+            Some(mut v) if v.len() == rows * self.cout => {
+                v.fill(0.0);
+                v
+            }
+            _ => vec![0.0f32; rows * self.cout],
+        };
+        crate::gemm::gemm(
+            rows,
+            cols_w,
+            self.cout,
+            cols.as_slice(),
+            self.w.value.as_slice(),
+            &mut out,
+        );
         let bias = self.b.value.as_slice();
-        {
-            let data = out.as_mut_slice();
-            for r in 0..rows {
-                for j in 0..self.cout {
-                    data[r * self.cout + j] += bias[j];
-                }
+        for r in 0..rows {
+            for j in 0..self.cout {
+                out[r * self.cout + j] += bias[j];
             }
         }
         match &mut self.cached_input_shape {
@@ -276,8 +304,7 @@ impl Layer for Conv2D {
             slot => *slot = Some(input.shape().to_vec()),
         }
         self.cached_cols = Some(cols);
-        out.reshape_in_place(&[n, ho, wo, self.cout]);
-        out
+        Tensor::from_vec(out, &[n, ho, wo, self.cout])
     }
 
     fn infer(&self, input: Tensor, ws: &mut Workspace) -> Tensor {
@@ -289,7 +316,14 @@ impl Layer for Conv2D {
         let mut cols = ws.take(rows * cols_w); // zero-filled, as im2col needs
         self.im2col_into(&input, &mut cols);
         let mut out = ws.take(rows * self.cout);
-        crate::gemm::gemm(rows, cols_w, self.cout, &cols, self.w.value.as_slice(), &mut out);
+        crate::gemm::gemm(
+            rows,
+            cols_w,
+            self.cout,
+            &cols,
+            self.w.value.as_slice(),
+            &mut out,
+        );
         let bias = self.b.value.as_slice();
         for r in 0..rows {
             for j in 0..self.cout {
@@ -346,6 +380,10 @@ impl Layer for Conv2D {
         // Hand the buffer back so the next forward reuses the allocation.
         self.cached_cols = Some(cols);
         grad
+    }
+
+    fn reclaim(&mut self, output: Tensor) {
+        self.cached_out = Some(output.into_vec());
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -435,7 +473,10 @@ mod tests {
         let mut rng = seeded_rng(0);
         let mut conv = Conv2D::new(1, 1, (2, 2), Padding::Valid, Init::Zeros, &mut rng);
         conv.w.value = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[4, 1]);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 3, 3, 1]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 3, 3, 1],
+        );
         // 2×2 box filter over a 3×3 ramp.
         let y = conv.forward(&x);
         assert_eq!(y.shape(), &[1, 2, 2, 1]);
@@ -483,8 +524,14 @@ mod tests {
         let numeric = finite_diff_grad(
             |ww| {
                 let mut rng = seeded_rng(0);
-                let mut c =
-                    Conv2D::new(proto_cin, proto_cout, (2, 2), Padding::Same, Init::Zeros, &mut rng);
+                let mut c = Conv2D::new(
+                    proto_cin,
+                    proto_cout,
+                    (2, 2),
+                    Padding::Same,
+                    Init::Zeros,
+                    &mut rng,
+                );
                 c.w.value = ww.clone();
                 c.b.value = b.clone();
                 c.forward(&x2).sum()
@@ -515,6 +562,23 @@ mod tests {
         assert_eq!(back.w.value, conv.w.value);
         assert_eq!(back.padding, Padding::Valid);
         assert_eq!(back.cout(), 5);
+    }
+
+    #[test]
+    fn reclaimed_output_buffer_changes_nothing() {
+        // forward → reclaim → forward must be bitwise identical to a fresh
+        // forward: the cached buffer is pure allocation reuse.
+        let mut rng = seeded_rng(21);
+        let mut conv = Conv2D::new(2, 3, (2, 2), Padding::Same, Init::HeUniform, &mut rng);
+        let x = randn(&[2, 5, 6, 2], &mut rng);
+        let first = conv.forward(&x);
+        let reference = first.clone();
+        conv.reclaim(first);
+        let second = conv.forward(&x);
+        assert_eq!(second, reference);
+        // A shape change mid-stream must also be handled (buffer regrown).
+        let y = randn(&[1, 7, 4, 2], &mut rng);
+        assert_eq!(conv.forward(&y).shape(), &[1, 7, 4, 3]);
     }
 
     #[test]

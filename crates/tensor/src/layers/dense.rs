@@ -76,7 +76,12 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.ndim(), 2, "Dense expects [batch, in], got {:?}", input.shape());
+        assert_eq!(
+            input.ndim(),
+            2,
+            "Dense expects [batch, in], got {:?}",
+            input.shape()
+        );
         assert_eq!(
             input.shape()[1],
             self.in_dim,
@@ -104,7 +109,12 @@ impl Layer for Dense {
     }
 
     fn infer(&self, input: Tensor, ws: &mut Workspace) -> Tensor {
-        assert_eq!(input.ndim(), 2, "Dense expects [batch, in], got {:?}", input.shape());
+        assert_eq!(
+            input.ndim(),
+            2,
+            "Dense expects [batch, in], got {:?}",
+            input.shape()
+        );
         assert_eq!(
             input.shape()[1],
             self.in_dim,

@@ -18,7 +18,9 @@ impl Flatten {
     }
 
     /// Reconstructs from a snapshot.
-    pub fn from_snapshot(_snap: &LayerSnapshot) -> Result<Self, crate::serialize::ModelFormatError> {
+    pub fn from_snapshot(
+        _snap: &LayerSnapshot,
+    ) -> Result<Self, crate::serialize::ModelFormatError> {
         Ok(Flatten::new())
     }
 }
@@ -100,7 +102,11 @@ impl Reshape {
                 1 => "d1",
                 2 => "d2",
                 3 => "d3",
-                _ => return Err(crate::serialize::ModelFormatError::Corrupt("reshape rank > 4")),
+                _ => {
+                    return Err(crate::serialize::ModelFormatError::Corrupt(
+                        "reshape rank > 4",
+                    ))
+                }
             };
             target.push(snap.usize_attr(key)?);
         }

@@ -50,13 +50,21 @@ impl UpSample2D {
     ///
     /// Returns an error if factor attributes are missing.
     pub fn from_snapshot(snap: &LayerSnapshot) -> Result<Self, crate::serialize::ModelFormatError> {
-        Ok(UpSample2D::new(snap.usize_attr("fy")?, snap.usize_attr("fx")?))
+        Ok(UpSample2D::new(
+            snap.usize_attr("fy")?,
+            snap.usize_attr("fx")?,
+        ))
     }
 }
 
 impl Layer for UpSample2D {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        assert_eq!(input.ndim(), 4, "UpSample2D expects NHWC, got {:?}", input.shape());
+        assert_eq!(
+            input.ndim(),
+            4,
+            "UpSample2D expects NHWC, got {:?}",
+            input.shape()
+        );
         let (n, h, w, c) = (
             input.shape()[0],
             input.shape()[1],
@@ -82,7 +90,12 @@ impl Layer for UpSample2D {
     }
 
     fn infer(&self, input: Tensor, ws: &mut Workspace) -> Tensor {
-        assert_eq!(input.ndim(), 4, "UpSample2D expects NHWC, got {:?}", input.shape());
+        assert_eq!(
+            input.ndim(),
+            4,
+            "UpSample2D expects NHWC, got {:?}",
+            input.shape()
+        );
         let (n, h, w, c) = (
             input.shape()[0],
             input.shape()[1],
@@ -147,7 +160,11 @@ impl Layer for UpSample2D {
     }
 
     fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
-        assert_eq!(input_shape.len(), 3, "upsample input shape must be [h, w, c]");
+        assert_eq!(
+            input_shape.len(),
+            3,
+            "upsample input shape must be [h, w, c]"
+        );
         vec![
             input_shape[0] * self.fy,
             input_shape[1] * self.fx,
@@ -174,7 +191,10 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 2, 1]);
         let y = up.forward(&x);
         assert_eq!(y.shape(), &[1, 2, 6, 1]);
-        assert_eq!(y.as_slice(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(
+            y.as_slice(),
+            &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl RmsProp {
 
     fn ensure_cache(&mut self, params: &[&mut Param]) {
         if self.cache.len() != params.len() {
-            self.cache = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.cache = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
     }
 }
@@ -149,8 +152,14 @@ impl Adam {
 
     fn ensure_state(&mut self, params: &[&mut Param]) {
         if self.m.len() != params.len() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
     }
 }
@@ -192,18 +201,18 @@ mod tests {
         let mut p = Param::new(Tensor::zeros(&[3]));
         for _ in 0..steps {
             p.zero_grad();
-            for i in 0..3 {
+            for (i, &t) in target.iter().enumerate() {
                 let w = p.value.as_slice()[i];
-                p.grad.as_mut_slice()[i] = 2.0 * (w - target[i]);
+                p.grad.as_mut_slice()[i] = 2.0 * (w - t);
             }
             opt.step(&mut [&mut p]);
         }
-        for i in 0..3 {
+        for (i, &t) in target.iter().enumerate() {
             assert!(
-                (p.value.as_slice()[i] - target[i]).abs() < lr_tolerance,
+                (p.value.as_slice()[i] - t).abs() < lr_tolerance,
                 "dim {i}: {} vs {}",
                 p.value.as_slice()[i],
-                target[i]
+                t
             );
         }
     }

@@ -48,7 +48,10 @@ impl fmt::Display for ModelFormatError {
             ModelFormatError::MissingField(k) => write!(f, "missing field `{k}`"),
             ModelFormatError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
             ModelFormatError::NonFinite { index } => {
-                write!(f, "non-finite tensor value at element {index} (poisoned model)")
+                write!(
+                    f,
+                    "non-finite tensor value at element {index} (poisoned model)"
+                )
             }
         }
     }

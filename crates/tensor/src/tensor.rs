@@ -177,7 +177,10 @@ impl Tensor {
         debug_assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
         let mut flat = 0;
         for (i, (&ix, &dim)) in idx.iter().zip(&self.shape).enumerate() {
-            debug_assert!(ix < dim, "index {ix} out of bounds for dim {i} (size {dim})");
+            debug_assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} (size {dim})"
+            );
             flat = flat * dim + ix;
         }
         flat
@@ -352,11 +355,25 @@ impl Tensor {
     ///
     /// Panics if either operand is not 2-D or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul lhs must be 2-D, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul rhs must be 2-D, got {:?}",
+            other.shape
+        );
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul inner dims: {:?} · {:?}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims: {:?} · {:?}",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         crate::gemm::gemm(m, k, n, &self.data, &other.data, &mut out);
         Tensor {
@@ -375,11 +392,25 @@ impl Tensor {
     ///
     /// Panics if either operand is not 2-D or the shared dimensions differ.
     pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 2, "matmul_nt lhs must be 2-D, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 2, "matmul_nt rhs must be 2-D, got {:?}", other.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul_nt lhs must be 2-D, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul_nt rhs must be 2-D, got {:?}",
+            other.shape
+        );
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul_nt shared dims: {:?} · {:?}ᵀ", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul_nt shared dims: {:?} · {:?}ᵀ",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         crate::gemm::gemm_nt(m, n, k, &self.data, &other.data, &mut out);
         Tensor {
@@ -399,11 +430,25 @@ impl Tensor {
     ///
     /// Panics if either operand is not 2-D or the shared dimensions differ.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 2, "matmul_tn lhs must be 2-D, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 2, "matmul_tn rhs must be 2-D, got {:?}", other.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul_tn lhs must be 2-D, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul_tn rhs must be 2-D, got {:?}",
+            other.shape
+        );
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul_tn shared dims: {:?}ᵀ · {:?}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul_tn shared dims: {:?}ᵀ · {:?}",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         crate::gemm::gemm_tn(m, n, k, &self.data, &other.data, &mut out);
         Tensor {
@@ -422,7 +467,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn transpose(&self) -> Tensor {
-        assert_eq!(self.ndim(), 2, "transpose requires 2-D, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "transpose requires 2-D, got {:?}",
+            self.shape
+        );
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
         crate::gemm::transpose_into(m, n, &self.data, &mut out);
@@ -440,7 +490,11 @@ impl Tensor {
     pub fn row(&self, i: usize) -> Tensor {
         assert_eq!(self.ndim(), 2, "row() requires 2-D");
         let n = self.shape[1];
-        assert!(i < self.shape[0], "row {i} out of bounds ({})", self.shape[0]);
+        assert!(
+            i < self.shape[0],
+            "row {i} out of bounds ({})",
+            self.shape[0]
+        );
         Tensor::from_slice(&self.data[i * n..(i + 1) * n])
     }
 

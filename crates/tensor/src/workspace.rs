@@ -90,7 +90,10 @@ mod tests {
         ws.recycle(b);
         let b2 = ws.take(10);
         assert_eq!(b2.len(), 10);
-        assert!(b2.iter().all(|&v| v == 0.0), "recycled buffer must be re-zeroed");
+        assert!(
+            b2.iter().all(|&v| v == 0.0),
+            "recycled buffer must be re-zeroed"
+        );
     }
 
     #[test]

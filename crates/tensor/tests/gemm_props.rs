@@ -20,7 +20,13 @@ fn buf(len: usize) -> impl Strategy<Value = Vec<f32>> {
 /// cases the ISSUE calls out) and sizes straddling the 4/8- and 6/16-wide
 /// register tiles.
 fn dim() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(1usize), 1usize..8, Just(16usize), 15usize..35, Just(64usize)]
+    prop_oneof![
+        Just(1usize),
+        1usize..8,
+        Just(16usize),
+        15usize..35,
+        Just(64usize)
+    ]
 }
 
 fn rel_err(got: &[f32], want: &[f32]) -> f32 {

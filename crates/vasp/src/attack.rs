@@ -153,7 +153,9 @@ impl Attack {
                     | AttackKind::Constant
                     | AttackKind::ConstantOffset
             ),
-            TargetField::Speed | TargetField::Acceleration | TargetField::YawRate
+            TargetField::Speed
+            | TargetField::Acceleration
+            | TargetField::YawRate
             | TargetField::HeadingYawRate => matches!(
                 kind,
                 AttackKind::Random

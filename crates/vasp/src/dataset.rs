@@ -118,12 +118,16 @@ impl<'a> DatasetBuilder<'a> {
         }
     }
 
-    /// A dataset where a `malicious_fraction` of vehicles run `attack`.
+    /// Only the attacked traces of [`Self::attack_dataset`], keyed by
+    /// fleet index and sorted by it.
     ///
-    /// Attacker selection is deterministic in `(config.seed, attack)` so
-    /// different attacks pick (mostly) different vehicle subsets, like
-    /// separate VASP runs.
-    pub fn attack_dataset(&self, attack: Attack) -> MisbehaviorDataset {
+    /// Drives the exact RNG stream `attack_dataset` uses (selection
+    /// shuffle, then per-attacker injection in ascending fleet order), so
+    /// splicing these traces over the benign fleet reproduces
+    /// `attack_dataset` bit for bit. The campaign evaluation plane relies
+    /// on this to rebuild only the ~25% attacker slice per attack while
+    /// sharing the benign 75% across all 35 datasets.
+    pub fn attacker_traces(&self, attack: Attack) -> Vec<(usize, LabeledTrace)> {
         let attack_salt = attack
             .name()
             .bytes()
@@ -134,21 +138,47 @@ impl<'a> DatasetBuilder<'a> {
             .clamp(1, n.saturating_sub(1).max(1));
         let mut indices: Vec<usize> = (0..n).collect();
         indices.shuffle(&mut rng);
-        let attacker_set: std::collections::HashSet<usize> =
-            indices.into_iter().take(n_attackers).collect();
+        let mut attacker_indices: Vec<usize> = indices.into_iter().take(n_attackers).collect();
+        // Injection must consume the RNG in ascending fleet order — the
+        // stream contract the monolithic builder established.
+        attacker_indices.sort_unstable();
 
+        attacker_indices
+            .into_iter()
+            .map(|i| {
+                let attacked = inject(
+                    &self.benign[i],
+                    attack,
+                    self.config.policy,
+                    &self.config.params,
+                    &mut rng,
+                );
+                (
+                    i,
+                    LabeledTrace {
+                        trace: attacked.trace,
+                        labels: attacked.labels,
+                        is_attacker: true,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// A dataset where a `malicious_fraction` of vehicles run `attack`.
+    ///
+    /// Attacker selection is deterministic in `(config.seed, attack)` so
+    /// different attacks pick (mostly) different vehicle subsets, like
+    /// separate VASP runs.
+    pub fn attack_dataset(&self, attack: Attack) -> MisbehaviorDataset {
+        let mut attackers = self.attacker_traces(attack).into_iter().peekable();
         let traces = self
             .benign
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                if attacker_set.contains(&i) {
-                    let attacked = inject(t, attack, self.config.policy, &self.config.params, &mut rng);
-                    LabeledTrace {
-                        trace: attacked.trace,
-                        labels: attacked.labels,
-                        is_attacker: true,
-                    }
+                if attackers.peek().is_some_and(|&(j, _)| j == i) {
+                    attackers.next().expect("peeked").1
                 } else {
                     LabeledTrace {
                         labels: vec![false; t.len()],
@@ -245,6 +275,57 @@ mod tests {
             })
             .collect();
         assert!(sets.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn attacker_traces_preserve_the_monolithic_rng_stream() {
+        // Reimplements the pre-refactor attack_dataset (one RNG, shuffle
+        // then inject-on-the-fly in fleet order) and checks the staged
+        // attacker_traces/splice path reproduces it bit for bit.
+        let traces = fleet();
+        let config = DatasetConfig::default();
+        let attack = Attack::by_name("RandomPosition").unwrap();
+        let attack_salt = attack
+            .name()
+            .bytes()
+            .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+        let mut rng = StdRng::seed_from_u64(config.seed ^ attack_salt);
+        let n = traces.len();
+        let n_attackers = ((n as f64 * config.malicious_fraction).round() as usize)
+            .clamp(1, n.saturating_sub(1).max(1));
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(&mut rng);
+        let attacker_set: std::collections::HashSet<usize> =
+            indices.into_iter().take(n_attackers).collect();
+        let expected: Vec<LabeledTrace> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if attacker_set.contains(&i) {
+                    let attacked = inject(t, attack, config.policy, &config.params, &mut rng);
+                    LabeledTrace {
+                        trace: attacked.trace,
+                        labels: attacked.labels,
+                        is_attacker: true,
+                    }
+                } else {
+                    LabeledTrace {
+                        labels: vec![false; t.len()],
+                        trace: t.clone(),
+                        is_attacker: false,
+                    }
+                }
+            })
+            .collect();
+
+        let ds = DatasetBuilder::new(&traces, config.clone()).attack_dataset(attack);
+        assert_eq!(ds.traces, expected);
+
+        let staged = DatasetBuilder::new(&traces, config).attacker_traces(attack);
+        assert_eq!(staged.len(), n_attackers);
+        for (i, t) in &staged {
+            assert_eq!(&expected[*i], t);
+        }
     }
 
     #[test]

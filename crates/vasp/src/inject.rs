@@ -219,7 +219,15 @@ pub fn inject(
         let active = policy.is_active(elapsed);
         let mut tx = *bsm;
         if active {
-            falsify(&mut tx, attack, &state, params, elapsed, prev_tx_heading, rng);
+            falsify(
+                &mut tx,
+                attack,
+                &state,
+                params,
+                elapsed,
+                prev_tx_heading,
+                rng,
+            );
         }
         prev_tx_heading = Some(tx.heading);
         labels.push(active);
@@ -414,12 +422,8 @@ mod tests {
         let m = attacked.num_malicious();
         assert!(m > benign.len() / 4 && m < 3 * benign.len() / 4, "m={m}");
         // Labels must alternate in runs, not per message.
-        let transitions = attacked
-            .labels
-            .windows(2)
-            .filter(|w| w[0] != w[1])
-            .count();
-        assert!(transitions >= 2 && transitions < 20);
+        let transitions = attacked.labels.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!((2..20).contains(&transitions));
     }
 
     #[test]
@@ -433,12 +437,7 @@ mod tests {
             &mut rng(),
         );
         let t0 = benign.bsms[0].timestamp;
-        for ((bsm, &label), orig) in attacked
-            .trace
-            .iter()
-            .zip(&attacked.labels)
-            .zip(&benign)
-        {
+        for ((bsm, &label), orig) in attacked.trace.iter().zip(&attacked.labels).zip(&benign) {
             let elapsed = bsm.timestamp - t0;
             assert_eq!(label, elapsed >= 20.0, "elapsed={elapsed}");
             if !label {
@@ -532,7 +531,11 @@ mod tests {
         let bsms = &attacked.trace.bsms;
         for w in bsms.windows(2) {
             let dh = Bsm::normalize_angle(w[1].heading - w[0].heading) / BSM_INTERVAL_S;
-            assert!((dh - w[1].yaw_rate).abs() < 1e-6, "dh={dh} yaw={}", w[1].yaw_rate);
+            assert!(
+                (dh - w[1].yaw_rate).abs() < 1e-6,
+                "dh={dh} yaw={}",
+                w[1].yaw_rate
+            );
         }
         // And the rate is high.
         assert!(bsms[5].yaw_rate.abs() >= 1.0);
@@ -561,8 +564,20 @@ mod tests {
         let benign = benign_trace();
         let attack = Attack::by_name("ConstantSpeed").unwrap();
         let mut r = rng();
-        let a = inject(&benign, attack, AttackPolicy::Persistent, &AttackParams::default(), &mut r);
-        let b = inject(&benign, attack, AttackPolicy::Persistent, &AttackParams::default(), &mut r);
+        let a = inject(
+            &benign,
+            attack,
+            AttackPolicy::Persistent,
+            &AttackParams::default(),
+            &mut r,
+        );
+        let b = inject(
+            &benign,
+            attack,
+            AttackPolicy::Persistent,
+            &AttackParams::default(),
+            &mut r,
+        );
         assert_ne!(a.trace.bsms[0].speed, b.trace.bsms[0].speed);
     }
 
@@ -579,10 +594,7 @@ mod tests {
                 &mut r,
             );
             assert_eq!(attacked.trace.len(), benign.len(), "{attack}");
-            let changed = benign
-                .iter()
-                .zip(&attacked.trace)
-                .any(|(b, a)| b != a);
+            let changed = benign.iter().zip(&attacked.trace).any(|(b, a)| b != a);
             assert!(changed, "attack {attack} changed nothing");
         }
     }

@@ -70,7 +70,10 @@ fn main() {
         multi_model_afp(&mut critics, &x, eps)
     };
     let all: Vec<usize> = (0..m).collect();
-    let multi_result = pipeline.vehigan.score_with_members(&all, &adv_multi).unwrap();
+    let multi_result = pipeline
+        .vehigan
+        .score_with_members(&all, &adv_multi)
+        .unwrap();
     let multi_fpr = rate_above(&multi_result.scores, multi_result.threshold);
     let improvement = (single_fpr - multi_fpr) / single_fpr.max(1e-9) * 100.0;
     println!("      VEHIGAN_{m}^{m} FPR under the adaptive attack: {multi_fpr:.3}");

@@ -25,7 +25,10 @@ fn main() {
     let catalog = Attack::catalog();
     for &attack in &catalog {
         let test = pipeline.test_attack_windows(attack);
-        let result = pipeline.vehigan.score_with_members(&members, &test.x).unwrap();
+        let result = pipeline
+            .vehigan
+            .score_with_members(&members, &test.x)
+            .unwrap();
         let roc = auroc(&result.scores, &test.labels);
         let prc = auprc(&result.scores, &test.labels);
         println!(
@@ -43,7 +46,11 @@ fn main() {
             advanced_n += 1;
         }
     }
-    println!("\naverage AUROC over {} attacks: {:.3}", catalog.len(), total / catalog.len() as f64);
+    println!(
+        "\naverage AUROC over {} attacks: {:.3}",
+        catalog.len(),
+        total / catalog.len() as f64
+    );
     println!(
         "advanced heading&yaw-rate block: {:.3} average over {advanced_n} attacks",
         advanced_sum / advanced_n as f64

@@ -49,7 +49,10 @@ fn main() {
     let result = pipeline.vehigan.score_batch(&test.x).unwrap();
     let score = auroc(&result.scores, &test.labels);
     let confusion = Confusion::at_threshold(&result.scores, &test.labels, result.threshold);
-    println!("      deployed members this inference: {:?}", result.members);
+    println!(
+        "      deployed members this inference: {:?}",
+        result.members
+    );
     println!("      AUROC = {score:.3}");
     println!(
         "      at the calibrated threshold: TPR={:.3} FPR={:.3}",

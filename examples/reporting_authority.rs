@@ -9,7 +9,9 @@
 
 use vehigan::core::{Pipeline, PipelineConfig};
 use vehigan::features::StreamTracker;
-use vehigan::mbr::{AuthorityPolicy, IngestOutcome, LongTermId, Mbr, MisbehaviorAuthority, PseudonymManager};
+use vehigan::mbr::{
+    AuthorityPolicy, IngestOutcome, LongTermId, Mbr, MisbehaviorAuthority, PseudonymManager,
+};
 use vehigan::sim::VehicleId;
 use vehigan::tensor::init::seeded_rng;
 use vehigan::vasp::{inject, Attack, AttackParams, AttackPolicy};
@@ -67,11 +69,17 @@ fn main() {
             for (i, bsm) in msgs.iter().enumerate() {
                 let mut tagged = *bsm;
                 tagged.vehicle_id = pseudonym;
-                let Some(snapshot) = tracker.push(&tagged) else { continue };
+                let Some(snapshot) = tracker.push(&tagged) else {
+                    continue;
+                };
                 if i % 11 != oi {
                     continue; // observers sample different instants
                 }
-                if let Some(report) = pipeline.vehigan.check_vehicle(pseudonym, &snapshot).unwrap() {
+                if let Some(report) = pipeline
+                    .vehigan
+                    .check_vehicle(pseudonym, &snapshot)
+                    .unwrap()
+                {
                     let mbr = Mbr {
                         reporter: observer,
                         suspect: report.vehicle,
@@ -108,7 +116,10 @@ fn main() {
         Some((pseudonym, t)) => {
             // Linkage: revoke ALL of the attacker's pseudonyms.
             let lt = scms.resolve(pseudonym).expect("linked");
-            println!("linkage: {pseudonym} → long-term {lt:?}; all pseudonyms: {:?}", scms.pseudonyms_of(lt));
+            println!(
+                "linkage: {pseudonym} → long-term {lt:?}; all pseudonyms: {:?}",
+                scms.pseudonyms_of(lt)
+            );
             assert!(ma.crl().is_revoked(pseudonym, t));
             println!("attacker isolated from the V2X network.");
         }

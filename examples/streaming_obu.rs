@@ -62,11 +62,15 @@ fn main() {
         if let Some(snapshot) = tracker.push(bsm) {
             let c = refresh_count.entry(bsm.vehicle_id).or_insert(0);
             *c += 1;
-            if *c % 5 != 0 {
+            if !(*c).is_multiple_of(5) {
                 continue;
             }
             *checks.entry(bsm.vehicle_id).or_insert(0) += 1;
-            if let Some(report) = pipeline.vehigan.check_vehicle(bsm.vehicle_id, &snapshot).unwrap() {
+            if let Some(report) = pipeline
+                .vehigan
+                .check_vehicle(bsm.vehicle_id, &snapshot)
+                .unwrap()
+            {
                 *reports.entry(report.vehicle).or_insert(0) += 1;
                 if first_detection.is_none() && report.vehicle == attacker_id {
                     first_detection = Some((report.vehicle, bsm.timestamp));
@@ -81,11 +85,17 @@ fn main() {
     for id in ids {
         let r = reports.get(&id).copied().unwrap_or(0);
         let c = checks[&id];
-        let marker = if id == attacker_id { "  << attacker" } else { "" };
+        let marker = if id == attacker_id {
+            "  << attacker"
+        } else {
+            ""
+        };
         println!("  {id}: {r:>4}/{c}{marker}");
     }
     match first_detection {
-        Some((id, t)) => println!("\nfirst MBR for {id} at t = {t:.1}s (attack active from its first message)"),
+        Some((id, t)) => {
+            println!("\nfirst MBR for {id} at t = {t:.1}s (attack active from its first message)")
+        }
         None => println!("\nno MBR raised for the attacker — try a larger training scale"),
     }
 
@@ -94,15 +104,14 @@ fn main() {
     let member = &pipeline.vehigan.members()[0];
     let mut lite = LiteCritic::compile(member.wgan.critic(), (10, 12, 1)).expect("critic compiles");
     println!("       {lite:?}");
-    let snapshot = tracker
-        .push(inbox.last().expect("nonempty inbox"))
-        .or_else(|| {
-            // Last push may be mid-warmup for that vehicle; reuse any full window.
-            None
-        });
+    // Last push may be mid-warmup for that vehicle; skip the demo score then.
+    let snapshot = tracker.push(inbox.last().expect("nonempty inbox"));
     if let Some(snap) = snapshot {
         let s = lite.score(snap.as_slice());
-        println!("       lite anomaly score of the final window: {s:.4} (τ = {:.4})", member.threshold);
+        println!(
+            "       lite anomaly score of the final window: {s:.4} (τ = {:.4})",
+            member.threshold
+        );
     }
     println!("\ndone.");
 }

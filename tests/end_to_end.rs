@@ -115,8 +115,12 @@ fn whitebox_afp_cripples_single_model_but_not_ensemble() {
             members.iter_mut().map(|c| c.wgan.critic_mut()).collect();
         multi_model_afp(&mut critics, &x, eps)
     };
-    let ensemble_shift =
-        mean(&p.vehigan.score_with_members(&all, &adv_multi).unwrap().scores) - before_ens;
+    let ensemble_shift = mean(
+        &p.vehigan
+            .score_with_members(&all, &adv_multi)
+            .unwrap()
+            .scores,
+    ) - before_ens;
 
     assert!(
         single_shift > 3.0 * noise_shift,
@@ -206,7 +210,11 @@ fn streaming_detection_flags_the_attacker_not_the_honest() {
                     continue;
                 }
                 scored[slot] += 1;
-                if p.vehigan.check_vehicle(bsm.vehicle_id, &snapshot).unwrap().is_some() {
+                if p.vehigan
+                    .check_vehicle(bsm.vehicle_id, &snapshot)
+                    .unwrap()
+                    .is_some()
+                {
                     flagged[slot] += 1;
                 }
             }

@@ -43,7 +43,10 @@ fn critic_file_compiles_to_lite_with_matching_ranking() {
         .collect();
     // Quantized scores track the float scores closely.
     for (f, l) in scores.iter().zip(&lite_scores) {
-        assert!((f - l).abs() < 0.05 * f.abs().max(1.0), "float {f} vs lite {l}");
+        assert!(
+            (f - l).abs() < 0.05 * f.abs().max(1.0),
+            "float {f} vs lite {l}"
+        );
     }
 }
 

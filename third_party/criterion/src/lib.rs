@@ -1,0 +1,169 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! A lightweight wall-clock harness covering the subset the workspace
+//! benches use: `Criterion::benchmark_group`, `bench_function` with a
+//! `Bencher::iter` closure, `finish`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a short warmup, then
+//! times batches until a time budget is spent and reports the median
+//! per-iteration latency. No statistics machinery, plots, or reports.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle passed to each benchmark function.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warmup: self.criterion.warmup,
+            measure: self.criterion.measure,
+            median: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{:<28} time: {:>12.3?}   ({} iterations)",
+            self.name, id, bencher.median, bencher.iterations
+        );
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; printing already
+    /// happened per bench, so this is a no-op kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    median: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly: warms up, then measures fixed-size
+    /// batches until the time budget is spent, recording the median
+    /// batch latency divided by the batch size.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup while estimating a batch size targeting ~1ms per batch.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.warmup {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() / u128::from(warmup_iters.max(1));
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::new();
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure || samples.is_empty() {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed() / batch as u32);
+            total_iters += batch;
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+        self.iterations = total_iters;
+    }
+}
+
+/// Declares a benchmark group runner (subset of upstream's macro: the
+/// positional `criterion_group!(name, target, ...)` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main()` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_positive_median() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut acc = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(std::hint::black_box(3));
+                acc
+            })
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke_group, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.warmup = Duration::from_millis(1);
+        c.measure = Duration::from_millis(2);
+        let mut group = c.benchmark_group("macro");
+        group.bench_function(String::from("noop"), |b| b.iter(|| 1u32));
+        group.finish();
+    }
+
+    #[test]
+    fn group_macro_expands_to_runner() {
+        smoke_group();
+    }
+}

@@ -1,0 +1,116 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! The workspace uses exactly one crossbeam facility — `thread::scope`
+//! with borrowing worker closures — which `std::thread::scope` (Rust
+//! 1.63+) provides natively. This stub keeps the crossbeam call shape
+//! (`scope(|s| …)` returning a `Result`, `spawn` closures receiving the
+//! scope handle) on top of the std implementation.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` API shape.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries the payload of an unjoined
+    /// panicking child (joined panics surface through `join` instead).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle through which borrowing threads are spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to `'env` borrows. The closure receives
+        /// the scope handle (crossbeam shape), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller.
+    ///
+    /// All spawned threads are joined before this returns. Returns `Err`
+    /// with the panic payload if any unjoined child panicked; panics in
+    /// explicitly joined children are reported by their `join` only.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_children() {
+        let counter = AtomicUsize::new(0);
+        let out = thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn join_returns_values_and_scope_borrows_stack() {
+        let data = [1, 2, 3, 4];
+        let sum = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn unjoined_child_panic_surfaces_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("child down"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_the_handle() {
+        let n = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 5).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 5);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace uses serde purely as derive decoration on config types
+//! (no serializer is ever instantiated — persistence goes through the
+//! hand-rolled binary/TSV formats in `vehigan-tensor`/`vehigan-core`).
+//! This stub provides the two marker traits and derive macros so those
+//! annotations keep compiling in the registry-less build container.
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

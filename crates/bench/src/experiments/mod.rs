@@ -11,4 +11,5 @@ pub mod fig7;
 pub mod fig8;
 pub mod gemmbench;
 pub mod probe;
+pub mod resume;
 pub mod table3;

@@ -97,20 +97,25 @@ pub struct Harness {
 impl Harness {
     /// Trains the system at `scale` and populates the score cache.
     pub fn build(scale: Scale) -> Harness {
-        Self::build_with(scale, None, false)
+        Self::build_with(scale, None, false, None)
     }
 
     /// Like [`Harness::build`], but with an optional checkpoint directory:
-    /// zoo training persists every finished member there, and a rerun of
-    /// the same scale resumes from the directory's manifest instead of
-    /// retraining from scratch (the `--resume <dir>` CLI flag). With
-    /// `retry_quarantined` (the `--retry-quarantined` flag), a resumed run
-    /// retrains previously quarantined configurations with a fresh derived
-    /// seed instead of skipping them.
+    /// zoo training persists every finished member there (including
+    /// epoch-granular partials of the in-flight group), and a rerun of
+    /// the same scale resumes from the directory's manifest — mid-member
+    /// when a partial exists — instead of retraining from scratch (the
+    /// `--resume <dir>` CLI flag). With `retry_quarantined` (the
+    /// `--retry-quarantined` flag), a resumed run retrains previously
+    /// quarantined configurations with a fresh derived seed instead of
+    /// skipping them. `stop_after_groups` (the `--stop-after-groups N`
+    /// flag) stops zoo training cleanly after `N` groups, simulating a
+    /// kill for resume testing.
     pub fn build_with(
         scale: Scale,
         resume_dir: Option<PathBuf>,
         retry_quarantined: bool,
+        stop_after_groups: Option<usize>,
     ) -> Harness {
         eprintln!("[harness] training pipeline at {scale:?} scale…");
         let mut config = scale.pipeline_config();
@@ -119,6 +124,7 @@ impl Harness {
             config.checkpoint_dir = Some(dir);
         }
         config.retry_quarantined = retry_quarantined;
+        config.stop_after_groups = stop_after_groups;
         let pipeline = Pipeline::run(config);
         if !pipeline.quarantined.is_empty() {
             eprintln!(

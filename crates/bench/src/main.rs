@@ -2,26 +2,33 @@
 //!
 //! ```text
 //! vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>]
-//!                            [--retry-quarantined]
+//!                            [--retry-quarantined] [--stop-after-groups N]
 //! ```
 //!
 //! Experiments: `campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a
-//! fig7b fig8 gemm table3 all`.
+//! fig7b fig8 gemm resume table3 all`.
 //!
 //! `--resume <dir>` makes zoo training crash-safe: every finished model is
-//! checkpointed in `<dir>`, and rerunning the same command after an
-//! interruption resumes from the directory's manifest.
+//! checkpointed in `<dir>` (and the in-flight training group at every
+//! epoch boundary), and rerunning the same command after an interruption
+//! resumes from the directory's manifest — mid-member when a partial
+//! checkpoint exists.
 //! `--retry-quarantined` additionally retrains configurations the previous
 //! run quarantined, using a fresh derived seed, instead of skipping them.
+//! `--stop-after-groups N` halts zoo training cleanly after `N` groups to
+//! simulate a kill; the `resume` experiment uses the same machinery to
+//! prove kill/resume bitwise equivalence end to end.
 
 use std::path::PathBuf;
-use vehigan_bench::experiments::{ablation, catalog, fig3, fig4, fig5, fig6, fig7, fig8, table3};
+use vehigan_bench::experiments::{
+    ablation, catalog, fig3, fig4, fig5, fig6, fig7, fig8, resume, table3,
+};
 use vehigan_bench::harness::{Harness, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>] [--retry-quarantined]\n\
-         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm table3 adv ablation probe all"
+        "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>] [--retry-quarantined] [--stop-after-groups N]\n\
+         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm resume table3 adv ablation probe all"
     );
     std::process::exit(2);
 }
@@ -35,6 +42,7 @@ fn main() {
     let mut scale = Scale::Quick;
     let mut resume_dir: Option<PathBuf> = None;
     let mut retry_quarantined = false;
+    let mut stop_after_groups: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +60,12 @@ fn main() {
             "--retry-quarantined" => {
                 retry_quarantined = true;
                 i += 1;
+            }
+            "--stop-after-groups" => {
+                let Some(v) = args.get(i + 1) else { usage() };
+                let Ok(n) = v.parse::<usize>() else { usage() };
+                stop_after_groups = Some(n);
+                i += 2;
             }
             _ => usage(),
         }
@@ -83,6 +97,10 @@ fn main() {
             vehigan_bench::experiments::campaign::run(scale);
             return;
         }
+        "resume" => {
+            resume::run();
+            return;
+        }
         _ => {}
     }
 
@@ -95,7 +113,7 @@ fn main() {
         usage();
     }
 
-    let mut harness = Harness::build_with(scale, resume_dir, retry_quarantined);
+    let mut harness = Harness::build_with(scale, resume_dir, retry_quarantined, stop_after_groups);
     let section = |title: &str| println!("\n=== {title} ===");
     match experiment {
         "fig3" => fig3::run(&mut harness),

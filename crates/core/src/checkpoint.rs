@@ -9,14 +9,28 @@
 //! exactly where it left off; corrupted files surface as typed
 //! [`CheckpointError`]s instead of loading garbage into the scoring path.
 //!
-//! File layout (`<id>.ckpt`, little-endian):
+//! File layout (`<id>.ckpt` / `<key>.partial.ckpt`, little-endian):
 //!
 //! ```text
 //! magic  "VZCK" | version u32 | payload_len u64 | crc32 u32 | payload
-//! payload: id string (u32 len + utf-8)
+//! payload (v2):
+//!          id string (u32 len + utf-8)
 //!          history count u32, then per epoch: epoch u64 + 3×f32
 //!          critic model bytes (u64 len + VGAN wire format)
+//!          training-state flag u8
+//!          [flag = 1] training state (u64 len + Wgan state blob)
 //! ```
+//!
+//! The trailing training-state section is what distinguishes **v2** from
+//! v1 (whose payload ended at the critic bytes): member checkpoints write
+//! flag 0 — a deployed critic needs nothing more — while the
+//! epoch-granular *partial* checkpoints ([`CheckpointStore::save_partial`])
+//! write flag 1 with the complete [`crate::Wgan::training_state_bytes`]
+//! blob (generator weights, both RMSProp caches, spectral-norm vectors,
+//! and the mid-call RNG cursor), so a killed run resumes mid-member and
+//! finishes **bitwise identical** to an uninterrupted one. v1 files still
+//! load for inference via version dispatch; they carry no training state,
+//! so they can never seed a resumed *training* run.
 //!
 //! The manifest (`manifest.tsv`) is a line-oriented text file, rewritten
 //! atomically after every member completes:
@@ -37,8 +51,12 @@ use vehigan_tensor::serialize::ModelFormatError;
 
 /// Magic bytes identifying a VehiGAN zoo checkpoint file.
 pub const CHECKPOINT_MAGIC: &[u8; 4] = b"VZCK";
-/// Current checkpoint wire-format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Current checkpoint wire-format version (v2: optional trailing
+/// training-state section).
+pub const CHECKPOINT_VERSION: u32 = 2;
+/// The original wire-format version (critic + history only). Still
+/// readable for inference.
+pub const CHECKPOINT_VERSION_V1: u32 = 1;
 
 /// Error reading or writing a checkpoint or manifest.
 #[derive(Debug)]
@@ -255,27 +273,81 @@ impl CheckpointStore {
     /// Returns an error on any I/O failure.
     pub fn save_member(&self, wgan: &Wgan) -> Result<(), CheckpointError> {
         let id = wgan.config().id();
-        let mut payload = Vec::new();
-        write_str(&mut payload, &id)?;
-        let history = wgan.history();
-        payload.write_all(&(history.len() as u32).to_le_bytes())?;
-        for s in history {
-            payload.write_all(&(s.epoch as u64).to_le_bytes())?;
-            payload.write_all(&s.wasserstein.to_le_bytes())?;
-            payload.write_all(&s.critic_real.to_le_bytes())?;
-            payload.write_all(&s.critic_fake.to_le_bytes())?;
-        }
-        let critic = wgan.critic_bytes();
-        payload.write_all(&(critic.len() as u64).to_le_bytes())?;
-        payload.write_all(&critic)?;
-
-        let mut file = Vec::with_capacity(payload.len() + 20);
-        file.extend_from_slice(CHECKPOINT_MAGIC);
-        file.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
-        file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        file.extend_from_slice(&crc32(&payload).to_le_bytes());
-        file.extend_from_slice(&payload);
+        let file = frame_checkpoint(&build_payload(wgan, None)?);
         self.write_atomic(&self.member_path(&id), &file)
+    }
+
+    /// Path of the partial (mid-group) checkpoint file for a group key.
+    ///
+    /// Keys are salt-independent so a retrained group overwrites — rather
+    /// than orphans — the partial of its quarantined predecessor.
+    pub fn partial_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.partial.ckpt"))
+    }
+
+    /// Whether a partial checkpoint exists for a group key.
+    pub fn has_partial(&self, key: &str) -> bool {
+        self.partial_path(key).exists()
+    }
+
+    /// Persists the full mid-training state of a group's shared run at an
+    /// epoch boundary: critic + history (as in [`save_member`]) plus the
+    /// complete [`Wgan::training_state_bytes`] blob, so
+    /// [`load_partial`] can resume training bitwise-identically instead of
+    /// retraining the group from scratch.
+    ///
+    /// The payload id is the run config's id (which embeds the — possibly
+    /// retry-salted — seed); the file name is the caller's stable `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on any I/O failure.
+    ///
+    /// [`save_member`]: CheckpointStore::save_member
+    /// [`load_partial`]: CheckpointStore::load_partial
+    pub fn save_partial(&self, key: &str, wgan: &Wgan) -> Result<(), CheckpointError> {
+        let state = wgan.training_state_bytes();
+        let file = frame_checkpoint(&build_payload(wgan, Some(&state))?);
+        self.write_atomic(&self.partial_path(key), &file)
+    }
+
+    /// Removes a partial checkpoint (a no-op when none exists) — called
+    /// once its group completes or is quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure other than the file being absent.
+    pub fn remove_partial(&self, key: &str) -> Result<(), CheckpointError> {
+        match fs::remove_file(self.partial_path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Loads a partial checkpoint, rebuilding a **trainable** [`Wgan`]
+    /// (generator, optimizer caches, spectral vectors, RNG cursor,
+    /// history) for `config` — which must be the group's *run* config; a
+    /// partial written under a different seed (e.g. before a quarantine
+    /// retry re-salted the run) fails with
+    /// [`CheckpointError::IdMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// All of [`load_member`]'s corruption modes, plus
+    /// [`CheckpointError::Corrupt`] for a checkpoint that carries no
+    /// training state (e.g. a v1 file renamed into place).
+    ///
+    /// [`load_member`]: CheckpointStore::load_member
+    pub fn load_partial(&self, key: &str, config: WganConfig) -> Result<Wgan, CheckpointError> {
+        let bytes = fs::read(self.partial_path(key))?;
+        let raw = parse_checkpoint(&bytes, &config.id())?;
+        let state = raw
+            .state
+            .ok_or(CheckpointError::Corrupt("partial without training state"))?;
+        let mut wgan = Wgan::resume_from_state(config, raw.critic, state)?;
+        wgan.set_history(raw.history);
+        Ok(wgan)
     }
 
     /// Loads and verifies the checkpoint for `config`, reconstructing an
@@ -293,67 +365,11 @@ impl CheckpointStore {
     pub fn load_member(&self, config: WganConfig) -> Result<Wgan, CheckpointError> {
         let id = config.id();
         let bytes = fs::read(self.member_path(&id))?;
-        if bytes.len() < 20 {
-            return Err(CheckpointError::Truncated {
-                expected: 20,
-                got: bytes.len(),
-            });
-        }
-        if &bytes[..4] != CHECKPOINT_MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != CHECKPOINT_VERSION {
-            return Err(CheckpointError::BadVersion(version));
-        }
-        let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-        let expected_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
-        let payload = &bytes[20..];
-        if payload.len() != payload_len {
-            return Err(CheckpointError::Truncated {
-                expected: payload_len,
-                got: payload.len(),
-            });
-        }
-        let got_crc = crc32(payload);
-        if got_crc != expected_crc {
-            return Err(CheckpointError::ChecksumMismatch {
-                expected: expected_crc,
-                got: got_crc,
-            });
-        }
-
-        let mut r = payload;
-        let found = read_str(&mut r)?;
-        if found != id {
-            return Err(CheckpointError::IdMismatch {
-                expected: id,
-                found,
-            });
-        }
-        let n_epochs = read_u32(&mut r)? as usize;
-        if n_epochs > 1 << 20 {
-            return Err(CheckpointError::Corrupt("history too long"));
-        }
-        let mut history = Vec::with_capacity(n_epochs);
-        for _ in 0..n_epochs {
-            let epoch = read_u64(&mut r)? as usize;
-            let wasserstein = read_f32(&mut r)?;
-            let critic_real = read_f32(&mut r)?;
-            let critic_fake = read_f32(&mut r)?;
-            history.push(TrainStats {
-                epoch,
-                wasserstein,
-                critic_real,
-                critic_fake,
-            });
-        }
-        let critic_len = read_u64(&mut r)? as usize;
-        if critic_len != r.len() {
-            return Err(CheckpointError::Corrupt("critic length mismatch"));
-        }
-        let mut wgan = Wgan::from_critic_bytes(config, r)?;
-        wgan.set_history(history);
+        // Any training state in the file is ignored here: a loaded member
+        // is inference-only, exactly as v1 members always were.
+        let raw = parse_checkpoint(&bytes, &id)?;
+        let mut wgan = Wgan::from_critic_bytes(config, raw.critic)?;
+        wgan.set_history(raw.history);
         Ok(wgan)
     }
 
@@ -451,8 +467,164 @@ impl CheckpointStore {
             f.sync_all()?;
         }
         fs::rename(&tmp, path)?;
+        // The rename reaches disk only when the *directory* is flushed:
+        // fsyncing just the temp file leaves the new directory entry in
+        // the page cache, so a crash here could roll back a checkpoint
+        // (or manifest) this function already reported durable.
+        let dir = path.parent().unwrap_or(Path::new("."));
+        fs::File::open(dir)?.sync_all()?;
         Ok(())
     }
+}
+
+/// Parsed checkpoint payload, borrowing the critic / training-state
+/// sections from the raw file bytes.
+struct RawCheckpoint<'a> {
+    history: Vec<TrainStats>,
+    critic: &'a [u8],
+    /// `Some` only for v2 files written with a training state
+    /// ([`CheckpointStore::save_partial`]).
+    state: Option<&'a [u8]>,
+}
+
+/// Serializes a checkpoint payload: id + history + critic, and — when
+/// `state` is given — the v2 trailing training-state section.
+fn build_payload(wgan: &Wgan, state: Option<&[u8]>) -> Result<Vec<u8>, CheckpointError> {
+    let mut payload = Vec::new();
+    write_str(&mut payload, &wgan.config().id())?;
+    let history = wgan.history();
+    payload.write_all(&(history.len() as u32).to_le_bytes())?;
+    for s in history {
+        payload.write_all(&(s.epoch as u64).to_le_bytes())?;
+        payload.write_all(&s.wasserstein.to_le_bytes())?;
+        payload.write_all(&s.critic_real.to_le_bytes())?;
+        payload.write_all(&s.critic_fake.to_le_bytes())?;
+    }
+    let critic = wgan.critic_bytes();
+    payload.write_all(&(critic.len() as u64).to_le_bytes())?;
+    payload.write_all(&critic)?;
+    match state {
+        None => payload.push(0),
+        Some(s) => {
+            payload.push(1);
+            payload.write_all(&(s.len() as u64).to_le_bytes())?;
+            payload.write_all(s)?;
+        }
+    }
+    Ok(payload)
+}
+
+/// Wraps a payload in the 20-byte checkpoint header (magic, current
+/// version, length, CRC32).
+fn frame_checkpoint(payload: &[u8]) -> Vec<u8> {
+    let mut file = Vec::with_capacity(payload.len() + 20);
+    file.extend_from_slice(CHECKPOINT_MAGIC);
+    file.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file.extend_from_slice(&crc32(payload).to_le_bytes());
+    file.extend_from_slice(payload);
+    file
+}
+
+/// Validates the header (magic before length: a garbage non-checkpoint
+/// file diagnoses as [`CheckpointError::BadMagic`] even when shorter than
+/// a full header, as long as its available prefix already fails the magic
+/// check) and parses the payload, dispatching on the format version.
+fn parse_checkpoint<'a>(
+    bytes: &'a [u8],
+    expected_id: &str,
+) -> Result<RawCheckpoint<'a>, CheckpointError> {
+    let head = &bytes[..bytes.len().min(CHECKPOINT_MAGIC.len())];
+    if head != &CHECKPOINT_MAGIC[..head.len()] {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.len() < 20 {
+        return Err(CheckpointError::Truncated {
+            expected: 20,
+            got: bytes.len(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != CHECKPOINT_VERSION_V1 && version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let expected_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let payload = &bytes[20..];
+    if payload.len() != payload_len {
+        return Err(CheckpointError::Truncated {
+            expected: payload_len,
+            got: payload.len(),
+        });
+    }
+    let got_crc = crc32(payload);
+    if got_crc != expected_crc {
+        return Err(CheckpointError::ChecksumMismatch {
+            expected: expected_crc,
+            got: got_crc,
+        });
+    }
+
+    let mut r = payload;
+    let found = read_str(&mut r)?;
+    if found != expected_id {
+        return Err(CheckpointError::IdMismatch {
+            expected: expected_id.to_string(),
+            found,
+        });
+    }
+    let n_epochs = read_u32(&mut r)? as usize;
+    if n_epochs > 1 << 20 {
+        return Err(CheckpointError::Corrupt("history too long"));
+    }
+    let mut history = Vec::with_capacity(n_epochs);
+    for _ in 0..n_epochs {
+        let epoch = read_u64(&mut r)? as usize;
+        let wasserstein = read_f32(&mut r)?;
+        let critic_real = read_f32(&mut r)?;
+        let critic_fake = read_f32(&mut r)?;
+        history.push(TrainStats {
+            epoch,
+            wasserstein,
+            critic_real,
+            critic_fake,
+        });
+    }
+    let critic_len = read_u64(&mut r)? as usize;
+    let (critic, state) = if version == CHECKPOINT_VERSION_V1 {
+        // v1 payloads end at the critic bytes.
+        if critic_len != r.len() {
+            return Err(CheckpointError::Corrupt("critic length mismatch"));
+        }
+        (r, None)
+    } else {
+        if critic_len > r.len() {
+            return Err(CheckpointError::Corrupt("critic length mismatch"));
+        }
+        let (critic, mut rest) = r.split_at(critic_len);
+        let state = match read_exact_array::<1>(&mut rest)?[0] {
+            0 => {
+                if !rest.is_empty() {
+                    return Err(CheckpointError::Corrupt("trailing payload bytes"));
+                }
+                None
+            }
+            1 => {
+                let state_len = read_u64(&mut rest)? as usize;
+                if state_len != rest.len() {
+                    return Err(CheckpointError::Corrupt("training-state length mismatch"));
+                }
+                Some(rest)
+            }
+            _ => return Err(CheckpointError::Corrupt("bad training-state flag")),
+        };
+        (critic, state)
+    };
+    Ok(RawCheckpoint {
+        history,
+        critic,
+        state,
+    })
 }
 
 fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {

@@ -56,6 +56,18 @@ pub enum EnsembleError {
         /// The member indices that were attempted.
         attempted: Vec<usize>,
     },
+    /// A per-vehicle check was handed a tensor that is not a single
+    /// snapshot `[1, w, f, 1]`.
+    BadSnapshotShape {
+        /// The shape actually received.
+        shape: Vec<usize>,
+    },
+    /// Calibration found no finite anomaly scores on the benign set, so no
+    /// threshold percentile exists.
+    NoFiniteCalibrationScores {
+        /// Config id of the member being calibrated.
+        id: String,
+    },
 }
 
 impl fmt::Display for EnsembleError {
@@ -77,6 +89,14 @@ impl fmt::Display for EnsembleError {
                 f,
                 "all {} deployed members failed to produce finite scores",
                 attempted.len()
+            ),
+            EnsembleError::BadSnapshotShape { shape } => write!(
+                f,
+                "expected a single snapshot [1, w, f, 1], got shape {shape:?}"
+            ),
+            EnsembleError::NoFiniteCalibrationScores { id } => write!(
+                f,
+                "member {id} produced no finite scores on the calibration set"
             ),
         }
     }
@@ -121,19 +141,34 @@ impl CriticMember {
     /// Calibrates a member's threshold at the `p`-th percentile of its
     /// anomaly scores on benign training snapshots (§III-F).
     ///
+    /// Non-finite scores (a degraded critic can emit NaN/Inf without
+    /// failing outright) are excluded from the percentile, consistent with
+    /// the NaN-robust pre-evaluation ranking.
+    ///
+    /// # Errors
+    ///
+    /// [`EnsembleError::NoFiniteCalibrationScores`] when no finite score
+    /// remains to take a percentile of.
+    ///
     /// # Panics
     ///
     /// Panics if `benign` is empty or `p` outside `[0, 100]`.
-    pub fn calibrate(wgan: Wgan, ads: f64, benign: &Tensor, p: f64) -> Self {
-        let scores = wgan.score_batch(benign);
+    pub fn calibrate(wgan: Wgan, ads: f64, benign: &Tensor, p: f64) -> Result<Self, EnsembleError> {
+        let mut scores = wgan.score_batch(benign);
+        scores.retain(|s| s.is_finite());
+        if scores.is_empty() {
+            return Err(EnsembleError::NoFiniteCalibrationScores {
+                id: wgan.config().id(),
+            });
+        }
         let threshold = percentile(&scores, p);
-        CriticMember {
+        Ok(CriticMember {
             id: wgan.config().id(),
             wgan,
             threshold,
             ads,
             quarantined: false,
-        }
+        })
     }
 }
 
@@ -405,13 +440,21 @@ impl VehiGan {
     ///
     /// # Errors
     ///
-    /// Propagates [`VehiGan::score_batch`] errors.
+    /// [`EnsembleError::BadSnapshotShape`] when `snapshot` is not a
+    /// single-snapshot batch; otherwise propagates
+    /// [`VehiGan::score_batch`] errors.
     pub fn check_vehicle(
         &mut self,
         vehicle: VehicleId,
         snapshot: &Tensor,
     ) -> Result<Option<MisbehaviorReport>, EnsembleError> {
-        assert_eq!(snapshot.shape()[0], 1, "expected a single snapshot");
+        // A wrong shape is a caller bug, but this API is the degraded-mode
+        // scoring path: it reports faults, it does not take the MDS down.
+        if snapshot.shape().first() != Some(&1) {
+            return Err(EnsembleError::BadSnapshotShape {
+                shape: snapshot.shape().to_vec(),
+            });
+        }
         let result = self.score_batch(snapshot)?;
         let score = result.scores[0];
         Ok((score > result.threshold).then(|| MisbehaviorReport {
@@ -454,7 +497,7 @@ mod tests {
         };
         let mut wgan = Wgan::new(config);
         wgan.train(train);
-        CriticMember::calibrate(wgan, 0.9, train, 99.0)
+        CriticMember::calibrate(wgan, 0.9, train, 99.0).unwrap()
     }
 
     fn ensemble(m: usize, k: usize) -> VehiGan {

@@ -56,7 +56,7 @@ mod zoo;
 pub use campaign::{score_matrix, CampaignPlane};
 pub use checkpoint::{
     crc32, grid_fingerprint, CheckpointError, CheckpointStore, Manifest, CHECKPOINT_MAGIC,
-    CHECKPOINT_VERSION,
+    CHECKPOINT_VERSION, CHECKPOINT_VERSION_V1,
 };
 pub use config::{GridConfig, LipschitzMode, WganConfig};
 pub use ensemble::{CriticMember, EnsembleError, EnsembleScore, MisbehaviorReport, VehiGan};

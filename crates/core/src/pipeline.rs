@@ -99,6 +99,10 @@ pub struct PipelineConfig {
     /// Retrain previously quarantined grid configurations with a fresh
     /// derived seed instead of skipping them on resume.
     pub retry_quarantined: bool,
+    /// Stop zoo training cleanly after this many groups finish, leaving
+    /// the rest for a resumed run (kill simulation; `None` trains
+    /// everything). See [`crate::ZooTrainOptions::stop_after_groups`].
+    pub stop_after_groups: Option<usize>,
 }
 
 impl PipelineConfig {
@@ -142,6 +146,7 @@ impl PipelineConfig {
             seed: 0,
             checkpoint_dir: None,
             retry_quarantined: false,
+            stop_after_groups: None,
         }
     }
 
@@ -326,6 +331,7 @@ impl Pipeline {
             threads: config.zoo_threads,
             checkpoint_dir: config.checkpoint_dir.clone(),
             retry_quarantined: config.retry_quarantined,
+            stop_after_groups: config.stop_after_groups,
             ..ZooTrainOptions::default()
         };
         let report = ModelZoo::train_grid(&config.grid, &train_windows.x, &zoo_options)?;
@@ -353,12 +359,13 @@ impl Pipeline {
                 let clone =
                     Wgan::from_critic_bytes(*entry.wgan.config(), &entry.wgan.critic_bytes())
                         .map_err(PipelineError::Model)?;
-                Ok(CriticMember::calibrate(
+                CriticMember::calibrate(
                     clone,
                     entry.ads,
                     &train_windows.x,
                     config.threshold_percentile,
-                ))
+                )
+                .map_err(PipelineError::from)
             })
             .collect::<Result<_, PipelineError>>()?;
         let vehigan = VehiGan::new(members, config.deploy_k, config.seed)?;

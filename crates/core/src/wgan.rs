@@ -118,6 +118,21 @@ pub struct TrainReport {
     pub epochs: usize,
     /// Rollback + reseeded-retry cycles that were needed along the way.
     pub rollbacks: usize,
+    /// Whether the epoch observer stopped the call early (see
+    /// [`Wgan::train_epochs_resumable`]). Always `false` for
+    /// [`Wgan::train_epochs_checked`].
+    pub stopped: bool,
+}
+
+/// Mid-call training position carried between resumable calls: the
+/// batch/noise RNG stream and the sentinel attempt counter as of the last
+/// healthy epoch boundary. `None` once a call runs to completion, so the
+/// next call reseeds fresh exactly like an uninterrupted sequence of
+/// calls.
+#[derive(Debug, Clone)]
+struct TrainCursor {
+    rng: rand::rngs::StdRng,
+    attempt: usize,
 }
 
 /// Per-epoch training statistics.
@@ -246,6 +261,10 @@ pub struct Wgan {
     /// Test-only scheduled divergences: `(attempt, epoch)` pairs at which a
     /// critic weight is poisoned (see [`Wgan::inject_training_fault`]).
     fault_plan: Vec<(usize, usize)>,
+    /// Mid-call resume position (set while a resumable call is in flight,
+    /// cleared when it completes). Serialized into the training state so a
+    /// killed call continues its exact RNG stream.
+    cursor: Option<TrainCursor>,
 }
 
 impl std::fmt::Debug for Wgan {
@@ -285,6 +304,7 @@ impl Wgan {
             sn_state: Vec::new(),
             scratch: Mutex::new(Workspace::new()),
             fault_plan: Vec::new(),
+            cursor: None,
         }
     }
 
@@ -375,6 +395,39 @@ impl Wgan {
         epochs: usize,
         policy: &SentinelPolicy,
     ) -> Result<TrainReport, TrainError> {
+        self.train_epochs_resumable(x, epochs, policy, |_| true)
+    }
+
+    /// Sentinel-guarded training with an epoch-boundary observer, the
+    /// primitive behind mid-member checkpoint/resume.
+    ///
+    /// `on_epoch` runs after **every** healthy epoch (rolled-back epochs
+    /// never reach it) with the model in a consistent, serializable state —
+    /// the zoo uses it to persist an epoch-granular partial checkpoint.
+    /// Returning `false` stops the call early with `stopped = true` in the
+    /// report; the model keeps its mid-call [`TrainCursor`] so a later
+    /// resumable call (on this instance, or on one rebuilt via
+    /// [`Wgan::resume_from_state`]) continues the exact RNG stream, making
+    /// stop-and-continue bitwise identical to running straight through.
+    /// When the call completes normally the cursor is cleared, so the next
+    /// training call reseeds fresh exactly as [`Wgan::train_epochs_checked`]
+    /// always has.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Wgan::train_epochs_checked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` does not match the configured snapshot shape or holds
+    /// fewer than one batch (programmer error, not a runtime fault).
+    pub fn train_epochs_resumable(
+        &mut self,
+        x: &Tensor,
+        epochs: usize,
+        policy: &SentinelPolicy,
+        mut on_epoch: impl FnMut(&Wgan) -> bool,
+    ) -> Result<TrainReport, TrainError> {
         assert_eq!(
             &x.shape()[1..],
             &[self.config.window, self.config.features, 1],
@@ -389,14 +442,29 @@ impl Wgan {
         if let Some(reason) = self.health_violation() {
             return Err(TrainError::PoisonedAtEntry { reason });
         }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x7264);
-        let mut indices: Vec<usize> = (0..n).collect();
+        // A pending cursor (restored from a partial checkpoint, or left by
+        // an observer-stopped call) continues the in-flight RNG stream;
+        // otherwise seed fresh — identical to historical behavior.
+        let (mut rng, mut attempt) = match self.cursor.take() {
+            Some(c) => (c.rng, c.attempt),
+            None => (
+                rand::rngs::StdRng::seed_from_u64(self.config.seed ^ 0x7264),
+                0usize,
+            ),
+        };
         let mut snapshot = self.state_snapshot();
-        let mut attempt = 0usize;
         let mut rollbacks = 0usize;
         let mut done = 0usize;
+        let mut stopped = false;
 
         while done < epochs {
+            // Each epoch shuffles the identity permutation, so the batch
+            // order is a pure function of the RNG stream position —
+            // Fisher–Yates draws the same number of values either way, and
+            // a resumed call (which restores the stream via the cursor)
+            // produces exactly the permutation the uninterrupted call
+            // would have.
+            let mut indices: Vec<usize> = (0..n).collect();
             indices.shuffle(&mut rng);
             let mut w_sum = 0.0f32;
             let mut real_sum = 0.0f32;
@@ -451,11 +519,26 @@ impl Wgan {
                     });
                     done += 1;
                     snapshot = self.state_snapshot();
+                    // Expose the mid-call position before the observer runs
+                    // so a partial saved from inside it carries the cursor.
+                    // On the final epoch the cursor is `None`: a resume
+                    // lands exactly at the fresh-reseed boundary of the
+                    // next training call.
+                    self.cursor = (done < epochs).then(|| TrainCursor {
+                        rng: rng.clone(),
+                        attempt,
+                    });
+                    if !on_epoch(self) {
+                        stopped = true;
+                        break;
+                    }
                 }
                 Some(reason) => {
                     attempt += 1;
                     self.restore_snapshot(&snapshot);
                     if attempt > policy.max_retries {
+                        // A dead call leaves no continuation point.
+                        self.cursor = None;
                         return Err(TrainError::Diverged {
                             epoch: done,
                             attempts: attempt,
@@ -471,9 +554,13 @@ impl Wgan {
                 }
             }
         }
+        if !stopped {
+            self.cursor = None;
+        }
         Ok(TrainReport {
             epochs: done,
             rollbacks,
+            stopped,
         })
     }
 
@@ -786,8 +873,200 @@ impl Wgan {
             sn_state: Vec::new(),
             scratch: Mutex::new(Workspace::new()),
             fault_plan: Vec::new(),
+            cursor: None,
         })
     }
+
+    /// Serializes everything training needs beyond the critic: generator
+    /// weights, both RMSProp caches, spectral-norm power-iteration vectors,
+    /// and (if a resumable call is in flight) the mid-call RNG/attempt
+    /// cursor. Together with [`Wgan::critic_bytes`] and the history, this
+    /// is the complete training state — restoring it via
+    /// [`Wgan::resume_from_state`] and continuing is bitwise identical to
+    /// never having stopped.
+    ///
+    /// Layout (all little-endian): `u32` state version; `u64`-prefixed
+    /// generator model blob; `u64`-prefixed RMSProp state blob for the
+    /// generator optimizer, then the critic optimizer; `u32` spectral
+    /// vector count, each vector a `u32` length plus raw `f32`s; one
+    /// cursor-presence byte, followed (when 1) by the 4×`u64` xoshiro256++
+    /// state and a `u64` attempt counter.
+    pub fn training_state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&TRAINING_STATE_VERSION.to_le_bytes());
+        let gen = self.generator.to_bytes();
+        out.extend_from_slice(&(gen.len() as u64).to_le_bytes());
+        out.extend_from_slice(&gen);
+        for blob in [self.opt_g.state_bytes(), self.opt_d.state_bytes()] {
+            out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+            out.extend_from_slice(&blob);
+        }
+        out.extend_from_slice(&(self.sn_state.len() as u32).to_le_bytes());
+        for v in &self.sn_state {
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            for &x in v {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        match &self.cursor {
+            None => out.push(0),
+            Some(c) => {
+                out.push(1);
+                for w in c.rng.state() {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+                out.extend_from_slice(&(c.attempt as u64).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a fully trainable WGAN from a critic blob plus the
+    /// training state written by [`Wgan::training_state_bytes`].
+    ///
+    /// Unlike [`Wgan::from_critic_bytes`] (inference-only: untrained
+    /// generator, fresh optimizers), the restored instance continues
+    /// training exactly where the serialized one stopped. The history is
+    /// not part of the state — attach it separately as the checkpoint
+    /// layer does.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed, truncated, or trailing bytes, and optimizer caches
+    /// whose tensor shapes do not match the restored networks, surface as
+    /// [`ModelFormatError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`WganConfig::validate`]).
+    pub fn resume_from_state(
+        config: WganConfig,
+        critic_bytes: &[u8],
+        state: &[u8],
+    ) -> Result<Self, ModelFormatError> {
+        config.validate();
+        let critic = Sequential::from_bytes(critic_bytes)?;
+        let mut r = state;
+        if ts_read_u32(&mut r)? != TRAINING_STATE_VERSION {
+            return Err(ModelFormatError::Corrupt("unknown training-state version"));
+        }
+        let gen_len = ts_read_u64(&mut r)? as usize;
+        let generator = Sequential::from_bytes(ts_read_slice(&mut r, gen_len)?)?;
+        let mut opt_g = RmsProp::new(config.learning_rate);
+        let og_len = ts_read_u64(&mut r)? as usize;
+        opt_g.restore_state(ts_read_slice(&mut r, og_len)?)?;
+        let mut opt_d = RmsProp::new(config.learning_rate);
+        let od_len = ts_read_u64(&mut r)? as usize;
+        opt_d.restore_state(ts_read_slice(&mut r, od_len)?)?;
+        let n_vecs = ts_read_u32(&mut r)? as usize;
+        if n_vecs > 1 << 10 {
+            return Err(ModelFormatError::Corrupt("too many spectral vectors"));
+        }
+        let mut sn_state = Vec::with_capacity(n_vecs);
+        for _ in 0..n_vecs {
+            let len = ts_read_u32(&mut r)? as usize;
+            if len > 1 << 20 {
+                return Err(ModelFormatError::Corrupt("spectral vector too long"));
+            }
+            let raw = ts_read_slice(&mut r, len * 4)?;
+            let mut v = Vec::with_capacity(len);
+            for chunk in raw.chunks_exact(4) {
+                let x = f32::from_le_bytes(chunk.try_into().expect("chunk of 4"));
+                if !x.is_finite() {
+                    return Err(ModelFormatError::Corrupt("non-finite spectral state"));
+                }
+                v.push(x);
+            }
+            sn_state.push(v);
+        }
+        let cursor = match ts_read_slice(&mut r, 1)?[0] {
+            0 => None,
+            1 => {
+                let mut s = [0u64; 4];
+                for w in &mut s {
+                    *w = ts_read_u64(&mut r)?;
+                }
+                let attempt = ts_read_u64(&mut r)? as usize;
+                Some(TrainCursor {
+                    rng: rand::rngs::StdRng::from_state(s),
+                    attempt,
+                })
+            }
+            _ => return Err(ModelFormatError::Corrupt("bad cursor flag")),
+        };
+        if !r.is_empty() {
+            return Err(ModelFormatError::Corrupt("trailing training-state bytes"));
+        }
+        // A deserialized cache must drive the network it was saved with:
+        // a count/shape mismatch would silently zip caches onto the wrong
+        // parameters on the next step. Empty caches (never-stepped
+        // optimizers) are valid.
+        ts_check_cache(
+            &opt_g,
+            &generator,
+            "generator optimizer cache shape mismatch",
+        )?;
+        ts_check_cache(&opt_d, &critic, "critic optimizer cache shape mismatch")?;
+        Ok(Wgan {
+            opt_g,
+            opt_d,
+            config,
+            generator,
+            critic,
+            history: Vec::new(),
+            sn_state,
+            scratch: Mutex::new(Workspace::new()),
+            fault_plan: Vec::new(),
+            cursor,
+        })
+    }
+}
+
+/// Version tag of the [`Wgan::training_state_bytes`] encoding (independent
+/// of the checkpoint container version).
+const TRAINING_STATE_VERSION: u32 = 1;
+
+fn ts_read_slice<'a>(r: &mut &'a [u8], n: usize) -> Result<&'a [u8], ModelFormatError> {
+    if r.len() < n {
+        return Err(ModelFormatError::Corrupt("training state truncated"));
+    }
+    let (head, tail) = r.split_at(n);
+    *r = tail;
+    Ok(head)
+}
+
+fn ts_read_u32(r: &mut &[u8]) -> Result<u32, ModelFormatError> {
+    Ok(u32::from_le_bytes(
+        ts_read_slice(r, 4)?.try_into().expect("slice of 4"),
+    ))
+}
+
+fn ts_read_u64(r: &mut &[u8]) -> Result<u64, ModelFormatError> {
+    Ok(u64::from_le_bytes(
+        ts_read_slice(r, 8)?.try_into().expect("slice of 8"),
+    ))
+}
+
+fn ts_check_cache(
+    opt: &RmsProp,
+    model: &Sequential,
+    what: &'static str,
+) -> Result<(), ModelFormatError> {
+    let shapes = opt.cache_shapes();
+    if shapes.is_empty() {
+        return Ok(());
+    }
+    let params = model.params();
+    if shapes.len() != params.len()
+        || shapes
+            .iter()
+            .zip(&params)
+            .any(|(s, p)| s.as_slice() != p.value.shape())
+    {
+        return Err(ModelFormatError::Corrupt(what));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ use parking_lot::Mutex;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use vehigan_features::WindowDataset;
 use vehigan_metrics::{auprc, auroc};
@@ -150,6 +150,12 @@ pub struct ZooTrainOptions {
     /// remaining work is left for a resumed run. Used to exercise the
     /// kill/resume path deterministically; `None` trains everything.
     pub stop_after_groups: Option<usize>,
+    /// Stop (cleanly) after this many **newly trained epochs** across the
+    /// whole run, which can land in the middle of a group — the
+    /// epoch-granular partial checkpoint written at that boundary lets the
+    /// next call resume mid-member. Used to exercise the mid-member
+    /// kill/resume path deterministically; `None` trains everything.
+    pub stop_after_epochs: Option<usize>,
     /// On resume, retrain previously quarantined configurations with a
     /// fresh derived seed instead of carrying the quarantine records
     /// forward. Member ids stay stable (they keep the original derived
@@ -169,6 +175,7 @@ impl fmt::Debug for ZooTrainOptions {
             .field("sentinel", &self.sentinel)
             .field("checkpoint_dir", &self.checkpoint_dir)
             .field("stop_after_groups", &self.stop_after_groups)
+            .field("stop_after_epochs", &self.stop_after_epochs)
             .field("retry_quarantined", &self.retry_quarantined)
             .field("fault_hook", &self.fault_hook.is_some())
             .finish()
@@ -296,6 +303,15 @@ impl TrainGroup {
             ..self.base
         }
     }
+
+    /// Stable on-disk key for the group's epoch-granular partial
+    /// checkpoint: the unsalted id of its largest-budget member. Salt
+    /// independence means a quarantine retry overwrites — never orphans —
+    /// its predecessor's partial.
+    fn partial_key(&self) -> String {
+        let &(_, max_epochs) = self.members.last().expect("nonempty group");
+        self.member_config(max_epochs).id()
+    }
 }
 
 /// Splits a grid into training groups keyed by everything except the epoch
@@ -350,6 +366,16 @@ struct TrainShared<'a> {
     store: Option<&'a CheckpointStore>,
     groups_done: AtomicUsize,
     rollbacks: AtomicUsize,
+    /// Members restored from disk instead of retrained (pre-loaded fully
+    /// accounted groups plus mid-group reloads after a partial resume).
+    resumed: AtomicUsize,
+    /// Newly trained epochs across the run (only tracked when
+    /// `stop_after_epochs` is set).
+    epochs_done: AtomicUsize,
+    /// Set when the `stop_after_epochs` budget is spent: workers stop
+    /// picking up groups and in-flight groups stop at the next epoch
+    /// boundary.
+    halted: AtomicBool,
     options: &'a ZooTrainOptions,
     train: &'a Tensor,
 }
@@ -386,36 +412,127 @@ impl TrainShared<'_> {
     /// Trains one group, committing each epoch checkpoint as it completes.
     /// Divergence past the retry budget quarantines the failing member and
     /// every later member of the group (they share the dead trajectory).
+    ///
+    /// With a checkpoint store, every healthy epoch boundary persists an
+    /// epoch-granular **partial** checkpoint of the shared run (full
+    /// training state: generator, optimizers, spectral vectors, RNG
+    /// cursor), and a usable partial left by an interrupted run seeds this
+    /// call — resuming mid-member instead of retraining the group, with a
+    /// final model bitwise identical to the uninterrupted run.
     fn train_group(&self, group: &TrainGroup) -> Result<(), CheckpointError> {
         let run_config = group.run_config();
-        let mut wgan = Wgan::new(run_config);
-        if let Some(hook) = &self.options.fault_hook {
-            hook(&mut wgan);
-        }
-        let mut trained = 0usize;
-        for (pos, &(idx, epochs)) in group.members.iter().enumerate() {
-            match wgan.train_epochs_checked(self.train, epochs - trained, &self.options.sentinel) {
-                Ok(report) => {
-                    self.rollbacks
-                        .fetch_add(report.rollbacks, Ordering::Relaxed);
-                    trained = epochs;
-                    let mut checkpoint =
-                        Wgan::from_critic_bytes(group.member_config(epochs), &wgan.critic_bytes())
-                            .map_err(CheckpointError::Model)?;
-                    checkpoint.set_history(wgan.history().to_vec());
-                    self.commit_member(idx, checkpoint)?;
+        let key = group.partial_key();
+        // Member ids an interrupted run already committed: skipped below
+        // (reloaded from disk) rather than re-committed.
+        let done_ids: Vec<String> = match self.store {
+            Some(_) => self.manifest.lock().done.clone(),
+            None => Vec::new(),
+        };
+        let mut wgan = self.store.and_then(|store| {
+            if !store.has_partial(&key) {
+                return None;
+            }
+            // A partial that fails to load (stale run seed after a
+            // quarantine retry, corruption, pre-v2 leftovers) is not an
+            // error — the group deterministically retrains from scratch.
+            let restored = store.load_partial(&key, run_config).ok()?;
+            // Usable only if no uncommitted member budget lies *behind*
+            // the restored epoch count — training can't rewind.
+            let h = restored.history().len();
+            let usable = group.members.iter().all(|&(_, epochs)| {
+                epochs >= h || done_ids.contains(&group.member_config(epochs).id())
+            });
+            usable.then_some(restored)
+        });
+        let mut wgan = match wgan.take() {
+            Some(w) => w,
+            None => {
+                let mut fresh = Wgan::new(run_config);
+                // Scheduled fault injections describe a from-scratch
+                // trajectory; they never apply to a resumed one.
+                if let Some(hook) = &self.options.fault_hook {
+                    hook(&mut fresh);
                 }
-                Err(err) => {
-                    for &(q_idx, q_epochs) in &group.members[pos..] {
-                        self.quarantine(QuarantineRecord {
-                            config: group.member_config(q_epochs),
-                            grid_index: q_idx,
-                            reason: QuarantineReason::Train(err.clone()),
-                        })?;
+                fresh
+            }
+        };
+        let mut trained = wgan.history().len();
+        for (pos, &(idx, epochs)) in group.members.iter().enumerate() {
+            let config = group.member_config(epochs);
+            if epochs > trained {
+                let mut save_err: Option<CheckpointError> = None;
+                let outcome = wgan.train_epochs_resumable(
+                    self.train,
+                    epochs - trained,
+                    &self.options.sentinel,
+                    |w| {
+                        if self.halted.load(Ordering::SeqCst) {
+                            return false;
+                        }
+                        // Persist before counting the epoch against the
+                        // budget, so a halt always has its partial on disk.
+                        if let Some(store) = self.store {
+                            if let Err(e) = store.save_partial(&key, w) {
+                                save_err = Some(e);
+                                return false;
+                            }
+                        }
+                        if let Some(cap) = self.options.stop_after_epochs {
+                            let n = self.epochs_done.fetch_add(1, Ordering::SeqCst) + 1;
+                            if n >= cap {
+                                self.halted.store(true, Ordering::SeqCst);
+                                return false;
+                            }
+                        }
+                        true
+                    },
+                );
+                match outcome {
+                    Ok(report) => {
+                        self.rollbacks
+                            .fetch_add(report.rollbacks, Ordering::Relaxed);
+                        if let Some(e) = save_err {
+                            return Err(e);
+                        }
+                        trained = wgan.history().len();
+                        if report.stopped || trained < epochs {
+                            // Halted mid-member: the partial written at
+                            // this boundary carries the rest of the group
+                            // into the next (resumed) call.
+                            return Ok(());
+                        }
                     }
-                    return Ok(());
+                    Err(err) => {
+                        for &(q_idx, q_epochs) in &group.members[pos..] {
+                            self.quarantine(QuarantineRecord {
+                                config: group.member_config(q_epochs),
+                                grid_index: q_idx,
+                                reason: QuarantineReason::Train(err.clone()),
+                            })?;
+                        }
+                        // The shared trajectory is dead; its partial must
+                        // not seed anything.
+                        if let Some(store) = self.store {
+                            store.remove_partial(&key)?;
+                        }
+                        return Ok(());
+                    }
                 }
             }
+            if done_ids.contains(&config.id()) {
+                let store = self.store.expect("done ids imply a store");
+                let reloaded = store.load_member(config)?;
+                self.results.lock().push((idx, reloaded));
+                self.resumed.fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            let mut checkpoint = Wgan::from_critic_bytes(config, &wgan.critic_bytes())
+                .map_err(CheckpointError::Model)?;
+            checkpoint.set_history(wgan.history().to_vec());
+            self.commit_member(idx, checkpoint)?;
+        }
+        if let Some(store) = self.store {
+            store.remove_partial(&key)?;
         }
         Ok(())
     }
@@ -426,6 +543,9 @@ impl TrainShared<'_> {
     /// worker moves on to the next group.
     fn worker(&self) {
         loop {
+            if self.halted.load(Ordering::SeqCst) {
+                break;
+            }
             if let Some(cap) = self.options.stop_after_groups {
                 if self.groups_done.load(Ordering::SeqCst) >= cap {
                     break;
@@ -503,9 +623,11 @@ impl ModelZoo {
     /// - **checkpoints** every finished member through a
     ///   [`CheckpointStore`] when `options.checkpoint_dir` is set, and
     ///   **resumes** from the store's manifest on the next call: fully
-    ///   persisted groups are loaded instead of retrained, partially
-    ///   persisted groups are retrained from scratch (training is
-    ///   deterministic, so the result is identical).
+    ///   persisted groups are loaded instead of retrained, and a group
+    ///   killed mid-member resumes from its epoch-granular partial
+    ///   checkpoint (full training state: generator, optimizer caches,
+    ///   spectral vectors, RNG cursor) at the last finished epoch — the
+    ///   resumed model is **bitwise identical** to the uninterrupted run's.
     ///
     /// # Errors
     ///
@@ -583,6 +705,10 @@ impl ModelZoo {
                     .collect();
                 manifest.done.retain(|d| !ids.contains(d));
                 manifest.quarantined.retain(|(q, _)| !ids.contains(q));
+                // The doomed run's partial was written under the unsalted
+                // seed; it could never seed the salted retry (id check),
+                // but leaving it would orphan the file.
+                retry_store.remove_partial(&group.partial_key())?;
                 stripped = true;
             }
             if stripped {
@@ -605,6 +731,9 @@ impl ModelZoo {
                 continue;
             }
             let store = store.as_ref().expect("accounted implies store");
+            // A crash between the group's last commit and its partial
+            // cleanup can leave the (now useless) partial behind.
+            store.remove_partial(&group.partial_key())?;
             for &(idx, epochs) in &group.members {
                 let config = group.member_config(epochs);
                 let id = config.id();
@@ -619,9 +748,8 @@ impl ModelZoo {
                 }
             }
         }
-        let resumed = preloaded.len();
-
         let shared = TrainShared {
+            resumed: AtomicUsize::new(preloaded.len()),
             work: Mutex::new(pending),
             results: Mutex::new(preloaded),
             quarantined: Mutex::new(carried),
@@ -630,6 +758,8 @@ impl ModelZoo {
             store: store.as_ref(),
             groups_done: AtomicUsize::new(0),
             rollbacks: AtomicUsize::new(0),
+            epochs_done: AtomicUsize::new(0),
+            halted: AtomicBool::new(false),
             options,
             train,
         };
@@ -644,12 +774,16 @@ impl ModelZoo {
             return Err(err.into());
         }
         let pending_left = shared.work.into_inner().len();
+        let halted = shared.halted.into_inner();
+        let resumed = shared.resumed.into_inner();
 
         let mut trained = shared.results.into_inner();
         trained.sort_by_key(|(idx, _)| *idx);
         let mut quarantined = shared.quarantined.into_inner();
         quarantined.sort_by_key(|r| r.grid_index);
-        let complete = pending_left == 0;
+        // An epoch-budget halt can strand a half-finished group that is no
+        // longer in the work queue, so `halted` alone marks incompleteness.
+        let complete = pending_left == 0 && !halted;
         if complete && trained.is_empty() {
             return Err(ZooError::AllQuarantined(quarantined));
         }

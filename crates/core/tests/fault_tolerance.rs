@@ -270,7 +270,7 @@ fn zoo_with_quarantined_member_still_scores_degraded() {
     let members: Vec<CriticMember> = zoo
         .take_models(&selected)
         .into_iter()
-        .map(|e| CriticMember::calibrate(e.wgan, e.ads, &train, 99.0))
+        .map(|e| CriticMember::calibrate(e.wgan, e.ads, &train, 99.0).unwrap())
         .collect();
     let mut vehigan = VehiGan::new(members, 2, 7).unwrap();
 
@@ -405,4 +405,304 @@ fn retry_quarantined_retrains_with_a_fresh_seed() {
     assert_eq!(reloaded.resumed, grid.len());
     assert!(reloaded.quarantined.is_empty());
     let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_member_kill_resume_is_bitwise_identical() {
+    // The headline guarantee of the v2 checkpoint format: killing training
+    // at ANY epoch boundary and resuming from the partial checkpoint must
+    // reproduce the uninterrupted run bit for bit — critic weights,
+    // history, and the full training state (generator, optimizer caches,
+    // spectral vectors, RNG cursor).
+    let x = benign(48, 5);
+    let config = WganConfig {
+        noise_dim: 8,
+        layers: 3,
+        epochs: 4,
+        batch_size: 16,
+        n_critic: 1,
+        seed: 21,
+        ..WganConfig::default()
+    };
+    let policy = vehigan_core::SentinelPolicy::default();
+
+    let mut reference = Wgan::new(config);
+    reference
+        .train_epochs_resumable(&x, 4, &policy, |_| true)
+        .unwrap();
+
+    for kill_after in 1..=3 {
+        let dir = scratch_dir("midkill");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let mut victim = Wgan::new(config);
+        let mut seen = 0usize;
+        let report = victim
+            .train_epochs_resumable(&x, 4, &policy, |w| {
+                store.save_partial("grp", w).unwrap();
+                seen += 1;
+                seen < kill_after
+            })
+            .unwrap();
+        assert!(report.stopped, "kill_after={kill_after}");
+        assert_eq!(report.epochs, kill_after);
+        drop(victim); // the "process" dies; only the partial survives
+
+        let mut resumed = store.load_partial("grp", config).unwrap();
+        assert_eq!(resumed.history().len(), kill_after);
+        resumed
+            .train_epochs_resumable(&x, 4 - kill_after, &policy, |_| true)
+            .unwrap();
+
+        assert_eq!(
+            resumed.critic_bytes(),
+            reference.critic_bytes(),
+            "kill_after={kill_after}: critic bytes must match the uninterrupted run"
+        );
+        assert_eq!(
+            resumed.history(),
+            reference.history(),
+            "kill_after={kill_after}: history must match"
+        );
+        assert_eq!(
+            resumed.training_state_bytes(),
+            reference.training_state_bytes(),
+            "kill_after={kill_after}: full training state must match"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn zoo_kill_resume_matrix_is_bitwise_identical() {
+    // Grid-level version of the same guarantee: `stop_after_epochs` lands
+    // the kill mid-member / mid-group / at a group boundary, and the
+    // resumed grid must be bitwise identical to an uninterrupted run.
+    // GridConfig::tiny() trains 2 groups of 6 shared epochs each; the kill
+    // sites cover: mid first member (1), between member budgets (4), and
+    // inside the second group (7).
+    let train = benign(64, 0);
+    let grid = GridConfig::tiny();
+
+    let reference = ModelZoo::train_grid(&grid, &train, &ZooTrainOptions::new(1))
+        .unwrap()
+        .zoo;
+
+    for kill_after in [1usize, 4, 7] {
+        let dir = scratch_dir("zookill");
+        let mut options = ZooTrainOptions::new(1);
+        options.checkpoint_dir = Some(dir.clone());
+        options.stop_after_epochs = Some(kill_after);
+        let killed = ModelZoo::train_grid(&grid, &train, &options).unwrap();
+        assert!(!killed.complete, "kill_after={kill_after}");
+
+        let mut options = ZooTrainOptions::new(1);
+        options.checkpoint_dir = Some(dir.clone());
+        let resumed = ModelZoo::train_grid(&grid, &train, &options).unwrap();
+        assert!(resumed.complete);
+        assert_eq!(resumed.zoo.len(), grid.len());
+
+        let mut got: Vec<_> = resumed.zoo.entries().iter().collect();
+        got.sort_by_key(|e| e.grid_index);
+        let mut want: Vec<_> = reference.entries().iter().collect();
+        want.sort_by_key(|e| e.grid_index);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.wgan.config().id(), w.wgan.config().id());
+            assert_eq!(
+                g.wgan.history(),
+                w.wgan.history(),
+                "kill_after={kill_after}: history differs for {}",
+                g.wgan.config().id()
+            );
+            assert!(
+                g.wgan.critic_bytes() == w.wgan.critic_bytes(),
+                "kill_after={kill_after}: critic bytes differ for {} — resume is not bitwise identical",
+                g.wgan.config().id()
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn partial_checkpoints_round_trip_and_clear() {
+    let dir = scratch_dir("partial");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let config = WganConfig {
+        noise_dim: 8,
+        layers: 3,
+        epochs: 2,
+        batch_size: 16,
+        n_critic: 1,
+        seed: 9,
+        ..WganConfig::default()
+    };
+    let mut wgan = Wgan::new(config);
+    wgan.train(&benign(32, 1));
+
+    assert!(!store.has_partial("g"));
+    store.save_partial("g", &wgan).unwrap();
+    assert!(store.has_partial("g"));
+
+    let restored = store.load_partial("g", config).unwrap();
+    assert_eq!(restored.history(), wgan.history());
+    assert_eq!(restored.critic_bytes(), wgan.critic_bytes());
+    assert_eq!(restored.training_state_bytes(), wgan.training_state_bytes());
+
+    // A partial written under a different run seed (quarantine retry) is
+    // an id mismatch, not a silent resume of the stale trajectory.
+    let stale = WganConfig { seed: 10, ..config };
+    assert!(matches!(
+        store.load_partial("g", stale),
+        Err(CheckpointError::IdMismatch { .. })
+    ));
+
+    // A v1-style file (no training state) cannot seed a resume.
+    store.save_member(&wgan).unwrap();
+    fs::copy(
+        store.member_path(&config.id()),
+        store.partial_path("v2-member"),
+    )
+    .unwrap();
+    assert!(matches!(
+        store.load_partial("v2-member", config),
+        Err(CheckpointError::Corrupt(_))
+    ));
+
+    store.remove_partial("g").unwrap();
+    assert!(!store.has_partial("g"));
+    store.remove_partial("g").unwrap(); // absent: still Ok
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v1_checkpoint_fixture_still_loads() {
+    // Wire-format back-compat: a checkpoint written by the v1 code (the
+    // committed fixture) must still load for inference under the v2
+    // reader, reproducing exactly the model that wrote it.
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/v1-z8-l3-e1-s0.ckpt"
+    );
+    let bytes = fs::read(fixture).expect("v1 fixture present");
+    assert_eq!(&bytes[..4], b"VZCK");
+    assert_eq!(&bytes[4..8], &1u32.to_le_bytes(), "fixture must be v1");
+
+    let config = WganConfig {
+        noise_dim: 8,
+        layers: 3,
+        epochs: 1,
+        batch_size: 16,
+        n_critic: 1,
+        seed: 0,
+        ..WganConfig::default()
+    };
+    let dir = scratch_dir("v1compat");
+    let store = CheckpointStore::open(&dir).unwrap();
+    fs::write(store.member_path(&config.id()), &bytes).unwrap();
+    let restored = store.load_member(config).unwrap();
+
+    // The fixture was produced by training this exact config on this
+    // exact data; the deterministic retrain must agree bit for bit.
+    let mut retrained = Wgan::new(config);
+    retrained.train(&benign(32, 1));
+    assert_eq!(restored.critic_bytes(), retrained.critic_bytes());
+    assert_eq!(restored.history(), retrained.history());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_garbage_file_is_bad_magic_not_truncated() {
+    // A sub-20-byte file whose available prefix already contradicts the
+    // magic is diagnosed as BadMagic (wrong file), not Truncated (torn
+    // write) — the two faults have different remediations.
+    let dir = scratch_dir("badmagic");
+    let store = CheckpointStore::open(&dir).unwrap();
+    let config = WganConfig {
+        noise_dim: 8,
+        layers: 3,
+        epochs: 1,
+        batch_size: 16,
+        n_critic: 1,
+        ..WganConfig::default()
+    };
+    let path = store.member_path(&config.id());
+
+    fs::write(&path, b"hello").unwrap();
+    assert!(matches!(
+        store.load_member(config),
+        Err(CheckpointError::BadMagic)
+    ));
+
+    // A short file that IS a valid magic prefix stays a truncation.
+    fs::write(&path, b"VZ").unwrap();
+    assert!(matches!(
+        store.load_member(config),
+        Err(CheckpointError::Truncated { .. })
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibrate_filters_non_finite_scores() {
+    let config = WganConfig {
+        noise_dim: 8,
+        layers: 3,
+        epochs: 1,
+        batch_size: 16,
+        n_critic: 1,
+        seed: 4,
+        ..WganConfig::default()
+    };
+    let mut wgan = Wgan::new(config);
+    wgan.train(&benign(32, 1));
+    let clone = Wgan::from_critic_bytes(config, &wgan.critic_bytes()).unwrap();
+
+    // Poison one calibration window with NaN: its score is dropped, the
+    // threshold comes from the finite remainder.
+    let mut data = benign(8, 2).as_slice().to_vec();
+    data[0] = f32::NAN;
+    let poisoned = Tensor::from_vec(data, &[8, 10, 12, 1]);
+    let member = CriticMember::calibrate(wgan, 0.5, &poisoned, 99.0).unwrap();
+    assert!(member.threshold.is_finite());
+
+    // All-NaN calibration data: typed error, not a NaN threshold.
+    let all_nan = Tensor::from_vec(vec![f32::NAN; 2 * 120], &[2, 10, 12, 1]);
+    assert!(matches!(
+        CriticMember::calibrate(clone, 0.5, &all_nan, 99.0),
+        Err(EnsembleError::NoFiniteCalibrationScores { .. })
+    ));
+}
+
+#[test]
+fn wrong_snapshot_shape_is_a_typed_error() {
+    let config = WganConfig {
+        noise_dim: 8,
+        layers: 3,
+        epochs: 1,
+        batch_size: 16,
+        n_critic: 1,
+        seed: 6,
+        ..WganConfig::default()
+    };
+    let train = benign(32, 1);
+    let mut wgan = Wgan::new(config);
+    wgan.train(&train);
+    let member = CriticMember::calibrate(wgan, 0.5, &train, 99.0).unwrap();
+    let mut vehigan = VehiGan::new(vec![member], 1, 7).unwrap();
+
+    // A multi-snapshot batch through the single-vehicle API: typed error
+    // carrying the offending shape, not an abort of the whole MDS.
+    let bad = Tensor::zeros(&[2, 10, 12, 1]);
+    match vehigan.check_vehicle(vehigan_sim::VehicleId(3), &bad) {
+        Err(EnsembleError::BadSnapshotShape { shape }) => {
+            assert_eq!(shape, vec![2, 10, 12, 1]);
+        }
+        other => panic!("expected BadSnapshotShape, got {other:?}"),
+    }
+
+    // The well-shaped call still works afterwards.
+    let good = benign(1, 8);
+    vehigan
+        .check_vehicle(vehigan_sim::VehicleId(3), &good)
+        .unwrap();
 }

@@ -6,6 +6,7 @@
 //! 1e-3 and batch size 128.
 
 use crate::layer::Param;
+use crate::serialize::{read_tensor, write_tensor, ModelFormatError};
 use crate::Tensor;
 
 /// A first-order gradient-descent optimizer.
@@ -97,6 +98,55 @@ impl RmsProp {
                 .map(|p| Tensor::zeros(p.value.shape()))
                 .collect();
         }
+    }
+
+    /// Serializes the per-parameter squared-gradient cache.
+    ///
+    /// Layout: `u32` tensor count, then each cache tensor in the model wire
+    /// encoding ([`write_tensor`]). An optimizer that has never stepped
+    /// serializes to an empty cache, and restoring an empty cache yields a
+    /// fresh optimizer — so `state_bytes`/[`restore_state`] round-trip the
+    /// *exact* update trajectory in both the stepped and unstepped case.
+    ///
+    /// [`restore_state`]: RmsProp::restore_state
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.cache.len() as u32).to_le_bytes());
+        for t in &self.cache {
+            write_tensor(&mut out, t).expect("vec write cannot fail");
+        }
+        out
+    }
+
+    /// Restores the cache written by [`state_bytes`](RmsProp::state_bytes).
+    ///
+    /// Rejects trailing bytes and malformed tensors; hyper-parameters
+    /// (`lr`/`rho`/`eps`) are construction-time and not part of the state.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), ModelFormatError> {
+        let mut r = bytes;
+        let mut len4 = [0u8; 4];
+        std::io::Read::read_exact(&mut r, &mut len4)?;
+        let count = u32::from_le_bytes(len4) as usize;
+        if count > 1 << 16 {
+            return Err(ModelFormatError::Corrupt("optimizer cache too large"));
+        }
+        let mut cache = Vec::with_capacity(count);
+        for _ in 0..count {
+            cache.push(read_tensor(&mut r)?);
+        }
+        if !r.is_empty() {
+            return Err(ModelFormatError::Corrupt("trailing optimizer bytes"));
+        }
+        self.cache = cache;
+        Ok(())
+    }
+
+    /// Shapes of the cached per-parameter tensors, in parameter order.
+    ///
+    /// Empty until the first `step`; used by checkpoint restore to validate
+    /// a deserialized cache against the model it will drive.
+    pub fn cache_shapes(&self) -> Vec<Vec<usize>> {
+        self.cache.iter().map(|t| t.shape().to_vec()).collect()
     }
 }
 
@@ -259,6 +309,61 @@ mod tests {
         p.grad = Tensor::ones(&[1]);
         opt.step(&mut [&mut p]);
         assert!((p.value.as_slice()[0] + 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rmsprop_state_round_trips_bitwise() {
+        let mut opt = RmsProp::new(0.01);
+        let mut a = Param::new(Tensor::zeros(&[2, 3]));
+        let mut b = Param::new(Tensor::zeros(&[4]));
+        a.grad = Tensor::from_vec(vec![0.1, -0.2, 0.3, -0.4, 0.5, -0.6], &[2, 3]);
+        b.grad = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[4]);
+        opt.step(&mut [&mut a, &mut b]);
+        opt.step(&mut [&mut a, &mut b]);
+
+        let bytes = opt.state_bytes();
+        let mut restored = RmsProp::new(0.01);
+        restored.restore_state(&bytes).unwrap();
+        assert_eq!(restored.cache.len(), opt.cache.len());
+        for (x, y) in opt.cache.iter().zip(&restored.cache) {
+            assert_eq!(x.shape(), y.shape());
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
+        assert_eq!(restored.state_bytes(), bytes);
+        assert_eq!(restored.cache_shapes(), vec![vec![2usize, 3], vec![4usize]]);
+
+        // One more identical step from both must produce identical weights.
+        let mut a2 = Param::new(a.value.clone());
+        a2.grad = Tensor::ones(&[2, 3]);
+        a.grad = Tensor::ones(&[2, 3]);
+        let mut b2 = Param::new(b.value.clone());
+        b2.grad = Tensor::ones(&[4]);
+        b.grad = Tensor::ones(&[4]);
+        opt.step(&mut [&mut a, &mut b]);
+        restored.step(&mut [&mut a2, &mut b2]);
+        assert_eq!(a.value.as_slice(), a2.value.as_slice());
+        assert_eq!(b.value.as_slice(), b2.value.as_slice());
+    }
+
+    #[test]
+    fn rmsprop_fresh_state_round_trips_to_fresh() {
+        let opt = RmsProp::new(0.01);
+        let bytes = opt.state_bytes();
+        let mut restored = RmsProp::new(0.01);
+        restored.restore_state(&bytes).unwrap();
+        assert!(restored.cache.is_empty());
+        assert!(restored.cache_shapes().is_empty());
+    }
+
+    #[test]
+    fn rmsprop_restore_rejects_trailing_bytes() {
+        let mut opt = RmsProp::new(0.01);
+        let mut bytes = opt.state_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            opt.restore_state(&bytes),
+            Err(ModelFormatError::Corrupt("trailing optimizer bytes"))
+        ));
     }
 
     #[test]

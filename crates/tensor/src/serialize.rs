@@ -167,7 +167,11 @@ fn read_str(r: &mut impl Read) -> Result<String, ModelFormatError> {
     String::from_utf8(buf).map_err(|_| ModelFormatError::Corrupt("invalid utf-8"))
 }
 
-fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+/// Writes one tensor (u32 rank, u64 dims, f32 LE values) to `w`.
+///
+/// Exposed so higher layers (optimizer/checkpoint state) can reuse the exact
+/// model wire encoding; round-trips bitwise with [`read_tensor`].
+pub fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
     w.write_all(&(t.shape().len() as u32).to_le_bytes())?;
     for &d in t.shape() {
         w.write_all(&(d as u64).to_le_bytes())?;
@@ -178,7 +182,9 @@ fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
     Ok(())
 }
 
-fn read_tensor(r: &mut impl Read) -> Result<Tensor, ModelFormatError> {
+/// Reads one tensor written by [`write_tensor`], rejecting non-finite
+/// values, ranks above 8, and element counts above `1 << 28`.
+pub fn read_tensor(r: &mut impl Read) -> Result<Tensor, ModelFormatError> {
     let mut len4 = [0u8; 4];
     r.read_exact(&mut len4)?;
     let ndim = u32::from_le_bytes(len4) as usize;

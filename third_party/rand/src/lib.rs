@@ -253,6 +253,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exposes the raw xoshiro256++ state, for checkpointing a stream
+        /// mid-sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`state`]: the
+        /// restored stream continues exactly where the original left off.
+        ///
+        /// [`state`]: StdRng::state
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32

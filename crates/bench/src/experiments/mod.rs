@@ -11,5 +11,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod gemmbench;
 pub mod probe;
+pub mod quant;
 pub mod resume;
 pub mod table3;

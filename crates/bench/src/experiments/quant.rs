@@ -1,0 +1,214 @@
+//! Int8 backend benchmark: fused k-member ensemble latency vs the float
+//! path, plus quantization-error accounting on the Table III campaign.
+//!
+//! Run via `vehigan-bench quant --scale quick` (trains the quick system,
+//! prints a summary, writes `results/BENCH_quant.json`) or the criterion
+//! bench `cargo bench -p vehigan-bench --bench quant` for statistical
+//! rigor on the latency half.
+//!
+//! The run **gates** its own acceptance criteria and panics when they
+//! fail (so the CI smoke step catches regressions):
+//!
+//! - fused int8 `k`-member single-snapshot scoring ≥ 2× faster than the
+//!   float `score_with_members` path (Fig-8 scale, `k = deploy_k`);
+//! - max |AUROC(int8) − AUROC(f32)| over the 35-attack Table III campaign
+//!   ≤ 0.01;
+//! - dispatched and portable int8 kernels agree bitwise on a
+//!   critic-shaped GEMM (i32 accumulator equality).
+
+use crate::harness::{results_dir, Harness};
+use std::time::Instant;
+use vehigan_metrics::auroc;
+use vehigan_tensor::gemm::{gemm_i8, gemm_i8_portable, PackedI8};
+use vehigan_tensor::Tensor;
+
+/// Maximum tolerated AUROC drift of the int8 path vs f32 (ISSUE gate).
+pub const AUROC_DELTA_BUDGET: f64 = 0.01;
+
+/// Minimum required fused-ensemble speedup over the float path (ISSUE
+/// gate).
+pub const MIN_SPEEDUP: f64 = 2.0;
+
+/// Median wall-clock milliseconds per call (median rejects scheduler
+/// noise on shared VMs).
+fn time_ms(mut f: impl FnMut(), reps: usize, trials: usize) -> f64 {
+    for _ in 0..3 {
+        f(); // warm-up
+    }
+    let mut samples: Vec<f64> = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1000.0 / reps as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Asserts that the dispatched (possibly AVX2) and portable int8 kernels
+/// produce bitwise-identical i32 accumulators on a critic-shaped GEMM.
+fn assert_kernels_bitwise_identical() {
+    let (m, k, n) = (120usize, 3840usize, 8usize); // the fused dense shape
+    let a: Vec<i8> = (0..m * k).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+    let b: Vec<i8> = (0..k * n).map(|i| ((i * 73 + 5) % 255) as i8).collect();
+    let packed = PackedI8::pack(k, n, &b);
+    let mut dispatched = vec![0i32; m * n];
+    let mut portable = vec![0i32; m * n];
+    gemm_i8(m, &a, &packed, &mut dispatched);
+    gemm_i8_portable(m, &a, &packed, &mut portable);
+    assert_eq!(
+        dispatched, portable,
+        "dispatched and portable int8 kernels must agree bitwise"
+    );
+    println!("kernel check: dispatched == portable bitwise on ({m},{k},{n}) ✓");
+}
+
+/// Runs the quant benchmark on a trained harness and writes
+/// `results/BENCH_quant.json`.
+pub fn run(harness: &mut Harness) {
+    println!("Int8 backend benchmark (fused k-member ensemble vs float path)");
+    assert_kernels_bitwise_identical();
+
+    harness
+        .pipeline
+        .compile_int8()
+        .expect("int8 backend compiles");
+    let backend_desc = format!("{:?}", harness.pipeline.vehigan.int8_backend().unwrap());
+    println!("{backend_desc}");
+
+    let vehigan = &harness.pipeline.vehigan;
+    let k = vehigan.k();
+    let m = vehigan.m();
+    let subset: Vec<usize> = (0..k).collect();
+    let all: Vec<usize> = (0..m).collect();
+    let int8_bytes = vehigan.int8_backend().unwrap().weight_bytes();
+
+    // --- Fig-8-scale latency: one snapshot through k deployed members. ---
+    let shape = harness.benign_windows.x.shape().to_vec();
+    let len = shape[1] * shape[2] * shape[3];
+    let single = Tensor::from_vec(
+        harness.benign_windows.x.as_slice()[..len].to_vec(),
+        &[1, shape[1], shape[2], shape[3]],
+    );
+    let f32_single_ms = time_ms(
+        || {
+            vehigan.score_with_members(&subset, &single).unwrap();
+        },
+        20,
+        7,
+    );
+    let int8_single_ms = time_ms(
+        || {
+            vehigan.score_with_members_int8(&subset, &single).unwrap();
+        },
+        20,
+        7,
+    );
+    let single_speedup = f32_single_ms / int8_single_ms;
+
+    // --- Batch throughput: a 64-snapshot batch through the same k. ---
+    let batch_n = 64.min(harness.benign_windows.x.shape()[0]);
+    let batch = Tensor::from_vec(
+        harness.benign_windows.x.as_slice()[..batch_n * len].to_vec(),
+        &[batch_n, shape[1], shape[2], shape[3]],
+    );
+    let f32_batch_ms = time_ms(
+        || {
+            vehigan.score_with_members(&subset, &batch).unwrap();
+        },
+        10,
+        7,
+    );
+    let int8_batch_ms = time_ms(
+        || {
+            vehigan.score_with_members_int8(&subset, &batch).unwrap();
+        },
+        10,
+        7,
+    );
+    let batch_speedup = f32_batch_ms / int8_batch_ms;
+
+    println!(
+        "{:>24} {:>12} {:>12} {:>9}",
+        "case", "f32 (ms)", "int8 (ms)", "speedup"
+    );
+    println!(
+        "{:>24} {f32_single_ms:>12.4} {int8_single_ms:>12.4} {single_speedup:>8.2}x",
+        format!("snapshot k={k}")
+    );
+    println!(
+        "{:>24} {f32_batch_ms:>12.4} {int8_batch_ms:>12.4} {batch_speedup:>8.2}x",
+        format!("batch n={batch_n} k={k}")
+    );
+
+    // --- Quantization error: Table III AUROC, int8 vs f32, all m. ---
+    let mut max_delta = 0.0f64;
+    let mut mean_delta = 0.0f64;
+    let mut worst_attack = String::new();
+    let n_attacks = harness.attacks.len();
+    for ai in 0..n_attacks {
+        let ds = &harness.attack_windows[ai];
+        let f32_scores = harness.ensemble_attack_scores(&all, ai);
+        let int8_scores = harness
+            .pipeline
+            .vehigan
+            .score_with_members_int8(&all, &ds.x)
+            .unwrap()
+            .scores;
+        let f32_auroc = auroc(&f32_scores, &ds.labels);
+        let int8_auroc = auroc(&int8_scores, &ds.labels);
+        let delta = (f32_auroc - int8_auroc).abs();
+        mean_delta += delta;
+        if delta > max_delta {
+            max_delta = delta;
+            worst_attack = harness.attacks[ai].name().to_string();
+        }
+    }
+    mean_delta /= n_attacks as f64;
+    println!(
+        "Table III AUROC drift over {n_attacks} attacks: mean {mean_delta:.5}, \
+         max {max_delta:.5} ({worst_attack})"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"quant\",\n  \"k\": {k},\n  \"m\": {m},\n  \"int8_weight_bytes\": {int8_bytes},\n"
+    ));
+    json.push_str("  \"cases\": [\n");
+    json.push_str(&format!(
+        "    {{\"name\": \"snapshot_k{k}\", \"f32_ms\": {f32_single_ms:.5}, \"int8_ms\": {int8_single_ms:.5}, \"speedup\": {single_speedup:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "    {{\"name\": \"batch{batch_n}_k{k}\", \"f32_ms\": {f32_batch_ms:.5}, \"int8_ms\": {int8_batch_ms:.5}, \"speedup\": {batch_speedup:.2}}}\n"
+    ));
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"auroc\": {{\"attacks\": {n_attacks}, \"mean_delta\": {mean_delta:.5}, \"max_delta\": {max_delta:.5}, \"worst_attack\": \"{worst_attack}\", \"budget\": {AUROC_DELTA_BUDGET}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"gates\": {{\"min_speedup\": {MIN_SPEEDUP}, \"speedup_ok\": {}, \"auroc_ok\": {}}}\n}}\n",
+        single_speedup >= MIN_SPEEDUP,
+        max_delta <= AUROC_DELTA_BUDGET,
+    ));
+    let path = results_dir().join("BENCH_quant.json");
+    std::fs::write(&path, json).expect("write BENCH_quant.json");
+    eprintln!("[harness] wrote {}", path.display());
+
+    // --- Gates (ISSUE acceptance criteria). ---
+    assert!(
+        max_delta <= AUROC_DELTA_BUDGET,
+        "int8 AUROC drift {max_delta:.5} exceeds the {AUROC_DELTA_BUDGET} budget ({worst_attack})"
+    );
+    assert!(
+        single_speedup >= MIN_SPEEDUP,
+        "fused int8 ensemble speedup {single_speedup:.2}x below the required {MIN_SPEEDUP}x"
+    );
+    println!(
+        "gates: speedup {single_speedup:.2}x ≥ {MIN_SPEEDUP}x ✓, \
+         AUROC drift {max_delta:.5} ≤ {AUROC_DELTA_BUDGET} ✓"
+    );
+}

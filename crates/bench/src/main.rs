@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiments: `campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a
-//! fig7b fig8 gemm resume table3 all`.
+//! fig7b fig8 gemm quant resume table3 all`.
 //!
 //! `--resume <dir>` makes zoo training crash-safe: every finished model is
 //! checkpointed in `<dir>` (and the in-flight training group at every
@@ -28,7 +28,7 @@ use vehigan_bench::harness::{Harness, Scale};
 fn usage() -> ! {
     eprintln!(
         "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>] [--retry-quarantined] [--stop-after-groups N]\n\
-         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm resume table3 adv ablation probe all"
+         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm quant resume table3 adv ablation probe all"
     );
     std::process::exit(2);
 }
@@ -107,7 +107,8 @@ fn main() {
     // Reject unknown experiment names *before* spending minutes training
     // the harness they would never use.
     const TRAINED: &[&str] = &[
-        "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "table3", "adv", "all",
+        "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "table3", "quant",
+        "adv", "all",
     ];
     if !TRAINED.contains(&experiment) {
         usage();
@@ -129,6 +130,7 @@ fn main() {
             fig7::run_7b(&mut harness);
         }
         "table3" => table3::run(&mut harness),
+        "quant" => vehigan_bench::experiments::quant::run(&mut harness),
         // Composite: all adversarial experiments on one trained harness.
         "adv" => {
             fig5::run_5a(&mut harness);
@@ -161,6 +163,8 @@ fn main() {
             table3::run(&mut harness);
             section("Fig 8");
             fig8::run();
+            section("Int8 backend");
+            vehigan_bench::experiments::quant::run(&mut harness);
         }
         _ => usage(),
     }

@@ -68,6 +68,14 @@ pub enum EnsembleError {
         /// Config id of the member being calibrated.
         id: String,
     },
+    /// Compiling the int8 backend failed (unsupported critic layer or
+    /// non-finite weights).
+    Int8Compile {
+        /// The underlying compile error, rendered.
+        reason: String,
+    },
+    /// An int8 scoring path was used before [`VehiGan::compile_int8`].
+    Int8NotCompiled,
 }
 
 impl fmt::Display for EnsembleError {
@@ -98,6 +106,12 @@ impl fmt::Display for EnsembleError {
                 f,
                 "member {id} produced no finite scores on the calibration set"
             ),
+            EnsembleError::Int8Compile { reason } => {
+                write!(f, "int8 backend compilation failed: {reason}")
+            }
+            EnsembleError::Int8NotCompiled => {
+                write!(f, "int8 backend not compiled — call compile_int8 first")
+            }
         }
     }
 }
@@ -224,11 +238,20 @@ pub struct VehiGan {
     members: Vec<CriticMember>,
     k: usize,
     rng: StdRng,
+    /// Compiled int8 sidecar ([`VehiGan::compile_int8`]); `None` until
+    /// compiled, stale if member critics are mutated afterwards.
+    int8: Option<crate::int8::Int8Backend>,
 }
 
 impl std::fmt::Debug for VehiGan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "VehiGan(m={}, k={})", self.members.len(), self.k)
+        write!(
+            f,
+            "VehiGan(m={}, k={}{})",
+            self.members.len(),
+            self.k,
+            if self.int8.is_some() { ", int8" } else { "" }
+        )
     }
 }
 
@@ -253,6 +276,7 @@ impl VehiGan {
             members,
             k,
             rng: StdRng::seed_from_u64(seed),
+            int8: None,
         })
     }
 
@@ -289,8 +313,20 @@ impl VehiGan {
 
     /// Mutable access to members (adversarial experiments need the
     /// critics' gradients).
+    ///
+    /// Mutating a member's critic weights leaves a compiled int8 backend
+    /// stale; call [`VehiGan::compile_int8`] again afterwards.
     pub fn members_mut(&mut self) -> &mut [CriticMember] {
         &mut self.members
+    }
+
+    /// The compiled int8 backend, if [`VehiGan::compile_int8`] has run.
+    pub fn int8_backend(&self) -> Option<&crate::int8::Int8Backend> {
+        self.int8.as_ref()
+    }
+
+    pub(crate) fn set_int8_backend(&mut self, backend: crate::int8::Int8Backend) {
+        self.int8 = Some(backend);
     }
 
     /// Marks a member quarantined so subset sampling skips it.
@@ -403,6 +439,18 @@ impl VehiGan {
             })
             .expect("ensemble scoring scope")
         };
+        self.reduce_member_scores(indices, &per_member, n)
+    }
+
+    /// Reduces per-member score vectors (in `indices` order) into the
+    /// ensemble mean, dropping failed members — the shared tail of the
+    /// float and int8 scoring paths.
+    pub(crate) fn reduce_member_scores(
+        &self,
+        indices: &[usize],
+        per_member: &[Option<Vec<f32>>],
+        n: usize,
+    ) -> Result<EnsembleScore, EnsembleError> {
         let mut sum = vec![0.0f32; n];
         let mut tau = 0.0f32;
         let mut survivors = Vec::with_capacity(indices.len());

@@ -49,6 +49,7 @@ mod campaign;
 mod checkpoint;
 mod config;
 mod ensemble;
+mod int8;
 mod pipeline;
 mod wgan;
 mod zoo;
@@ -60,6 +61,7 @@ pub use checkpoint::{
 };
 pub use config::{GridConfig, LipschitzMode, WganConfig};
 pub use ensemble::{CriticMember, EnsembleError, EnsembleScore, MisbehaviorReport, VehiGan};
+pub use int8::Int8Backend;
 pub use pipeline::{Pipeline, PipelineConfig, PipelineError};
 pub use wgan::{
     build_critic, build_generator, DivergenceReason, SentinelPolicy, TrainError, TrainReport,

@@ -14,6 +14,7 @@ use vehigan_features::{
 };
 use vehigan_sim::{SimConfig, TrafficSimulator, VehicleTrace};
 use vehigan_tensor::serialize::ModelFormatError;
+use vehigan_tensor::Tensor;
 use vehigan_vasp::{Attack, DatasetBuilder, DatasetConfig};
 
 /// Error from the fallible pipeline entry point [`Pipeline::try_run`].
@@ -447,6 +448,31 @@ impl Pipeline {
     pub fn test_benign_windows(&self) -> WindowDataset {
         let builder = DatasetBuilder::new(&self.test_fleet, self.config.dataset.clone());
         build_windows(&builder.benign_dataset(), self.config.window, &self.scaler)
+    }
+
+    /// Compiles the deployed ensemble's int8 backend, calibrating
+    /// activation scales on (a subsample of) the benign training windows.
+    ///
+    /// After this, [`VehiGan::score_batch_int8`] /
+    /// [`VehiGan::score_with_members_int8`] run the fused int8 path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EnsembleError::Int8Compile`].
+    pub fn compile_int8(&mut self) -> Result<(), EnsembleError> {
+        // A few hundred windows pin the activation ranges; more adds
+        // calibration time, not accuracy.
+        const MAX_CALIBRATION_WINDOWS: usize = 256;
+        let x = &self.train_windows.x;
+        let n = x.shape()[0];
+        let shape = x.shape().to_vec();
+        let take = n.min(MAX_CALIBRATION_WINDOWS);
+        let len = shape[1] * shape[2] * shape[3];
+        let calibration = Tensor::from_vec(
+            x.as_slice()[..take * len].to_vec(),
+            &[take, shape[1], shape[2], shape[3]],
+        );
+        self.vehigan.compile_int8(&calibration)
     }
 }
 

@@ -13,7 +13,7 @@
 //! - **op fusion** — conv + LeakyReLU execute as one kernel;
 //! - **static arenas** — per-inference scoring allocates nothing.
 
-use crate::quant::QuantizedWeights;
+use crate::quant::{QuantError, QuantizedWeights};
 use std::fmt;
 use vehigan_tensor::serialize::{ModelFormatError, ModelSnapshot};
 use vehigan_tensor::Sequential;
@@ -27,6 +27,8 @@ pub enum CompileError {
     Format(ModelFormatError),
     /// The model topology is not a critic (must end in a scalar).
     NotACritic(&'static str),
+    /// Weight quantization failed (non-finite weights).
+    Quant(QuantError),
 }
 
 impl fmt::Display for CompileError {
@@ -35,6 +37,7 @@ impl fmt::Display for CompileError {
             CompileError::UnsupportedLayer(k) => write!(f, "unsupported layer kind `{k}`"),
             CompileError::Format(e) => write!(f, "invalid model: {e}"),
             CompileError::NotACritic(why) => write!(f, "model is not a critic: {why}"),
+            CompileError::Quant(e) => write!(f, "weight quantization failed: {e}"),
         }
     }
 }
@@ -43,6 +46,7 @@ impl std::error::Error for CompileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CompileError::Format(e) => Some(e),
+            CompileError::Quant(e) => Some(e),
             _ => None,
         }
     }
@@ -51,6 +55,12 @@ impl std::error::Error for CompileError {
 impl From<ModelFormatError> for CompileError {
     fn from(e: ModelFormatError) -> Self {
         CompileError::Format(e)
+    }
+}
+
+impl From<QuantError> for CompileError {
+    fn from(e: QuantError) -> Self {
+        CompileError::Quant(e)
     }
 }
 
@@ -250,7 +260,7 @@ impl LiteCritic {
                     // Source layout [ky·kw·ic, oc] is kept: inference
                     // accumulates across the contiguous `oc` lane.
                     let raw = layer.tensor("w")?.as_slice();
-                    let quantized = QuantizedWeights::quantize(raw);
+                    let quantized = QuantizedWeights::quantize(raw)?;
                     let kernels = quantized.dequantize();
                     let bias = layer.tensor("b")?.as_slice().to_vec();
                     let activation = match fused_next {
@@ -290,7 +300,7 @@ impl LiteCritic {
                         return Err(CompileError::NotACritic("dense input size mismatch"));
                     }
                     let raw = layer.tensor("w")?.as_slice();
-                    let quantized = QuantizedWeights::quantize(raw);
+                    let quantized = QuantizedWeights::quantize(raw)?;
                     let deq = quantized.dequantize();
                     // Transpose [in, out] → [out][in].
                     let mut weights = vec![0.0f32; in_dim * out_dim];

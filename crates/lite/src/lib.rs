@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 
 mod critic;
+pub mod ensemble;
 pub mod quant;
 
 pub use critic::{CompileError, LiteCritic};
+pub use ensemble::Int8Ensemble;

@@ -1,4 +1,79 @@
-//! Post-training int8 weight quantization.
+//! Post-training int8 quantization: per-tensor and per-channel weight
+//! schemes plus activation-scale calibration.
+//!
+//! All schemes are **symmetric** (zero-point 0): WGAN critics regress an
+//! unbounded scalar from Lipschitz-constrained weights, so the weight
+//! distributions are centered and narrow, and symmetric quantization
+//! keeps zero exactly representable — padding and ReLU-dead activations
+//! stay exact through the int8 pipeline.
+//!
+//! Non-finite inputs are **rejected with a typed error** rather than
+//! silently mapped to 0 (a NaN slips straight past an `f32::max` fold,
+//! and `as i8` saturates NaN to 0) — the same poisoned-model policy as
+//! `ModelFormatError::NonFinite` in `vehigan_tensor::serialize`.
+
+use std::fmt;
+
+/// Error quantizing weights or calibrating activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantError {
+    /// A value to quantize or calibrate was NaN/Inf. Mirrors
+    /// `ModelFormatError::NonFinite`: a poisoned tensor must never be
+    /// folded into a deployable artifact.
+    NonFinite {
+        /// Flat element index of the first offending value.
+        index: usize,
+    },
+    /// A per-channel matrix's length was not `rows × channels`.
+    ShapeMismatch {
+        /// Length actually received.
+        len: usize,
+        /// Rows expected.
+        rows: usize,
+        /// Channels expected.
+        channels: usize,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::NonFinite { index } => {
+                write!(f, "non-finite value at element {index} (poisoned weights)")
+            }
+            QuantError::ShapeMismatch {
+                len,
+                rows,
+                channels,
+            } => write!(f, "matrix length {len} != {rows}×{channels}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Returns the index of the first non-finite value, if any.
+fn check_finite(values: &[f32]) -> Result<(), QuantError> {
+    match values.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(QuantError::NonFinite { index }),
+        None => Ok(()),
+    }
+}
+
+/// Symmetric scale for a value range: `max_abs / 127`, or 1.0 for an
+/// all-zero range (anything dequantizes to 0).
+fn symmetric_scale(max_abs: f32) -> f32 {
+    if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / 127.0
+    }
+}
+
+#[inline]
+fn quantize_one(w: f32, scale: f32) -> i8 {
+    (w / scale).round().clamp(-127.0, 127.0) as i8
+}
 
 /// An int8-quantized weight tensor with a per-tensor affine scale
 /// (symmetric, zero-point 0 — the standard scheme for weights).
@@ -14,14 +89,16 @@ impl QuantizedWeights {
     /// Quantizes float weights symmetrically to int8.
     ///
     /// All-zero inputs get scale 1.0 (anything dequantizes to 0).
-    pub fn quantize(weights: &[f32]) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NonFinite`] if any weight is NaN/Inf.
+    pub fn quantize(weights: &[f32]) -> Result<Self, QuantError> {
+        check_finite(weights)?;
         let max_abs = weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
-        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
-        let values = weights
-            .iter()
-            .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
-            .collect();
-        QuantizedWeights { values, scale }
+        let scale = symmetric_scale(max_abs);
+        let values = weights.iter().map(|&w| quantize_one(w, scale)).collect();
+        Ok(QuantizedWeights { values, scale })
     }
 
     /// Dequantizes back to floats.
@@ -35,6 +112,132 @@ impl QuantizedWeights {
     }
 }
 
+/// An int8-quantized weight matrix with **per-channel** symmetric scales.
+///
+/// The source is a row-major `rows × channels` matrix where the channel
+/// axis is the *output* dimension — `[ky·kw·ic, oc]` conv kernels and
+/// `[in, out]` dense weights as the tensor stack stores them. Each output
+/// channel gets its own scale, so one wide-ranged channel no longer
+/// inflates the quantization step of every other channel (the main
+/// accuracy leak of per-tensor quantization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerChannelQuantized {
+    /// Quantized values in `[-127, 127]`, same row-major layout as input.
+    pub values: Vec<i8>,
+    /// Per-channel dequantization scales (`channels` entries):
+    /// `w[r][c] ≈ values[r][c] · scales[c]`.
+    pub scales: Vec<f32>,
+    /// Row count (the shared/GEMM dimension).
+    pub rows: usize,
+    /// Channel count (the output dimension).
+    pub channels: usize,
+}
+
+impl PerChannelQuantized {
+    /// Quantizes a row-major `rows × channels` float matrix with one
+    /// symmetric scale per channel (column).
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NonFinite`] if any weight is NaN/Inf,
+    /// [`QuantError::ShapeMismatch`] if `weights.len() != rows ·
+    /// channels`.
+    pub fn quantize(rows: usize, channels: usize, weights: &[f32]) -> Result<Self, QuantError> {
+        if weights.len() != rows * channels {
+            return Err(QuantError::ShapeMismatch {
+                len: weights.len(),
+                rows,
+                channels,
+            });
+        }
+        check_finite(weights)?;
+        let mut max_abs = vec![0.0f32; channels];
+        for row in weights.chunks_exact(channels.max(1)) {
+            for (m, &w) in max_abs.iter_mut().zip(row) {
+                *m = m.max(w.abs());
+            }
+        }
+        let scales: Vec<f32> = max_abs.into_iter().map(symmetric_scale).collect();
+        let values = weights
+            .chunks_exact(channels.max(1))
+            .flat_map(|row| {
+                row.iter()
+                    .zip(&scales)
+                    .map(|(&w, &s)| quantize_one(w, s))
+                    .collect::<Vec<i8>>()
+            })
+            .collect();
+        Ok(PerChannelQuantized {
+            values,
+            scales,
+            rows,
+            channels,
+        })
+    }
+
+    /// Dequantizes back to floats (row-major, original layout).
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.values
+            .chunks_exact(self.channels.max(1))
+            .flat_map(|row| {
+                row.iter()
+                    .zip(&self.scales)
+                    .map(|(&q, &s)| q as f32 * s)
+                    .collect::<Vec<f32>>()
+            })
+            .collect()
+    }
+
+    /// Worst-case absolute quantization error for one channel.
+    pub fn channel_max_error(&self, channel: usize) -> f32 {
+        self.scales[channel] / 2.0
+    }
+
+    /// Worst-case absolute quantization error across all channels.
+    pub fn max_error(&self) -> f32 {
+        self.scales.iter().fold(0.0f32, |m, &s| m.max(s / 2.0))
+    }
+}
+
+/// Calibrates a symmetric int8 activation scale from observed values:
+/// `max |x| / 127`, with 1.0 for an all-zero sample (the choice is
+/// irrelevant — everything quantizes to 0).
+///
+/// Calibration runs over representative f32 activations (e.g. benign
+/// training windows pushed through the float critic); at inference time
+/// activations outside the calibrated range saturate at ±127.
+///
+/// # Errors
+///
+/// [`QuantError::NonFinite`] if any observed value is NaN/Inf.
+pub fn activation_scale(observed: &[f32]) -> Result<f32, QuantError> {
+    check_finite(observed)?;
+    let max_abs = observed.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    Ok(symmetric_scale(max_abs))
+}
+
+/// Quantizes activations with a calibrated scale, saturating at ±127.
+/// Symmetric with zero-point 0, so exact zeros stay exact (padding!).
+///
+/// Hot path: multiplies by the reciprocal scale and rounds half away
+/// from zero via truncation (`x + copysign(0.5, x)`). NaN inputs map to
+/// 0 through an explicit ordered compare so the float→int conversion
+/// can use `to_int_unchecked` — Rust's saturating `as i32` cast carries
+/// NaN/range fixups that keep LLVM from vectorizing the narrowing loop,
+/// and `f32::round` would be a libm call per element.
+pub fn quantize_activations(values: &[f32], scale: f32, out: &mut [i8]) {
+    debug_assert_eq!(values.len(), out.len());
+    let inv = 1.0 / scale;
+    for (o, &v) in out.iter_mut().zip(values) {
+        let x = (v * inv).clamp(-127.0, 127.0);
+        let x = x + 0.5f32.copysign(x);
+        let x = if x.is_nan() { 0.0 } else { x };
+        // SAFETY: `x` is NaN-free (previous line) and clamped to
+        // [-127.5, 127.5], well inside i32 range.
+        *o = unsafe { x.to_int_unchecked::<i32>() as i8 };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,7 +245,7 @@ mod tests {
     #[test]
     fn roundtrip_error_is_bounded() {
         let w: Vec<f32> = (0..100).map(|i| (i as f32 * 0.7).sin() * 0.03).collect();
-        let q = QuantizedWeights::quantize(&w);
+        let q = QuantizedWeights::quantize(&w).unwrap();
         let back = q.dequantize();
         for (orig, deq) in w.iter().zip(&back) {
             assert!((orig - deq).abs() <= q.max_error() + 1e-9);
@@ -51,7 +254,7 @@ mod tests {
 
     #[test]
     fn extreme_value_maps_to_127() {
-        let q = QuantizedWeights::quantize(&[0.5, -0.25, 0.0]);
+        let q = QuantizedWeights::quantize(&[0.5, -0.25, 0.0]).unwrap();
         assert_eq!(q.values[0], 127);
         assert_eq!(q.values[1], -64);
         assert_eq!(q.values[2], 0);
@@ -59,7 +262,7 @@ mod tests {
 
     #[test]
     fn all_zero_weights_are_stable() {
-        let q = QuantizedWeights::quantize(&[0.0; 8]);
+        let q = QuantizedWeights::quantize(&[0.0; 8]).unwrap();
         assert_eq!(q.scale, 1.0);
         assert!(q.dequantize().iter().all(|&v| v == 0.0));
     }
@@ -71,7 +274,88 @@ mod tests {
         // preserves critic score ordering so well.
         let c = 0.03f32;
         let w: Vec<f32> = (0..50).map(|i| (i as f32 / 49.0) * 2.0 * c - c).collect();
-        let q = QuantizedWeights::quantize(&w);
+        let q = QuantizedWeights::quantize(&w).unwrap();
         assert!(q.max_error() < 0.00013);
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_with_index() {
+        // The old fold silently mapped NaN → 0 (`f32::max` skips NaN,
+        // `as i8` saturates); now it is a typed error.
+        assert_eq!(
+            QuantizedWeights::quantize(&[0.1, f32::NAN, 0.2]),
+            Err(QuantError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            QuantizedWeights::quantize(&[f32::INFINITY]),
+            Err(QuantError::NonFinite { index: 0 })
+        );
+        assert_eq!(
+            PerChannelQuantized::quantize(1, 2, &[0.0, f32::NEG_INFINITY]),
+            Err(QuantError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            activation_scale(&[1.0, f32::NAN]),
+            Err(QuantError::NonFinite { index: 1 })
+        );
+    }
+
+    #[test]
+    fn per_channel_isolates_wide_channels() {
+        // Channel 1 has 100× the range of channel 0; per-tensor would
+        // burn channel 0's precision, per-channel keeps both fine.
+        let w = [0.01f32, 1.0, -0.005, 0.5, 0.0075, -1.0];
+        let q = PerChannelQuantized::quantize(3, 2, &w).unwrap();
+        assert!(q.channel_max_error(0) < 1e-4);
+        let back = q.dequantize();
+        for (orig, deq) in w.iter().zip(&back) {
+            let ch = if (orig.abs() - 1.0).abs() < 0.51 {
+                1
+            } else {
+                0
+            };
+            assert!((orig - deq).abs() <= q.channel_max_error(ch) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn per_channel_shape_mismatch_is_typed() {
+        assert_eq!(
+            PerChannelQuantized::quantize(2, 3, &[0.0; 5]),
+            Err(QuantError::ShapeMismatch {
+                len: 5,
+                rows: 2,
+                channels: 3
+            })
+        );
+    }
+
+    #[test]
+    fn activation_scale_covers_range() {
+        let s = activation_scale(&[-0.6, 0.2, 0.5]).unwrap();
+        assert!((s - 0.6 / 127.0).abs() < 1e-9);
+        assert_eq!(activation_scale(&[]).unwrap(), 1.0);
+        assert_eq!(activation_scale(&[0.0, 0.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn activation_quantization_saturates() {
+        let mut out = [0i8; 4];
+        quantize_activations(&[0.0, 1.0, -1.0, 10.0], 1.0 / 127.0, &mut out);
+        assert_eq!(out, [0, 127, -127, 127]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(QuantError::NonFinite { index: 3 }
+            .to_string()
+            .contains("element 3"));
+        assert!(QuantError::ShapeMismatch {
+            len: 5,
+            rows: 2,
+            channels: 3
+        }
+        .to_string()
+        .contains("5"));
     }
 }

@@ -1,0 +1,109 @@
+//! Property-based tests for per-channel symmetric quantization (satellite
+//! of the int8-backend ISSUE): round-trip error is bounded by half a
+//! quantization step per channel, channels are isolated (one wide channel
+//! cannot degrade another's precision), and activation quantization
+//! saturates exactly at ±127 — the invariants the fused int8 scorer's
+//! accuracy argument rests on.
+
+use proptest::prelude::*;
+use vehigan_lite::quant::{activation_scale, quantize_activations, PerChannelQuantized};
+
+fn weights(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-4.0f32..4.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn per_channel_round_trip_error_is_half_a_step(
+        (rows, channels, w) in (1usize..20, 1usize..10).prop_flat_map(|(r, c)| {
+            (Just(r), Just(c), weights(r * c))
+        })
+    ) {
+        let q = PerChannelQuantized::quantize(rows, channels, &w).unwrap();
+        let deq = q.dequantize();
+        for ch in 0..channels {
+            // Symmetric round-to-nearest: error ≤ scale/2, and the scale
+            // is the channel's own max|w|/127, never another channel's.
+            let bound = q.scales[ch] * 0.5 + 1e-7;
+            for r in 0..rows {
+                let i = r * channels + ch;
+                prop_assert!(
+                    (w[i] - deq[i]).abs() <= bound,
+                    "channel {} row {}: |{} - {}| > {}",
+                    ch, r, w[i], deq[i], bound
+                );
+            }
+            prop_assert!(q.channel_max_error(ch) <= bound);
+        }
+    }
+
+    #[test]
+    fn channel_scales_are_independent(
+        (rows, w_narrow) in (1usize..16,).prop_flat_map(|(r,)| (Just(r), weights(r)))
+    ) {
+        // Put a 100× wider second channel next to the narrow one; the
+        // narrow channel's quantization must not coarsen.
+        let rows_n = rows;
+        let mut interleaved = Vec::with_capacity(rows_n * 2);
+        for wi in w_narrow.iter().take(rows_n) {
+            interleaved.push(*wi);
+            interleaved.push(*wi * 100.0);
+        }
+        let alone = PerChannelQuantized::quantize(rows_n, 1, &w_narrow).unwrap();
+        let paired = PerChannelQuantized::quantize(rows_n, 2, &interleaved).unwrap();
+        prop_assert_eq!(alone.scales[0].to_bits(), paired.scales[0].to_bits());
+        for r in 0..rows_n {
+            prop_assert_eq!(alone.values[r], paired.values[r * 2]);
+        }
+    }
+
+    #[test]
+    fn activation_round_trip_error_is_half_a_step(
+        x in weights(64)
+    ) {
+        let scale = activation_scale(&x).unwrap();
+        let mut q = vec![0i8; x.len()];
+        quantize_activations(&x, scale, &mut q);
+        for (xi, qi) in x.iter().zip(&q) {
+            let back = *qi as f32 * scale;
+            // Half a step, plus a few ulps for the reciprocal-scale
+            // multiply the hot path uses instead of a division.
+            prop_assert!(
+                (xi - back).abs() <= scale * 0.50001 + 1e-7,
+                "|{} - {}| > {}", xi, back, scale * 0.5
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_activations_saturate_to_127(
+        (x, factor) in (weights(32), 1.5f32..10.0)
+    ) {
+        // Calibrate on x, then quantize amplified values: anything past
+        // the calibrated range pins at ±127 instead of wrapping.
+        let scale = activation_scale(&x).unwrap();
+        let amplified: Vec<f32> = x.iter().map(|v| v * factor).collect();
+        let mut q = vec![0i8; x.len()];
+        quantize_activations(&amplified, scale, &mut q);
+        for (a, qi) in amplified.iter().zip(&q) {
+            prop_assert!(*qi >= -127, "symmetric range excludes -128");
+            if a.abs() > scale * 127.0 {
+                prop_assert_eq!(qi.abs(), 127, "{} should saturate", a);
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_weights_always_rejected(
+        (len, pos, bad) in (1usize..40).prop_flat_map(|l| {
+            (Just(l), 0..l, prop_oneof![Just(f32::NAN), Just(f32::INFINITY), Just(f32::NEG_INFINITY)])
+        })
+    ) {
+        let mut w = vec![0.5f32; len];
+        w[pos] = bad;
+        prop_assert!(PerChannelQuantized::quantize(len, 1, &w).is_err());
+        prop_assert!(activation_scale(&w).is_err());
+    }
+}

@@ -49,6 +49,36 @@
 //! plain product must zero `C` first (a zero-filled buffer is what
 //! [`crate::workspace::Workspace`] hands out). This is what lets
 //! `Dense::backward` add `dW` straight into the gradient buffer.
+//!
+//! # Int8 kernels
+//!
+//! Next to the f32 family lives an `i8×i8→i32` inference family used by
+//! the quantized backend in `vehigan-lite`:
+//!
+//! - [`PackedI8`] — a weight matrix packed **once** (at model-compile
+//!   time) into `NR`-column strips with the shared dimension interleaved
+//!   in `k`-pairs, the exact layout `_mm256_madd_epi16` consumes;
+//! - [`gemm_i8`] — `C += A·B` over a packed `B`: a portable blocked
+//!   kernel and an AVX2 variant (`cvtepi8_epi16` widening +
+//!   `madd_epi16` pair-dot, the `maddubs`/`madd` idiom without the
+//!   unsigned-operand offset dance);
+//! - [`gemm_i8_fused`] — the multi-member sweep: one call walks several
+//!   packed weight matrices over shared or per-member activations, so a
+//!   `k`-of-`m` ensemble layer is one kernel invocation, not `k` model
+//!   walks.
+//!
+//! Integer accumulation is exact, so **portable and AVX2 int8 kernels
+//! produce bitwise-identical i32 accumulators** on every ISA — stronger
+//! than the f32 contract, and the property the int8 backend's
+//! determinism rests on. Exactness requires the accumulator not to
+//! overflow: with operands in `[-128, 127]` any `k ≤ 65534` is safe
+//! (`k/2` pair-sums of magnitude ≤ 2·128² against an i32), far above any
+//! critic shape in this stack.
+//!
+//! Setting the environment variable `VEHIGAN_FORCE_PORTABLE` (to any
+//! value, before first use) pins **all** kernel dispatch to the portable
+//! instantiations — the CI lever that exercises the portable int8 path
+//! on AVX2 hardware.
 
 use std::cell::RefCell;
 
@@ -63,11 +93,28 @@ thread_local! {
     static PACK: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
+/// Whether `VEHIGAN_FORCE_PORTABLE` pins dispatch to the portable
+/// kernels (checked once; a process never switches kernels mid-run).
+fn force_portable() -> bool {
+    use std::sync::OnceLock;
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| std::env::var_os("VEHIGAN_FORCE_PORTABLE").is_some())
+}
+
 #[cfg(target_arch = "x86_64")]
 fn fma_available() -> bool {
     use std::sync::OnceLock;
     static FMA: OnceLock<bool> = OnceLock::new();
-    *FMA.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    *FMA.get_or_init(|| {
+        !force_portable() && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| !force_portable() && is_x86_feature_detected!("avx2"))
 }
 
 fn check_dims(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &[f32]) {
@@ -424,6 +471,417 @@ pub fn transpose_into(m: usize, n: usize, src: &[f32], dst: &mut [f32]) {
     }
 }
 
+/// Columns per packed int8 strip: one 256-bit `madd` accumulator's worth
+/// of i32 lanes.
+pub const NR_I8: usize = 8;
+
+/// Rows of `A` swept per int8 micro-kernel pass (amortizes each packed-`B`
+/// load across four accumulator registers).
+const MR_I8: usize = 4;
+
+/// A weight matrix packed for the int8 micro-kernels.
+///
+/// The source is a row-major `k × n` i8 matrix (`k` = shared dimension,
+/// `n` = output channels). Packing splits the columns into [`NR_I8`]-wide
+/// strips and interleaves the shared dimension in pairs: strip `s`,
+/// pair `p` stores `[b[2p][j], b[2p+1][j]]` for each column `j` of the
+/// strip — sixteen i8 values, exactly one `cvtepi8_epi16` +
+/// `madd_epi16` step. Ragged edges (odd `k`, `n` not a multiple of
+/// [`NR_I8`]) are zero-padded, which is exact for integer accumulation.
+///
+/// Packing happens **once** per weight matrix (at quantized-model compile
+/// time); every inference call then reads the packed form directly — the
+/// f32 kernels, by contrast, repack `B` on every call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedI8 {
+    k: usize,
+    n: usize,
+    k_pairs: usize,
+    /// `[n_strips][k_pairs][NR_I8 · 2]`, pair-interleaved as above.
+    data: Vec<i8>,
+}
+
+impl PackedI8 {
+    /// Packs a row-major `k × n` i8 matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != k·n`.
+    pub fn pack(k: usize, n: usize, b: &[i8]) -> PackedI8 {
+        assert_eq!(b.len(), k * n, "pack: matrix length {} != {k}×{n}", b.len());
+        let k_pairs = k.div_ceil(2);
+        let n_strips = n.div_ceil(NR_I8);
+        let mut data = vec![0i8; n_strips * k_pairs * NR_I8 * 2];
+        for s in 0..n_strips {
+            let js = s * NR_I8;
+            let width = NR_I8.min(n - js);
+            for p in 0..k_pairs {
+                let base = (s * k_pairs + p) * NR_I8 * 2;
+                for j in 0..width {
+                    data[base + 2 * j] = b[2 * p * n + js + j];
+                    if 2 * p + 1 < k {
+                        data[base + 2 * j + 1] = b[(2 * p + 1) * n + js + j];
+                    }
+                }
+            }
+        }
+        PackedI8 {
+            k,
+            n,
+            k_pairs,
+            data,
+        }
+    }
+
+    /// Shared dimension `k` of the packed matrix.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column count `n` of the packed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes held by the packed representation.
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// `C += A·B` for row-major i8 `a` (`m×k`) against a pre-packed `b`,
+/// accumulating into i32 `c` (`m×n`).
+///
+/// Dispatches to the AVX2 `madd` kernel when available, the portable
+/// blocked kernel otherwise; both produce **bitwise-identical** i32
+/// accumulators (integer arithmetic is exact — see module docs for the
+/// no-overflow bound `k ≤ 65534`).
+///
+/// # Panics
+///
+/// Panics if `a`/`c` lengths disagree with `m` and the packed dimensions.
+pub fn gemm_i8(m: usize, a: &[i8], b: &PackedI8, c: &mut [i32]) {
+    assert_eq!(
+        a.len(),
+        m * b.k,
+        "gemm_i8: lhs length {} != {m}×{}",
+        a.len(),
+        b.k
+    );
+    assert_eq!(
+        c.len(),
+        m * b.n,
+        "gemm_i8: out length {} != {m}×{}",
+        c.len(),
+        b.n
+    );
+    if m == 0 || b.n == 0 || b.k == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // Safety: guarded by cached runtime detection of avx2.
+        unsafe { gemm_i8_avx2(m, a, b, c) };
+        return;
+    }
+    gemm_i8_portable(m, a, b, c);
+}
+
+/// The fused multi-member sweep: for each member `g`,
+/// `C_g += A_g · B_g`, in one kernel invocation.
+///
+/// `members` are per-member packed weight matrices that must share the
+/// same `k`. `a` is either **shared** activations (`m·k` values — every
+/// member reads the same input, the layer-1 case where all critics see
+/// the same window batch) or **per-member** activations (`members.len()
+/// · m·k` values, member-major). `c` holds the member outputs
+/// back-to-back: member `g`'s `m × n_g` block starts where member
+/// `g−1`'s ended.
+///
+/// This is what turns `k` sampled critics from `k` model walks into one
+/// packed-weight GEMM per layer: weights were packed at compile time,
+/// activations are quantized once, and a single call (one dispatch, one
+/// hot loop) sweeps every member.
+///
+/// # Panics
+///
+/// Panics if the members disagree on `k`, or `a`/`c` lengths match
+/// neither the shared nor the per-member layout.
+pub fn gemm_i8_fused(m: usize, a: &[i8], members: &[&PackedI8], c: &mut [i32]) {
+    let Some(first) = members.first() else {
+        return;
+    };
+    let k = first.k;
+    for b in members {
+        assert_eq!(b.k, k, "gemm_i8_fused: members disagree on k");
+    }
+    let shared = a.len() == m * k;
+    assert!(
+        shared || a.len() == members.len() * m * k,
+        "gemm_i8_fused: lhs length {} is neither shared ({}) nor per-member ({})",
+        a.len(),
+        m * k,
+        members.len() * m * k
+    );
+    let total_n: usize = members.iter().map(|b| b.n).sum();
+    assert_eq!(
+        c.len(),
+        m * total_n,
+        "gemm_i8_fused: out length {} != {m}×{total_n}",
+        c.len()
+    );
+    let mut c_off = 0;
+    for (g, b) in members.iter().enumerate() {
+        let a_g = if shared {
+            a
+        } else {
+            &a[g * m * k..(g + 1) * m * k]
+        };
+        gemm_i8(m, a_g, b, &mut c[c_off..c_off + m * b.n]);
+        c_off += m * b.n;
+    }
+}
+
+/// Portable int8 micro-kernel sweep. Public within the crate's test
+/// surface so property tests can pin portable-vs-dispatched equality.
+pub fn gemm_i8_portable(m: usize, a: &[i8], b: &PackedI8, c: &mut [i32]) {
+    let (k, n, k_pairs) = (b.k, b.n, b.k_pairs);
+    let n_strips = n.div_ceil(NR_I8);
+    for s in 0..n_strips {
+        let js = s * NR_I8;
+        let width = NR_I8.min(n - js);
+        let strip = &b.data[s * k_pairs * NR_I8 * 2..(s + 1) * k_pairs * NR_I8 * 2];
+        let mut i0 = 0;
+        while i0 < m {
+            let h = MR_I8.min(m - i0);
+            let mut acc = [[0i32; NR_I8]; MR_I8];
+            for (p, pb) in strip.chunks_exact(NR_I8 * 2).enumerate() {
+                for (r, row) in acc.iter_mut().enumerate().take(h) {
+                    let arow = &a[(i0 + r) * k..];
+                    let a0 = arow[2 * p] as i32;
+                    let a1 = if 2 * p + 1 < k {
+                        arow[2 * p + 1] as i32
+                    } else {
+                        0
+                    };
+                    for (j, cell) in row.iter_mut().enumerate() {
+                        *cell += a0 * pb[2 * j] as i32 + a1 * pb[2 * j + 1] as i32;
+                    }
+                }
+            }
+            for (r, row) in acc.iter().enumerate().take(h) {
+                let base = (i0 + r) * n + js;
+                for (j, &v) in row.iter().enumerate().take(width) {
+                    c[base + j] += v;
+                }
+            }
+            i0 += h;
+        }
+    }
+}
+
+/// Sign-extends one row of i8 activations into pair-interleaved i16
+/// values viewed as one i32 per pair: `dst[p] = (a[2p+1] ⊔ a[2p])`, with
+/// an implicit zero for the dangling element of an odd `k`. This is the
+/// exact operand layout `madd_epi16` wants broadcast across its lanes,
+/// built once per row instead of reconstructed per strip × per pair.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX2 and `dst.len() == row.len().div_ceil(2)`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn extend_row_pairs(row: &[i8], dst: &mut [i32]) {
+    use std::arch::x86_64::*;
+    let k = row.len();
+    debug_assert_eq!(dst.len(), k.div_ceil(2));
+    let mut j = 0;
+    let mut p = 0;
+    while j + 16 <= k {
+        // 16 i8 → 16 i16 = 8 sign-extended pairs in one shot.
+        let v = _mm_loadu_si128(row.as_ptr().add(j) as *const __m128i);
+        let w = _mm256_cvtepi8_epi16(v);
+        _mm256_storeu_si256(dst.as_mut_ptr().add(p) as *mut __m256i, w);
+        j += 16;
+        p += 8;
+    }
+    while j + 2 <= k {
+        let a0 = row[j] as i16 as u16 as u32;
+        let a1 = row[j + 1] as i16 as u16 as u32;
+        dst[p] = ((a1 << 16) | a0) as i32;
+        j += 2;
+        p += 1;
+    }
+    if j < k {
+        dst[p] = (row[j] as i16 as u16) as i32;
+    }
+}
+
+/// AVX2 int8 micro-kernel sweep: per row block the activations are
+/// sign-extended once into pair-interleaved i16 ([`extend_row_pairs`]),
+/// then each inner step is a single broadcast load + `madd_epi16` +
+/// `add_epi32` against the pre-packed weight strips — two strips at a
+/// time so every activation broadcast feeds sixteen output columns. The
+/// row count is a const generic, so short blocks (the `m = 1` dense tail)
+/// do exactly their own work instead of a padded 4-row pass. Exact
+/// integer arithmetic ⇒ bitwise identical to the portable kernel.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_i8_avx2(m: usize, a: &[i8], b: &PackedI8, c: &mut [i32]) {
+    use std::cell::RefCell;
+    // Reused pair-extension scratch: one row block per live call.
+    thread_local! {
+        static A16: RefCell<Vec<i32>> = const { RefCell::new(Vec::new()) };
+    }
+    A16.with(|cell| {
+        let mut a16 = cell.take();
+        if a16.len() < MR_I8 * b.k_pairs {
+            a16.resize(MR_I8 * b.k_pairs, 0);
+        }
+        let mut i0 = 0;
+        while i0 < m {
+            let h = MR_I8.min(m - i0);
+            match h {
+                4 => gemm_i8_avx2_block::<4>(i0, a, b, c, &mut a16),
+                3 => gemm_i8_avx2_block::<3>(i0, a, b, c, &mut a16),
+                2 => gemm_i8_avx2_block::<2>(i0, a, b, c, &mut a16),
+                _ => gemm_i8_avx2_block::<1>(i0, a, b, c, &mut a16),
+            }
+            i0 += h;
+        }
+        cell.replace(a16);
+    });
+}
+
+/// One `H`-row block of the AVX2 sweep (`H ≤` [`MR_I8`]).
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX2, `i0 + H ≤ m`, and
+/// `a16.len() ≥ H · k_pairs`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn gemm_i8_avx2_block<const H: usize>(
+    i0: usize,
+    a: &[i8],
+    b: &PackedI8,
+    c: &mut [i32],
+    a16: &mut [i32],
+) {
+    use std::arch::x86_64::*;
+    let (k, n, k_pairs) = (b.k, b.n, b.k_pairs);
+    let n_strips = n.div_ceil(NR_I8);
+    for r in 0..H {
+        extend_row_pairs(
+            &a[(i0 + r) * k..(i0 + r) * k + k],
+            &mut a16[r * k_pairs..(r + 1) * k_pairs],
+        );
+    }
+    let mut s = 0;
+    // Two-strip main kernel: H rows × 16 columns per pass.
+    while s + 2 <= n_strips {
+        let strip0 = b.data.as_ptr().add(s * k_pairs * NR_I8 * 2);
+        let strip1 = b.data.as_ptr().add((s + 1) * k_pairs * NR_I8 * 2);
+        let mut acc0 = [_mm256_setzero_si256(); H];
+        let mut acc1 = [_mm256_setzero_si256(); H];
+        for p in 0..k_pairs {
+            let b0 =
+                _mm256_cvtepi8_epi16(_mm_loadu_si128(strip0.add(p * NR_I8 * 2) as *const __m128i));
+            let b1 =
+                _mm256_cvtepi8_epi16(_mm_loadu_si128(strip1.add(p * NR_I8 * 2) as *const __m128i));
+            for r in 0..H {
+                let ap = _mm256_set1_epi32(*a16.get_unchecked(r * k_pairs + p));
+                acc0[r] = _mm256_add_epi32(acc0[r], _mm256_madd_epi16(ap, b0));
+                acc1[r] = _mm256_add_epi32(acc1[r], _mm256_madd_epi16(ap, b1));
+            }
+        }
+        store_acc_block(&acc0, c, i0, n, s * NR_I8);
+        store_acc_block(&acc1, c, i0, n, (s + 1) * NR_I8);
+        s += 2;
+    }
+    if s < n_strips {
+        let strip = b.data.as_ptr().add(s * k_pairs * NR_I8 * 2);
+        let mut acc = [_mm256_setzero_si256(); H];
+        for p in 0..k_pairs {
+            let bv =
+                _mm256_cvtepi8_epi16(_mm_loadu_si128(strip.add(p * NR_I8 * 2) as *const __m128i));
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let ap = _mm256_set1_epi32(*a16.get_unchecked(r * k_pairs + p));
+                *accr = _mm256_add_epi32(*accr, _mm256_madd_epi16(ap, bv));
+            }
+        }
+        store_acc_block(&acc, c, i0, n, s * NR_I8);
+    }
+}
+
+/// Adds a block of `H` strip accumulators into `c`, clipping to the
+/// ragged strip width at the matrix edge.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn store_acc_block<const H: usize>(
+    acc: &[std::arch::x86_64::__m256i; H],
+    c: &mut [i32],
+    i0: usize,
+    n: usize,
+    js: usize,
+) {
+    use std::arch::x86_64::*;
+    let width = NR_I8.min(n - js);
+    let mut lanes = [0i32; NR_I8];
+    for (r, accr) in acc.iter().enumerate() {
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, *accr);
+        let base = (i0 + r) * n + js;
+        for (j, &v) in lanes.iter().enumerate().take(width) {
+            c[base + j] += v;
+        }
+    }
+}
+
+/// Reference i8 GEMM: the naive i-k-j triple loop over unpacked operands,
+/// `C += A·B` with i32 accumulation. Ground truth for the int8 property
+/// tests (both optimized kernels must equal it **bitwise**).
+pub fn naive_i8(m: usize, k: usize, n: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert_eq!(
+        a.len(),
+        m * k,
+        "naive_i8: lhs length {} != {m}×{k}",
+        a.len()
+    );
+    assert_eq!(
+        b.len(),
+        k * n,
+        "naive_i8: rhs length {} != {k}×{n}",
+        b.len()
+    );
+    assert_eq!(
+        c.len(),
+        m * n,
+        "naive_i8: out length {} != {m}×{n}",
+        c.len()
+    );
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk] as i32;
+            if av == 0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let o_row = &mut c[i * n..(i + 1) * n];
+            for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                *o += av * bv as i32;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,5 +1048,129 @@ mod tests {
     fn dimension_mismatch_panics() {
         let mut c = vec![0.0f32; 4];
         gemm(2, 3, 2, &[0.0; 5], &[0.0; 6], &mut c);
+    }
+
+    /// Deterministic i8 fill covering the full value range.
+    fn fill_i8(seed: u64, len: usize) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 40) as i8
+            })
+            .collect()
+    }
+
+    const I8_SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (2, 3, 2),
+        (5, 7, 9),     // odd k, ragged strip
+        (4, 8, 8),     // exact tile
+        (120, 4, 32),  // layer-1 conv im2col shape
+        (13, 128, 17), // deep-conv shape, ragged everything
+        (3, 3840, 1),  // final dense shape (k = 120·32)
+    ];
+
+    #[test]
+    fn packed_i8_kernels_match_naive_bitwise() {
+        for &(m, k, n) in I8_SHAPES {
+            let a = fill_i8(m as u64 * 131 + k as u64, m * k);
+            let b = fill_i8(n as u64 * 17 + 5, k * n);
+            let packed = PackedI8::pack(k, n, &b);
+            let mut c_naive = vec![0i32; m * n];
+            let mut c_port = vec![0i32; m * n];
+            let mut c_fast = vec![0i32; m * n];
+            naive_i8(m, k, n, &a, &b, &mut c_naive);
+            gemm_i8_portable(m, &a, &packed, &mut c_port);
+            gemm_i8(m, &a, &packed, &mut c_fast);
+            assert_eq!(c_naive, c_port, "portable, shape {m}×{k}×{n}");
+            assert_eq!(c_naive, c_fast, "dispatched, shape {m}×{k}×{n}");
+        }
+    }
+
+    #[test]
+    fn i8_kernels_accumulate() {
+        let (m, k, n) = (3, 5, 4);
+        let a = fill_i8(1, m * k);
+        let b = fill_i8(2, k * n);
+        let packed = PackedI8::pack(k, n, &b);
+        let mut once = vec![0i32; m * n];
+        gemm_i8(m, &a, &packed, &mut once);
+        let mut twice = vec![0i32; m * n];
+        gemm_i8(m, &a, &packed, &mut twice);
+        gemm_i8(m, &a, &packed, &mut twice);
+        for (o, t) in once.iter().zip(&twice) {
+            assert_eq!(2 * o, *t);
+        }
+    }
+
+    #[test]
+    fn fused_shared_input_equals_per_member_calls() {
+        let (m, k) = (6, 16);
+        let a = fill_i8(3, m * k);
+        let b1 = fill_i8(4, k * 8);
+        let b2 = fill_i8(5, k * 8);
+        let p1 = PackedI8::pack(k, 8, &b1);
+        let p2 = PackedI8::pack(k, 8, &b2);
+        let mut fused = vec![0i32; m * 16];
+        gemm_i8_fused(m, &a, &[&p1, &p2], &mut fused);
+        let mut c1 = vec![0i32; m * 8];
+        let mut c2 = vec![0i32; m * 8];
+        gemm_i8(m, &a, &p1, &mut c1);
+        gemm_i8(m, &a, &p2, &mut c2);
+        assert_eq!(&fused[..m * 8], &c1[..]);
+        assert_eq!(&fused[m * 8..], &c2[..]);
+    }
+
+    #[test]
+    fn fused_per_member_input_slices_correctly() {
+        let (m, k) = (4, 7);
+        let a = fill_i8(6, 2 * m * k); // two members' activations
+        let b1 = fill_i8(7, k * 3);
+        let b2 = fill_i8(8, k * 5);
+        let p1 = PackedI8::pack(k, 3, &b1);
+        let p2 = PackedI8::pack(k, 5, &b2);
+        let mut fused = vec![0i32; m * 8];
+        gemm_i8_fused(m, &a, &[&p1, &p2], &mut fused);
+        let mut c1 = vec![0i32; m * 3];
+        let mut c2 = vec![0i32; m * 5];
+        gemm_i8(m, &a[..m * k], &p1, &mut c1);
+        gemm_i8(m, &a[m * k..], &p2, &mut c2);
+        assert_eq!(&fused[..m * 3], &c1[..]);
+        assert_eq!(&fused[m * 3..], &c2[..]);
+    }
+
+    #[test]
+    fn fused_empty_member_list_is_a_noop() {
+        let mut c: Vec<i32> = Vec::new();
+        gemm_i8_fused(4, &[0; 8], &[], &mut c);
+    }
+
+    #[test]
+    fn i8_saturation_extremes_are_exact() {
+        // ±128/±127 everywhere at the documented overflow bound shape.
+        let (m, k, n) = (2, 256, 9);
+        let a: Vec<i8> = (0..m * k)
+            .map(|i| if i % 2 == 0 { -128 } else { 127 })
+            .collect();
+        let b: Vec<i8> = (0..k * n)
+            .map(|i| if i % 3 == 0 { 127 } else { -128 })
+            .collect();
+        let packed = PackedI8::pack(k, n, &b);
+        let mut c_ref = vec![0i32; m * n];
+        let mut c_fast = vec![0i32; m * n];
+        naive_i8(m, k, n, &a, &b, &mut c_ref);
+        gemm_i8(m, &a, &packed, &mut c_fast);
+        assert_eq!(c_ref, c_fast);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm_i8: lhs length")]
+    fn i8_dimension_mismatch_panics() {
+        let packed = PackedI8::pack(3, 2, &[0; 6]);
+        let mut c = vec![0i32; 4];
+        gemm_i8(2, &[0; 5], &packed, &mut c);
     }
 }

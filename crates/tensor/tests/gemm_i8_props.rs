@@ -1,0 +1,113 @@
+//! Property-based tests for the int8 GEMM kernel family (satellite of the
+//! int8-backend ISSUE): across random shapes and values — including the
+//! k=1 / n=1 edges and the ±127 saturation extremes — the dispatched
+//! `gemm_i8`, the portable `gemm_i8_portable`, and the fused
+//! `gemm_i8_fused` must agree **exactly** (i32 equality, not tolerance)
+//! with the naive i8×i8→i32 reference. Integer accumulation is
+//! associative, so any mismatch is a packing or kernel bug, never
+//! rounding.
+
+use proptest::prelude::*;
+use vehigan_tensor::gemm::{gemm_i8, gemm_i8_fused, gemm_i8_portable, naive_i8, PackedI8};
+
+fn buf_i8(len: usize) -> impl Strategy<Value = Vec<i8>> {
+    proptest::collection::vec(any::<i8>(), len)
+}
+
+/// Shapes biased toward kernel edges: 1s, odd `k` (the padded-pair path),
+/// and sizes straddling the 8-wide column strips and 4-row blocks.
+fn dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        1usize..9,
+        Just(8usize),
+        Just(16usize),
+        7usize..27,
+        Just(33usize)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dispatched_kernel_is_exactly_naive(
+        (m, k, n, a, b) in (dim(), dim(), dim()).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), buf_i8(m * k), buf_i8(k * n))
+        })
+    ) {
+        let mut want = vec![0i32; m * n];
+        naive_i8(m, k, n, &a, &b, &mut want);
+        let packed = PackedI8::pack(k, n, &b);
+        let mut got = vec![0i32; m * n];
+        gemm_i8(m, &a, &packed, &mut got);
+        prop_assert_eq!(got, want, "gemm_i8 must be exactly naive at ({},{},{})", m, k, n);
+    }
+
+    #[test]
+    fn portable_kernel_is_exactly_naive(
+        (m, k, n, a, b) in (dim(), dim(), dim()).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), buf_i8(m * k), buf_i8(k * n))
+        })
+    ) {
+        let mut want = vec![0i32; m * n];
+        naive_i8(m, k, n, &a, &b, &mut want);
+        let packed = PackedI8::pack(k, n, &b);
+        let mut got = vec![0i32; m * n];
+        gemm_i8_portable(m, &a, &packed, &mut got);
+        prop_assert_eq!(got, want, "portable must be exactly naive at ({},{},{})", m, k, n);
+    }
+
+    #[test]
+    fn dispatched_and_portable_agree_bitwise(
+        (m, k, n, a, b) in (dim(), dim(), dim()).prop_flat_map(|(m, k, n)| {
+            (Just(m), Just(k), Just(n), buf_i8(m * k), buf_i8(k * n))
+        })
+    ) {
+        let packed = PackedI8::pack(k, n, &b);
+        let mut dispatched = vec![0i32; m * n];
+        gemm_i8(m, &a, &packed, &mut dispatched);
+        let mut portable = vec![0i32; m * n];
+        gemm_i8_portable(m, &a, &packed, &mut portable);
+        prop_assert_eq!(
+            dispatched, portable,
+            "dispatched and portable diverged at ({},{},{})", m, k, n
+        );
+    }
+
+    #[test]
+    fn fused_shared_input_equals_member_loop(
+        (m, k, n, g, a, bs) in (dim(), dim(), 1usize..9, 1usize..5).prop_flat_map(|(m, k, n, g)| {
+            (Just(m), Just(k), Just(n), Just(g), buf_i8(m * k), buf_i8(g * k * n))
+        })
+    ) {
+        let packs: Vec<PackedI8> = (0..g)
+            .map(|gi| PackedI8::pack(k, n, &bs[gi * k * n..(gi + 1) * k * n]))
+            .collect();
+        let refs: Vec<&PackedI8> = packs.iter().collect();
+        let mut fused = vec![0i32; g * m * n];
+        gemm_i8_fused(m, &a, &refs, &mut fused);
+        for gi in 0..g {
+            let mut want = vec![0i32; m * n];
+            naive_i8(m, k, n, &a, &bs[gi * k * n..(gi + 1) * k * n], &mut want);
+            prop_assert_eq!(
+                &fused[gi * m * n..(gi + 1) * m * n], &want[..],
+                "fused member {} diverged at ({},{},{})", gi, m, k, n
+            );
+        }
+    }
+
+    #[test]
+    fn saturated_operands_accumulate_exactly(
+        (m, k, n) in (1usize..5, 1usize..70, 1usize..10)
+    ) {
+        // All-(-128)·(-128) is the worst-case accumulator growth; exact
+        // for any k within the documented 65534 bound.
+        let a = vec![i8::MIN; m * k];
+        let b = vec![i8::MIN; k * n];
+        let packed = PackedI8::pack(k, n, &b);
+        let mut got = vec![0i32; m * n];
+        gemm_i8(m, &a, &packed, &mut got);
+        prop_assert!(got.iter().all(|&v| v == (k as i32) * 128 * 128));
+    }
+}

@@ -1,0 +1,113 @@
+//! Criterion benches for the streaming serve data plane: gated batched
+//! two-tier scoring vs the naive per-window f32 path, on one tick's
+//! worth of city traffic.
+//!
+//! Run with `cargo bench -p vehigan-bench --bench stream`. The
+//! JSON-emitting city-scale variant (10k vehicles, in-binary acceptance
+//! gates) is `vehigan-bench stream`, which writes
+//! `results/BENCH_stream.json`.
+//!
+//! The system is trained once at tiny scale; each iteration replays the
+//! same pre-generated BSM slice through a fresh server (or tracker), so
+//! the measured work is ingest + window refresh + scoring, not training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vehigan_core::{Pipeline, PipelineConfig};
+use vehigan_features::StreamTracker;
+use vehigan_serve::{escalation_threshold, EscalationPolicy, ServerConfig, StreamServer};
+use vehigan_sim::{Bsm, SimConfig, TrafficSimulator};
+
+fn bench_stream(c: &mut Criterion) {
+    let mut p = Pipeline::run(PipelineConfig::tiny());
+    p.compile_int8().expect("int8 backend compiles");
+    let k = p.vehigan.k();
+    let members: Vec<usize> = (0..k).collect();
+
+    // 64 vehicles x 3 s of traffic: enough completed windows per replay
+    // to amortize per-call overhead, small enough for criterion's budget.
+    let fleet = TrafficSimulator::new(SimConfig {
+        n_vehicles: 64,
+        duration_s: 3.0,
+        seed: 9,
+        ..SimConfig::default()
+    })
+    .run();
+    let mut stream: Vec<Bsm> = fleet.iter().flat_map(|t| t.bsms.iter().copied()).collect();
+    stream.sort_by(|a, b| {
+        a.timestamp
+            .partial_cmp(&b.timestamp)
+            .unwrap()
+            .then(a.vehicle_id.cmp(&b.vehicle_id))
+    });
+
+    // Calibrate the escalation cutoff on the training windows' gate view.
+    let gate_members = members.clone();
+    let gate = p
+        .vehigan
+        .score_with_members_int8(&gate_members, &p.train_windows.x)
+        .unwrap();
+    let tau_esc = escalation_threshold(&gate.scores, 90.0);
+
+    let mut group = c.benchmark_group("stream");
+    group.bench_function("gated_serve_64v", |bch| {
+        bch.iter(|| {
+            let mut server = StreamServer::new(
+                &p.vehigan,
+                p.scaler.clone(),
+                ServerConfig {
+                    n_shards: 4,
+                    policy: EscalationPolicy::Threshold(tau_esc),
+                    members: Some(members.clone()),
+                    gate_members: Some(gate_members.clone()),
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap();
+            let mut decisions = 0usize;
+            for chunk in stream.chunks(64) {
+                server.ingest_batch(chunk);
+                decisions += server.tick().unwrap().len();
+            }
+            black_box(decisions)
+        });
+    });
+    group.bench_function("tier2_serve_64v", |bch| {
+        bch.iter(|| {
+            let mut server = StreamServer::new(
+                &p.vehigan,
+                p.scaler.clone(),
+                ServerConfig {
+                    n_shards: 4,
+                    policy: EscalationPolicy::Always,
+                    members: Some(members.clone()),
+                    ..ServerConfig::default()
+                },
+            )
+            .unwrap();
+            let mut decisions = 0usize;
+            for chunk in stream.chunks(64) {
+                server.ingest_batch(chunk);
+                decisions += server.tick().unwrap().len();
+            }
+            black_box(decisions)
+        });
+    });
+    group.bench_function("naive_per_window_64v", |bch| {
+        bch.iter(|| {
+            let mut tracker = StreamTracker::new(10, p.scaler.clone());
+            let mut windows = 0usize;
+            for bsm in &stream {
+                if let Some(snapshot) = tracker.push(bsm) {
+                    p.vehigan.score_with_members(&members, snapshot).unwrap();
+                    windows += 1;
+                }
+            }
+            black_box(windows)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

@@ -13,4 +13,5 @@ pub mod gemmbench;
 pub mod probe;
 pub mod quant;
 pub mod resume;
+pub mod stream;
 pub mod table3;

@@ -1,0 +1,362 @@
+//! City-scale streaming service benchmark: sustained BSMs/sec, decision
+//! latency, and gate-accuracy accounting for `vehigan-serve`.
+//!
+//! Run via `vehigan-bench stream --scale quick [--vehicles N] [--duration S]`
+//! (trains the quick system, drives the serve data plane with simulated
+//! mixed benign/attack traffic, writes `results/BENCH_stream.json`), or
+//! the criterion bench `cargo bench -p vehigan-bench --bench stream` for
+//! statistical rigor on the per-tick scoring half.
+//!
+//! The run **gates** its own acceptance criteria and panics when they
+//! fail (so the CI smoke step catches regressions):
+//!
+//! - gated batched serving sustains ≥ 3× the BSMs/sec of the naive
+//!   pre-serve path (per-window f32 `score_with_members` on a
+//!   `StreamTracker`);
+//! - AUROC drift of gate+escalation vs always-tier-2 over the 35-attack
+//!   Table III campaign ≤ 0.01;
+//! - the service fully drains its queue and emits exactly one decision
+//!   per completed window.
+
+use crate::harness::{results_dir, Harness};
+use std::time::Instant;
+use vehigan_features::StreamTracker;
+use vehigan_metrics::{auroc, percentile};
+use vehigan_serve::{escalation_threshold, EscalationPolicy, ServerConfig, StreamServer};
+use vehigan_sim::{Bsm, SimConfig, TrafficSimulator, VehicleTrace, BSM_INTERVAL_S};
+use vehigan_tensor::init::seeded_rng;
+use vehigan_tensor::Tensor;
+use vehigan_vasp::{inject, Attack, AttackParams, AttackPolicy};
+
+/// Minimum required BSMs/sec speedup of the gated batched service over
+/// naive per-window f32 scoring (ISSUE gate).
+pub const MIN_SPEEDUP: f64 = 3.0;
+
+/// Maximum tolerated AUROC drift of gate+escalation vs always-tier-2
+/// over the attack campaign (ISSUE gate).
+pub const AUROC_DELTA_BUDGET: f64 = 0.01;
+
+/// Escalation cutoff: this percentile of benign gate scores, so roughly
+/// `100 − p` percent of benign traffic is re-scored by the f32 ensemble.
+/// Because the gate runs the **full-width** int8 ensemble, non-escalated
+/// windows already carry scores within int8 quantization error of the
+/// f32 tier (max |Δ| ≈ 0.004 per `BENCH_quant.json`, CI-gated at 0.01),
+/// so drift stays inside the budget at *any* percentile — escalation is
+/// f32 confirmation of near-threshold windows, not an accuracy crutch.
+/// That frees the percentile to be chosen for throughput; 97.5 keeps the
+/// f32 tier at ~2.5 % of benign traffic while still sitting below the
+/// detection percentile (99), so windows the ensemble would flag all
+/// cross the gate (DESIGN.md §10).
+pub const ESCALATION_PERCENTILE: f64 = 97.5;
+
+/// Fraction of simulated vehicles transmitting falsified BSMs.
+const ATTACKER_FRACTION: f64 = 0.1;
+
+/// Mixed benign/attack stream: every `1/ATTACKER_FRACTION`-th vehicle
+/// runs a VASP attack (cycling over position/speed/heading families),
+/// all BSMs interleaved in arrival order.
+fn mixed_stream(fleet: &[VehicleTrace], seed: u64) -> (Vec<Bsm>, usize) {
+    let attacks: Vec<Attack> = ["RandomPosition", "RandomSpeed", "HighHeadingYawRate"]
+        .iter()
+        .map(|n| Attack::by_name(n).expect("catalog attack"))
+        .collect();
+    let mut rng = seeded_rng(seed);
+    let every = (1.0 / ATTACKER_FRACTION) as usize;
+    let mut stream = Vec::new();
+    let mut attackers = 0usize;
+    for (i, trace) in fleet.iter().enumerate() {
+        if i % every == 0 {
+            let attacked = inject(
+                trace,
+                attacks[attackers % attacks.len()],
+                AttackPolicy::Persistent,
+                &AttackParams::default(),
+                &mut rng,
+            );
+            stream.extend_from_slice(&attacked.trace.bsms);
+            attackers += 1;
+        } else {
+            stream.extend_from_slice(&trace.bsms);
+        }
+    }
+    stream.sort_by(|a, b| {
+        a.timestamp
+            .partial_cmp(&b.timestamp)
+            .unwrap()
+            .then(a.vehicle_id.cmp(&b.vehicle_id))
+    });
+    (stream, attackers)
+}
+
+/// Scores flat windows through the int8 gate in serve-sized tiles.
+fn gate_scores(harness: &Harness, members: &[usize], x: &Tensor) -> Vec<f32> {
+    let shape = x.shape();
+    let (n, len) = (shape[0], shape[1] * shape[2] * shape[3]);
+    let mut scores = Vec::with_capacity(n);
+    let mut start = 0;
+    while start < n {
+        let end = (start + vehigan_serve::SCORE_TILE).min(n);
+        let tile = Tensor::from_vec(
+            x.as_slice()[start * len..end * len].to_vec(),
+            &[end - start, shape[1], shape[2], shape[3]],
+        );
+        scores.extend_from_slice(
+            &harness
+                .pipeline
+                .vehigan
+                .score_with_members_int8(members, &tile)
+                .unwrap()
+                .scores,
+        );
+        start = end;
+    }
+    scores
+}
+
+/// Runs the stream benchmark on a trained harness and writes
+/// `results/BENCH_stream.json`.
+pub fn run(harness: &mut Harness, vehicles: usize, duration_s: f64) {
+    println!(
+        "Streaming service benchmark: {vehicles} vehicles x {duration_s:.1} s \
+         (gated batched serve vs naive per-window f32)"
+    );
+    harness
+        .pipeline
+        .compile_int8()
+        .expect("int8 backend compiles");
+
+    let k = harness.pipeline.vehigan.k();
+    let members: Vec<usize> = (0..k).collect();
+    // Full-width gate: same members as tier-2, so non-escalated windows
+    // keep scores within int8 quantization error of the f32 path and the
+    // AUROC drift stays inside the budget. (A half-width gate is ~1.1×
+    // faster end-to-end but drifts ~0.05 on constant-offset attacks.)
+    let gate_members = members.clone();
+
+    // --- Escalation-threshold calibration on held-out benign windows. ---
+    let benign_gate = gate_scores(harness, &gate_members, &harness.benign_windows.x);
+    let tau_esc = escalation_threshold(&benign_gate, ESCALATION_PERCENTILE);
+    let tau_detect = percentile(&benign_gate, 99.0);
+    println!(
+        "gate: {} of {} members, tau_esc {tau_esc:.4} (p{ESCALATION_PERCENTILE} benign) \
+         vs detection tau {tau_detect:.4} (p99)",
+        gate_members.len(),
+        members.len()
+    );
+
+    // --- AUROC drift: gate+escalation vs always-tier-2, 35 attacks. ---
+    let mut max_delta = 0.0f64;
+    let mut mean_delta = 0.0f64;
+    let mut worst_attack = String::new();
+    let mut campaign_windows = 0usize;
+    let mut campaign_escalated = 0usize;
+    let n_attacks = harness.attacks.len();
+    for ai in 0..n_attacks {
+        let ds = &harness.attack_windows[ai];
+        let tier2 = harness.ensemble_attack_scores(&members, ai);
+        let gate = gate_scores(harness, &gate_members, &ds.x);
+        let gated: Vec<f32> = gate
+            .iter()
+            .zip(&tier2)
+            .map(|(&g, &t2)| if g > tau_esc { t2 } else { g })
+            .collect();
+        campaign_windows += gate.len();
+        campaign_escalated += gate.iter().filter(|&&g| g > tau_esc).count();
+        let delta = (auroc(&tier2, &ds.labels) - auroc(&gated, &ds.labels)).abs();
+        mean_delta += delta;
+        if delta > max_delta {
+            max_delta = delta;
+            worst_attack = harness.attacks[ai].name().to_string();
+        }
+    }
+    mean_delta /= n_attacks as f64;
+    let campaign_esc_rate = campaign_escalated as f64 / campaign_windows.max(1) as f64;
+    println!(
+        "Table III AUROC drift over {n_attacks} attacks: mean {mean_delta:.5}, \
+         max {max_delta:.5} ({worst_attack}); campaign escalation rate {campaign_esc_rate:.3}"
+    );
+
+    // --- Simulated city traffic. ---
+    let fleet = TrafficSimulator::new(SimConfig {
+        n_vehicles: vehicles,
+        duration_s,
+        seed: 7,
+        ..SimConfig::default()
+    })
+    .run();
+    let (stream, attackers) = mixed_stream(&fleet, 23);
+    let expected_windows: usize = fleet.iter().map(|t| t.bsms.len().saturating_sub(10)).sum();
+    println!(
+        "traffic: {} BSMs from {vehicles} vehicles ({attackers} attackers), \
+         {expected_windows} complete windows",
+        stream.len()
+    );
+
+    // --- Gated batched serve run, one tick per BSM interval. ---
+    let scaler = harness.pipeline.scaler.clone();
+    let mut server = StreamServer::new(
+        &harness.pipeline.vehigan,
+        scaler.clone(),
+        ServerConfig {
+            n_shards: 4,
+            policy: EscalationPolicy::Threshold(tau_esc),
+            members: Some(members.clone()),
+            gate_members: Some(gate_members.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server builds");
+    let mut decisions = 0usize;
+    let mut flagged = 0usize;
+    let mut tick_latencies: Vec<(f64, usize)> = Vec::new();
+    let mut elapsed_s = 0.0f64;
+    let mut slice_end = BSM_INTERVAL_S;
+    let mut i = 0usize;
+    while i < stream.len() {
+        let start = i;
+        while i < stream.len() && stream[i].timestamp < slice_end {
+            i += 1;
+        }
+        slice_end += BSM_INTERVAL_S;
+        if start == i {
+            continue;
+        }
+        let t0 = Instant::now();
+        server.ingest_batch(&stream[start..i]);
+        let ticked = server.tick().expect("tick scores");
+        let dt = t0.elapsed().as_secs_f64();
+        elapsed_s += dt;
+        if !ticked.is_empty() {
+            tick_latencies.push((dt * 1000.0, ticked.len()));
+        }
+        decisions += ticked.len();
+        flagged += ticked.iter().filter(|d| d.flagged).count();
+    }
+    let stats = server.stats();
+    assert_eq!(server.pending_windows(), 0, "service failed to drain");
+    assert_eq!(
+        decisions, expected_windows,
+        "decisions != completed windows (equivalence check)"
+    );
+    assert_eq!(stats.ingested, stream.len() as u64);
+    let gated_bsm_rate = stream.len() as f64 / elapsed_s;
+    let stream_esc_rate = stats.escalated as f64 / stats.windows_scored.max(1) as f64;
+
+    // Decision latency: each decision inherits its tick's ingest+score
+    // wall time (windows completed mid-tick wait for the batch).
+    tick_latencies.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let pct = |p: f64| -> f64 {
+        let target = (p / 100.0 * decisions as f64).ceil() as usize;
+        let mut seen = 0usize;
+        for &(ms, n) in &tick_latencies {
+            seen += n;
+            if seen >= target.max(1) {
+                return ms;
+            }
+        }
+        tick_latencies.last().map_or(0.0, |&(ms, _)| ms)
+    };
+    let (p50_ms, p99_ms) = (pct(50.0), pct(99.0));
+
+    // --- Naive baseline: StreamTracker + per-window f32 scoring. ---
+    // Measured on a vehicle-subset sub-stream (same cadence, same
+    // windows-per-BSM duty, so BSMs/sec is directly comparable) to keep
+    // the benchmark tractable at city scale.
+    let base_vehicles = vehicles.min(64);
+    let sub: Vec<Bsm> = stream
+        .iter()
+        .filter(|b| (b.vehicle_id.0 as usize) < base_vehicles)
+        .copied()
+        .collect();
+    // One warm-up pass then best-of-3: the sub-stream run is short
+    // (< 1 s), so a single pass is at the mercy of scheduler noise on a
+    // shared host; the minimum is the honest cost of the naive path.
+    let mut naive_windows = 0usize;
+    let mut naive_s = f64::INFINITY;
+    for pass in 0..4 {
+        let mut tracker = StreamTracker::new(10, scaler.clone());
+        let mut windows = 0usize;
+        let t0 = Instant::now();
+        for bsm in &sub {
+            if let Some(snapshot) = tracker.push(bsm) {
+                harness
+                    .pipeline
+                    .vehigan
+                    .score_with_members(&members, snapshot)
+                    .unwrap();
+                windows += 1;
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        naive_windows = windows;
+        if pass > 0 {
+            naive_s = naive_s.min(dt);
+        }
+    }
+    let naive_bsm_rate = sub.len() as f64 / naive_s;
+    let speedup = gated_bsm_rate / naive_bsm_rate;
+
+    println!(
+        "{:>28} {:>14} {:>12} {:>12}",
+        "path", "BSMs/sec", "p50 (ms)", "p99 (ms)"
+    );
+    println!(
+        "{:>28} {:>14.0} {:>12.2} {:>12.2}",
+        format!("gated serve ({vehicles} veh)"),
+        gated_bsm_rate,
+        p50_ms,
+        p99_ms
+    );
+    println!(
+        "{:>28} {:>14.0} {:>12} {:>12}",
+        format!("naive f32 ({base_vehicles} veh)"),
+        naive_bsm_rate,
+        "-",
+        "-"
+    );
+    println!(
+        "speedup {speedup:.2}x, escalation rate {stream_esc_rate:.3}, \
+         {flagged} windows flagged of {decisions}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"stream\",\n  \"vehicles\": {vehicles},\n  \"duration_s\": {duration_s},\n  \"bsms\": {},\n  \"windows\": {decisions},\n  \"attackers\": {attackers},\n  \"shards\": 4,\n  \"k\": {k},\n  \"gate_members\": {},\n",
+        stream.len(),
+        gate_members.len(),
+    ));
+    json.push_str(&format!(
+        "  \"gated\": {{\"bsms_per_sec\": {gated_bsm_rate:.0}, \"p50_ms\": {p50_ms:.3}, \"p99_ms\": {p99_ms:.3}, \"escalation_rate\": {stream_esc_rate:.4}, \"flagged\": {flagged}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"naive\": {{\"bsms_per_sec\": {naive_bsm_rate:.0}, \"vehicles\": {base_vehicles}, \"windows\": {naive_windows}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"calibration\": {{\"percentile\": {ESCALATION_PERCENTILE}, \"tau_esc\": {tau_esc:.5}, \"tau_detect_p99\": {tau_detect:.5}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"auroc\": {{\"attacks\": {n_attacks}, \"mean_delta\": {mean_delta:.5}, \"max_delta\": {max_delta:.5}, \"worst_attack\": \"{worst_attack}\", \"campaign_escalation_rate\": {campaign_esc_rate:.4}, \"budget\": {AUROC_DELTA_BUDGET}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"gates\": {{\"min_speedup\": {MIN_SPEEDUP}, \"speedup\": {speedup:.2}, \"speedup_ok\": {}, \"auroc_ok\": {}, \"drained\": true}}\n}}\n",
+        speedup >= MIN_SPEEDUP,
+        max_delta <= AUROC_DELTA_BUDGET,
+    ));
+    let path = results_dir().join("BENCH_stream.json");
+    std::fs::write(&path, json).expect("write BENCH_stream.json");
+    eprintln!("[harness] wrote {}", path.display());
+
+    // --- Gates (ISSUE acceptance criteria). ---
+    assert!(
+        max_delta <= AUROC_DELTA_BUDGET,
+        "gate+escalation AUROC drift {max_delta:.5} exceeds the {AUROC_DELTA_BUDGET} budget ({worst_attack})"
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "gated serve speedup {speedup:.2}x below the required {MIN_SPEEDUP}x"
+    );
+    println!(
+        "gates: speedup {speedup:.2}x ≥ {MIN_SPEEDUP}x ✓, AUROC drift {max_delta:.5} ≤ {AUROC_DELTA_BUDGET} ✓, drained ✓"
+    );
+}

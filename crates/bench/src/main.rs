@@ -3,10 +3,11 @@
 //! ```text
 //! vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>]
 //!                            [--retry-quarantined] [--stop-after-groups N]
+//!                            [--vehicles N] [--duration S]
 //! ```
 //!
 //! Experiments: `campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a
-//! fig7b fig8 gemm quant resume table3 all`.
+//! fig7b fig8 gemm quant resume stream table3 all`.
 //!
 //! `--resume <dir>` makes zoo training crash-safe: every finished model is
 //! checkpointed in `<dir>` (and the in-flight training group at every
@@ -18,6 +19,10 @@
 //! `--stop-after-groups N` halts zoo training cleanly after `N` groups to
 //! simulate a kill; the `resume` experiment uses the same machinery to
 //! prove kill/resume bitwise equivalence end to end.
+//! `--vehicles N` / `--duration S` size the simulated traffic the `stream`
+//! experiment drives through the serve data plane (defaults: 10000
+//! vehicles, 2.0 s — the committed city-scale configuration; CI smokes a
+//! few hundred vehicles).
 
 use std::path::PathBuf;
 use vehigan_bench::experiments::{
@@ -27,8 +32,8 @@ use vehigan_bench::harness::{Harness, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>] [--retry-quarantined] [--stop-after-groups N]\n\
-         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm quant resume table3 adv ablation probe all"
+        "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>] [--retry-quarantined] [--stop-after-groups N] [--vehicles N] [--duration S]\n\
+         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm quant resume stream table3 adv ablation probe all"
     );
     std::process::exit(2);
 }
@@ -43,6 +48,8 @@ fn main() {
     let mut resume_dir: Option<PathBuf> = None;
     let mut retry_quarantined = false;
     let mut stop_after_groups: Option<usize> = None;
+    let mut vehicles = 10_000usize;
+    let mut duration_s = 2.0f64;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -65,6 +72,20 @@ fn main() {
                 let Some(v) = args.get(i + 1) else { usage() };
                 let Ok(n) = v.parse::<usize>() else { usage() };
                 stop_after_groups = Some(n);
+                i += 2;
+            }
+            "--vehicles" => {
+                let Some(v) = args.get(i + 1) else { usage() };
+                let Ok(n) = v.parse::<usize>() else { usage() };
+                vehicles = n.max(1);
+                i += 2;
+            }
+            "--duration" => {
+                let Some(v) = args.get(i + 1) else { usage() };
+                let Ok(s) = v.parse::<f64>() else { usage() };
+                // A 10-message window at 10 Hz needs ≥ 1.2 s of traffic
+                // before any decision can flow.
+                duration_s = s.max(1.2);
                 i += 2;
             }
             _ => usage(),
@@ -108,7 +129,7 @@ fn main() {
     // the harness they would never use.
     const TRAINED: &[&str] = &[
         "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "table3", "quant",
-        "adv", "all",
+        "stream", "adv", "all",
     ];
     if !TRAINED.contains(&experiment) {
         usage();
@@ -131,6 +152,7 @@ fn main() {
         }
         "table3" => table3::run(&mut harness),
         "quant" => vehigan_bench::experiments::quant::run(&mut harness),
+        "stream" => vehigan_bench::experiments::stream::run(&mut harness, vehicles, duration_s),
         // Composite: all adversarial experiments on one trained harness.
         "adv" => {
             fig5::run_5a(&mut harness);
@@ -165,6 +187,8 @@ fn main() {
             fig8::run();
             section("Int8 backend");
             vehigan_bench::experiments::quant::run(&mut harness);
+            section("Streaming service");
+            vehigan_bench::experiments::stream::run(&mut harness, vehicles, duration_s);
         }
         _ => usage(),
     }

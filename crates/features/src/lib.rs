@@ -42,7 +42,7 @@ pub use decompose::{
     NUM_RAW_FEATURES,
 };
 pub use scaler::MinMaxScaler;
-pub use stream::{StreamTracker, WindowBuffer};
+pub use stream::{EvictionConfig, StreamTracker, WindowBuffer};
 pub use window::{
     assemble_fragments, build_fragment, build_windows, build_windows_from_rows, engineer_rows,
     engineer_trace, fit_scaler, fit_scaler_from_rows, Representation, TraceRows, WindowConfig,

@@ -4,20 +4,69 @@
 //! vehicle and refreshes that vehicle's snapshot on every arriving BSM
 //! (§III-C). [`WindowBuffer`] implements exactly that per-vehicle buffer;
 //! [`StreamTracker`] multiplexes buffers across all observed pseudonyms.
+//!
+//! Both are built for the city-scale hot path:
+//!
+//! - [`WindowBuffer::push`] is **allocation-free** once warmed up: the
+//!   scaled feature row is written straight into a fixed `w × f` ring and
+//!   the snapshot tensor is refreshed in place (two `memcpy` segments)
+//!   instead of being rebuilt from a `VecDeque` on every message;
+//! - [`StreamTracker`] evicts stale pseudonyms under an
+//!   [`EvictionConfig`] (TTL and/or LRU capacity), so pseudonym churn in
+//!   a long-lived deployment cannot grow state without bound. The same
+//!   policy drives the sharded state of `vehigan-serve`.
 
 use crate::decompose::decompose_pair;
 use crate::scaler::MinMaxScaler;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use vehigan_sim::{Bsm, VehicleId};
 use vehigan_tensor::Tensor;
 
+/// Bounds on per-vehicle window state retained by a [`StreamTracker`] or
+/// a serve shard. The default keeps everything (the historical behavior).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvictionConfig {
+    /// Evict the least-recently-updated vehicles once more than this many
+    /// are tracked (`None` = unbounded).
+    pub max_vehicles: Option<usize>,
+    /// Evict vehicles not heard from for longer than this many seconds of
+    /// stream time when [`StreamTracker::evict_stale`] runs (`None` =
+    /// never expire).
+    pub ttl_s: Option<f64>,
+}
+
+impl EvictionConfig {
+    /// No eviction: every observed pseudonym is kept forever.
+    pub fn unbounded() -> Self {
+        EvictionConfig::default()
+    }
+
+    /// Whether `last_seen` has expired at stream time `now`.
+    pub fn is_stale(&self, last_seen: f64, now: f64) -> bool {
+        self.ttl_s.is_some_and(|ttl| now - last_seen > ttl)
+    }
+}
+
 /// Rolling feature-window buffer for one vehicle.
+///
+/// Internally a fixed ring of scaled `f32` feature rows plus a snapshot
+/// tensor that is refreshed in place, so pushing a BSM performs no heap
+/// allocation after construction.
 #[derive(Debug, Clone)]
 pub struct WindowBuffer {
     window: usize,
     scaler: MinMaxScaler,
     prev: Option<Bsm>,
-    rows: VecDeque<Vec<f64>>,
+    /// Ring of `window` scaled rows, `features` wide each.
+    ring: Vec<f32>,
+    /// Ring slot the next row will be written to.
+    head: usize,
+    /// Rows filled so far (saturates at `window`).
+    filled: usize,
+    /// `[1, w, f, 1]` snapshot, refreshed in place once full.
+    snapshot: Tensor,
+    /// Timestamp of the most recently ingested BSM.
+    last_seen: f64,
 }
 
 impl WindowBuffer {
@@ -28,72 +77,120 @@ impl WindowBuffer {
     /// Panics if `window < 2`.
     pub fn new(window: usize, scaler: MinMaxScaler) -> Self {
         assert!(window >= 2, "window must be at least 2");
+        let f = scaler.width();
         WindowBuffer {
             window,
-            scaler,
             prev: None,
-            rows: VecDeque::new(),
+            ring: vec![0.0; window * f],
+            head: 0,
+            filled: 0,
+            snapshot: Tensor::zeros(&[1, window, f, 1]),
+            last_seen: f64::NEG_INFINITY,
+            scaler,
         }
     }
 
     /// Ingests one BSM; returns the refreshed snapshot `[1, w, f, 1]` once
-    /// enough messages have arrived.
-    pub fn push(&mut self, bsm: &Bsm) -> Option<Tensor> {
+    /// enough messages have arrived. The returned reference points at the
+    /// buffer's internal tensor — copy its slice (or clone it) before the
+    /// next push if it must outlive the buffer state.
+    pub fn push(&mut self, bsm: &Bsm) -> Option<&Tensor> {
+        let f = self.scaler.width();
         if let Some(prev) = self.prev {
             let row = decompose_pair(&prev, bsm);
-            self.rows.push_back(self.scaler.transform_row(&row.values));
-            if self.rows.len() > self.window {
-                self.rows.pop_front();
+            let dst = &mut self.ring[self.head * f..(self.head + 1) * f];
+            for (j, (d, &v)) in dst.iter_mut().zip(row.values.iter()).enumerate() {
+                *d = self.scaler.transform_value_f32(j, v);
             }
+            self.head = (self.head + 1) % self.window;
+            self.filled = (self.filled + 1).min(self.window);
         }
         self.prev = Some(*bsm);
-        self.snapshot()
-    }
-
-    /// The current snapshot, if the buffer is full.
-    pub fn snapshot(&self) -> Option<Tensor> {
-        if self.rows.len() < self.window {
+        self.last_seen = bsm.timestamp;
+        if self.filled < self.window {
             return None;
         }
-        let f = self.scaler.width();
-        let mut data = Vec::with_capacity(self.window * f);
-        for row in &self.rows {
-            data.extend(row.iter().map(|&v| v as f32));
-        }
-        Some(Tensor::from_vec(data, &[1, self.window, f, 1]))
+        // Refresh the snapshot in place: rows in arrival order. When the
+        // ring is full, `head` points at the oldest row.
+        let split = (self.window - self.head) * f;
+        let data = self.snapshot.as_mut_slice();
+        data[..split].copy_from_slice(&self.ring[self.head * f..]);
+        data[split..].copy_from_slice(&self.ring[..self.head * f]);
+        Some(&self.snapshot)
+    }
+
+    /// The current snapshot's flat data, if the buffer is full (valid
+    /// after a `push` that returned `Some`; rows are in arrival order).
+    pub fn snapshot_slice(&self) -> Option<&[f32]> {
+        (self.filled >= self.window).then(|| self.snapshot.as_slice())
+    }
+
+    /// An owned copy of the current snapshot, if the buffer is full.
+    ///
+    /// Only meaningful immediately after a [`WindowBuffer::push`] that
+    /// returned `Some` (the in-place tensor is refreshed by `push`, not by
+    /// this accessor).
+    pub fn snapshot(&self) -> Option<Tensor> {
+        (self.filled >= self.window).then(|| self.snapshot.clone())
     }
 
     /// Number of buffered feature rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.filled
     }
 
     /// Whether no rows are buffered yet.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.filled == 0
+    }
+
+    /// Timestamp of the most recently ingested BSM
+    /// (`f64::NEG_INFINITY` before the first push).
+    pub fn last_seen(&self) -> f64 {
+        self.last_seen
     }
 }
 
-/// Per-vehicle window buffers keyed by pseudonym.
+/// Per-vehicle window buffers keyed by pseudonym, with optional TTL/LRU
+/// eviction so city-scale pseudonym churn cannot grow state unboundedly.
 #[derive(Debug)]
 pub struct StreamTracker {
     window: usize,
     scaler: MinMaxScaler,
     buffers: HashMap<VehicleId, WindowBuffer>,
+    eviction: EvictionConfig,
+    evicted: u64,
 }
 
 impl StreamTracker {
-    /// Creates a tracker with the given window length and scaler.
+    /// Creates an unbounded tracker with the given window length and
+    /// scaler (no eviction — the historical behavior).
     pub fn new(window: usize, scaler: MinMaxScaler) -> Self {
+        Self::with_eviction(window, scaler, EvictionConfig::unbounded())
+    }
+
+    /// Creates a tracker that evicts per `eviction`.
+    pub fn with_eviction(window: usize, scaler: MinMaxScaler, eviction: EvictionConfig) -> Self {
         StreamTracker {
             window,
             scaler,
             buffers: HashMap::new(),
+            eviction,
+            evicted: 0,
         }
     }
 
     /// Ingests a BSM, returning the sender's refreshed snapshot if ready.
-    pub fn push(&mut self, bsm: &Bsm) -> Option<Tensor> {
+    ///
+    /// When a `max_vehicles` bound is configured and a *new* pseudonym
+    /// would exceed it, the least-recently-updated vehicles are evicted
+    /// first (ties broken by pseudonym for determinism).
+    pub fn push(&mut self, bsm: &Bsm) -> Option<&Tensor> {
+        if let Some(cap) = self.eviction.max_vehicles {
+            if !self.buffers.contains_key(&bsm.vehicle_id) && self.buffers.len() >= cap.max(1) {
+                self.evict_lru(cap.max(1) - 1);
+            }
+        }
         let buffer = self
             .buffers
             .entry(bsm.vehicle_id)
@@ -101,9 +198,54 @@ impl StreamTracker {
         buffer.push(bsm)
     }
 
+    /// Evicts least-recently-updated vehicles until at most `keep` remain.
+    fn evict_lru(&mut self, keep: usize) {
+        while self.buffers.len() > keep {
+            let victim = self
+                .buffers
+                .iter()
+                .map(|(&id, b)| (b.last_seen(), id))
+                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+                .map(|(_, id)| id);
+            match victim {
+                Some(id) => {
+                    self.buffers.remove(&id);
+                    self.evicted += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drops every vehicle not heard from within the configured TTL at
+    /// stream time `now`, returning how many were evicted. A no-op when no
+    /// TTL is configured.
+    pub fn evict_stale(&mut self, now: f64) -> usize {
+        let eviction = self.eviction;
+        if eviction.ttl_s.is_none() {
+            return 0;
+        }
+        let before = self.buffers.len();
+        self.buffers
+            .retain(|_, b| !eviction.is_stale(b.last_seen(), now));
+        let dropped = before - self.buffers.len();
+        self.evicted += dropped as u64;
+        dropped
+    }
+
     /// Number of vehicles currently tracked.
     pub fn num_vehicles(&self) -> usize {
         self.buffers.len()
+    }
+
+    /// Total vehicles evicted by TTL or LRU since construction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The eviction policy in effect.
+    pub fn eviction(&self) -> EvictionConfig {
+        self.eviction
     }
 
     /// Drops a vehicle's state (e.g. after a pseudonym change).
@@ -147,6 +289,7 @@ mod tests {
             }
         }
         assert!(emitted > 0);
+        assert_eq!(buf.last_seen(), fleet[0].bsms.last().unwrap().timestamp);
     }
 
     #[test]
@@ -160,12 +303,45 @@ mod tests {
         let mut last = None;
         for bsm in &fleet[0] {
             if let Some(snap) = buf.push(bsm) {
-                last = Some(snap);
+                last = Some(snap.clone());
             }
         }
         let last = last.expect("stream emitted nothing");
         let batch_last = batch.x.take(&[batch.len() - 1]);
         assert_eq!(last.as_slice(), batch_last.as_slice());
+    }
+
+    #[test]
+    fn ring_rollover_matches_every_batch_window() {
+        // Every streamed snapshot (not just the last) must equal the
+        // corresponding stride-1 batch window, across many ring
+        // rollovers.
+        let (fleet, scaler) = setup();
+        let builder = DatasetBuilder::new(&fleet[..1], DatasetConfig::default());
+        let batch = build_windows(
+            &builder.benign_dataset(),
+            WindowConfig {
+                stride: 1,
+                ..WindowConfig::default()
+            },
+            &scaler,
+        );
+        let mut buf = WindowBuffer::new(10, scaler);
+        let mut streamed = Vec::new();
+        for bsm in &fleet[0] {
+            if let Some(snap) = buf.push(bsm) {
+                streamed.push(snap.as_slice().to_vec());
+            }
+        }
+        assert_eq!(streamed.len(), batch.len());
+        let len = batch.window() * batch.features();
+        for (i, s) in streamed.iter().enumerate() {
+            assert_eq!(
+                s.as_slice(),
+                &batch.x.as_slice()[i * len..(i + 1) * len],
+                "window {i} diverged"
+            );
+        }
     }
 
     #[test]
@@ -179,6 +355,7 @@ mod tests {
             tracker.push(bsm);
         }
         assert_eq!(tracker.num_vehicles(), 3);
+        assert_eq!(tracker.evicted(), 0);
     }
 
     #[test]
@@ -191,5 +368,85 @@ mod tests {
         assert_eq!(tracker.num_vehicles(), 1);
         tracker.forget(fleet[0].id);
         assert_eq!(tracker.num_vehicles(), 0);
+    }
+
+    #[test]
+    fn lru_capacity_evicts_coldest_pseudonym() {
+        let (fleet, scaler) = setup();
+        let mut tracker = StreamTracker::with_eviction(
+            10,
+            scaler,
+            EvictionConfig {
+                max_vehicles: Some(2),
+                ttl_s: None,
+            },
+        );
+        // Vehicles arrive in id order with increasing timestamps, so the
+        // vehicle updated least recently is vehicle 0.
+        for (i, trace) in fleet.iter().enumerate() {
+            for (j, bsm) in trace.bsms.iter().take(5).enumerate() {
+                let mut b = *bsm;
+                b.timestamp = (i * 5 + j) as f64;
+                tracker.push(&b);
+            }
+        }
+        assert_eq!(tracker.num_vehicles(), 2);
+        assert_eq!(tracker.evicted(), 1);
+        // The evicted vehicle re-enters with a fresh (empty) buffer.
+        let mut again = fleet[0].bsms[0];
+        again.timestamp = 100.0;
+        assert!(tracker.push(&again).is_none());
+        assert_eq!(tracker.num_vehicles(), 2);
+        assert_eq!(tracker.evicted(), 2);
+    }
+
+    #[test]
+    fn ttl_evicts_only_stale_vehicles() {
+        let (fleet, scaler) = setup();
+        let mut tracker = StreamTracker::with_eviction(
+            10,
+            scaler,
+            EvictionConfig {
+                max_vehicles: None,
+                ttl_s: Some(2.0),
+            },
+        );
+        let mut a = fleet[0].bsms[0];
+        a.timestamp = 0.0;
+        let mut b = fleet[1].bsms[0];
+        b.timestamp = 3.0;
+        tracker.push(&a);
+        tracker.push(&b);
+        assert_eq!(tracker.evict_stale(4.0), 1, "vehicle a is 4 s stale");
+        assert_eq!(tracker.num_vehicles(), 1);
+        assert_eq!(tracker.evicted(), 1);
+        // No TTL configured → evict_stale is a no-op.
+        let (_, scaler2) = setup();
+        let mut unbounded = StreamTracker::new(10, scaler2);
+        unbounded.push(&a);
+        assert_eq!(unbounded.evict_stale(1e9), 0);
+        assert_eq!(unbounded.num_vehicles(), 1);
+    }
+
+    #[test]
+    fn push_is_allocation_free_after_warmup() {
+        // The ring and snapshot are sized at construction; pushing must
+        // not grow them (capacity identity is the observable proxy).
+        let (fleet, scaler) = setup();
+        let mut buf = WindowBuffer::new(10, scaler);
+        for bsm in fleet[0].iter().take(15) {
+            buf.push(bsm);
+        }
+        let ring_ptr = buf.ring.as_ptr();
+        let snap_ptr = buf.snapshot.as_slice().as_ptr();
+        for bsm in fleet[0].iter().skip(15).take(40) {
+            buf.push(bsm);
+        }
+        assert_eq!(buf.ring.as_ptr(), ring_ptr, "ring reallocated");
+        assert_eq!(
+            buf.snapshot.as_slice().as_ptr(),
+            snap_ptr,
+            "snapshot reallocated"
+        );
     }
 }

@@ -166,9 +166,6 @@ fn im2col<T: Copy + Default>(
     let kk = kh * kw * cin;
     debug_assert_eq!(src.len(), n * h * w * cin);
     debug_assert_eq!(dst.len(), n * h * w * kk);
-    for v in dst.iter_mut() {
-        *v = T::default();
-    }
     for img in 0..n {
         let src_img = &src[img * h * w * cin..(img + 1) * h * w * cin];
         for oy in 0..h {
@@ -178,17 +175,127 @@ fn im2col<T: Copy + Default>(
                 let kx_lo = pad_left.saturating_sub(ox);
                 let kx_hi = kw.min(w + pad_left - ox);
                 let row = &mut dst[((img * h + oy) * w + ox) * kk..][..kk];
-                for ky in ky_lo..ky_hi {
-                    let iy = oy + ky - pad_top;
-                    for kx in kx_lo..kx_hi {
-                        let ix = ox + kx - pad_left;
-                        let src_off = (iy * w + ix) * cin;
-                        let dst_off = (ky * kw + kx) * cin;
-                        row[dst_off..dst_off + cin]
-                            .copy_from_slice(&src_img[src_off..src_off + cin]);
+                // Zero only the clipped taps (a full-dst memset would
+                // rewrite the whole gather buffer just to feed the edge
+                // pixels); interior pixels skip this entirely.
+                if ky_lo > 0 || ky_hi < kh || kx_lo > 0 || kx_hi < kw {
+                    for v in row.iter_mut() {
+                        *v = T::default();
                     }
                 }
+                // The in-range kx taps are contiguous in both src
+                // (consecutive x) and dst (consecutive kx), so the whole
+                // horizontal extent moves as one copy per ky.
+                let span = (kx_hi - kx_lo) * cin;
+                for ky in ky_lo..ky_hi {
+                    let iy = oy + ky - pad_top;
+                    let ix = ox + kx_lo - pad_left;
+                    let src_off = (iy * w + ix) * cin;
+                    let dst_off = (ky * kw + kx_lo) * cin;
+                    row[dst_off..dst_off + span].copy_from_slice(&src_img[src_off..src_off + span]);
+                }
             }
+        }
+    }
+}
+
+/// Dequantizes one window of GEMM accumulators:
+/// `dst[r·cout + j] = acc[r·cout + j] · mult[j] + bias[j]`, optionally
+/// through select-form LeakyReLU (`v > 0 ? v : α·v`).
+///
+/// Dispatches to an AVX-512 body that mirrors the scalar ops lane for
+/// lane (i32→f32 convert, multiply, add, compare-blend — all with the
+/// same IEEE rounding), so both paths are **bitwise identical** and
+/// `VEHIGAN_FORCE_PORTABLE` stays a pure performance switch.
+fn dequant_window(acc: &[i32], mult: &[f32], bias: &[f32], alpha: Option<f32>, dst: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if vehigan_tensor::gemm::avx512_available() {
+        // SAFETY: guarded by cached runtime detection of avx512f.
+        unsafe { dequant_window_avx512(acc, mult, bias, alpha, dst) };
+        return;
+    }
+    dequant_window_portable(acc, mult, bias, alpha, dst);
+}
+
+/// Portable scalar body of [`dequant_window`].
+fn dequant_window_portable(
+    acc: &[i32],
+    mult: &[f32],
+    bias: &[f32],
+    alpha: Option<f32>,
+    dst: &mut [f32],
+) {
+    let cout = mult.len();
+    match alpha {
+        Some(alpha) => {
+            for (row_acc, row_dst) in acc.chunks_exact(cout).zip(dst.chunks_exact_mut(cout)) {
+                for ((d, &a), (&mu, &b)) in
+                    row_dst.iter_mut().zip(row_acc).zip(mult.iter().zip(bias))
+                {
+                    let v = a as f32 * mu + b;
+                    // Select-form LeakyReLU — a single blend per lane;
+                    // the max+min form costs two maxnum NaN-checked ops.
+                    *d = if v > 0.0 { v } else { alpha * v };
+                }
+            }
+        }
+        None => {
+            for (row_acc, row_dst) in acc.chunks_exact(cout).zip(dst.chunks_exact_mut(cout)) {
+                for ((d, &a), (&mu, &b)) in
+                    row_dst.iter_mut().zip(row_acc).zip(mult.iter().zip(bias))
+                {
+                    *d = a as f32 * mu + b;
+                }
+            }
+        }
+    }
+}
+
+/// AVX-512 body of [`dequant_window`]: masked 16-lane chunks over each
+/// `cout`-channel row. Every lane performs exactly the scalar sequence
+/// (cvt, mul, add, ordered-greater blend), so the result is bitwise
+/// identical to [`dequant_window_portable`] — including ±0 handling in
+/// the LeakyReLU blend (`-0.0 > 0.0` is false in both forms).
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX-512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dequant_window_avx512(
+    acc: &[i32],
+    mult: &[f32],
+    bias: &[f32],
+    alpha: Option<f32>,
+    dst: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    let cout = mult.len();
+    let zero = _mm512_setzero_ps();
+    for (row_acc, row_dst) in acc.chunks_exact(cout).zip(dst.chunks_exact_mut(cout)) {
+        let mut j = 0;
+        while j < cout {
+            let width = (cout - j).min(16);
+            let mask: __mmask16 = if width == 16 {
+                0xffff
+            } else {
+                (1u16 << width) - 1
+            };
+            let av = _mm512_maskz_loadu_epi32(mask, row_acc.as_ptr().add(j));
+            let mv = _mm512_maskz_loadu_ps(mask, mult.as_ptr().add(j));
+            let bv = _mm512_maskz_loadu_ps(mask, bias.as_ptr().add(j));
+            // Separate mul + add (not FMA): the scalar body rounds twice.
+            let v = _mm512_add_ps(_mm512_mul_ps(_mm512_cvtepi32_ps(av), mv), bv);
+            let out = match alpha {
+                Some(alpha) => {
+                    let leak = _mm512_mul_ps(v, _mm512_set1_ps(alpha));
+                    let pos = _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, zero);
+                    _mm512_mask_mov_ps(leak, pos, v)
+                }
+                None => v,
+            };
+            _mm512_mask_storeu_ps(row_dst.as_mut_ptr().add(j), mask, out);
+            j += 16;
         }
     }
 }
@@ -574,7 +681,36 @@ impl Int8Ensemble {
                 let floor = op.members()[g].in_scale;
                 for i in 0..n {
                     let win = &cur[s * max_len + i * in_per..s * max_len + (i + 1) * in_per];
-                    let max_abs = win.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()));
+                    // Eight parallel max lanes: a single fold is a serial
+                    // dependency chain the compiler can't vectorize. Max
+                    // is order-independent, so the result is bit-exact.
+                    let (chunks, tail) = win.as_chunks::<16>();
+                    let mut lanes = [0.0f32; 16];
+                    for ch in chunks {
+                        for (l, &v) in lanes.iter_mut().zip(ch) {
+                            // `if a > l` instead of `f32::max`: the plain
+                            // ordered compare + select vectorizes to
+                            // vmaxps; maxnum's NaN bookkeeping does not.
+                            // Identical result: NaN compares false, so
+                            // NaN lanes are skipped exactly like maxnum.
+                            let a = v.abs();
+                            if a > *l {
+                                *l = a;
+                            }
+                        }
+                    }
+                    let mut max_abs = 0.0f32;
+                    for &v in tail {
+                        let a = v.abs();
+                        if a > max_abs {
+                            max_abs = a;
+                        }
+                    }
+                    for &l in &lanes {
+                        if l > max_abs {
+                            max_abs = l;
+                        }
+                    }
                     eff[s * n + i] = floor.max(max_abs / 127.0);
                 }
             }
@@ -591,22 +727,20 @@ impl Int8Ensemble {
                     pad_left,
                     ..
                 } => {
-                    let q = grown(&mut self.scratch.q, gsel * in_len);
-                    for s in 0..gsel {
-                        for i in 0..n {
-                            quantize_activations(
-                                &cur[s * max_len + i * in_per..s * max_len + (i + 1) * in_per],
-                                eff[s * n + i],
-                                &mut q[s * in_len + i * in_per..s * in_len + (i + 1) * in_per],
-                            );
-                        }
-                    }
                     let col = grown(&mut self.scratch.col, gsel * rows * kk);
                     if oi == 0 {
                         // Shared input: every member sees the same windows
                         // and the same layer-0 scale (identical calibrated
-                        // floor, identical range guard), so one gather
-                        // feeds the whole fused GEMM.
+                        // floor, identical range guard), so one quantize +
+                        // one gather feed the whole fused GEMM.
+                        let q = grown(&mut self.scratch.q, in_len);
+                        for i in 0..n {
+                            quantize_activations(
+                                &cur[i * in_per..(i + 1) * in_per],
+                                eff[i],
+                                &mut q[i * in_per..(i + 1) * in_per],
+                            );
+                        }
                         im2col(
                             &q[..in_len],
                             n,
@@ -621,6 +755,16 @@ impl Int8Ensemble {
                         );
                         &col[..rows * kk]
                     } else {
+                        let q = grown(&mut self.scratch.q, gsel * in_len);
+                        for s in 0..gsel {
+                            for i in 0..n {
+                                quantize_activations(
+                                    &cur[s * max_len + i * in_per..s * max_len + (i + 1) * in_per],
+                                    eff[s * n + i],
+                                    &mut q[s * in_len + i * in_per..s * in_len + (i + 1) * in_per],
+                                );
+                            }
+                        }
                         for s in 0..gsel {
                             im2col(
                                 &q[s * in_len..(s + 1) * in_len],
@@ -663,8 +807,8 @@ impl Int8Ensemble {
 
             // Dequantize + bias + fused activation, per member, with each
             // window's effective input scale. The per-channel multipliers
-            // are hoisted per window and LeakyReLU is branchless
-            // (`max(v,0) + α·min(v,0)`) so the element loop vectorizes.
+            // are hoisted per window; `dequant_window` dispatches to an
+            // AVX-512 mirror that is bitwise identical to the portable loop.
             let per_win = rows / n;
             let mult = grown(&mut self.scratch.mult, op.out_len() / per_win);
             for (s, &g) in subset.iter().enumerate() {
@@ -680,35 +824,7 @@ impl Int8Ensemble {
                     }
                     let a_win = &acc_m[i * per_win * cout..(i + 1) * per_win * cout];
                     let d_win = &mut dst[i * per_win * cout..(i + 1) * per_win * cout];
-                    match m.alpha {
-                        Some(alpha) => {
-                            for (row_acc, row_dst) in
-                                a_win.chunks_exact(cout).zip(d_win.chunks_exact_mut(cout))
-                            {
-                                for ((d, &a), (&mu, &b)) in row_dst
-                                    .iter_mut()
-                                    .zip(row_acc)
-                                    .zip(mult.iter().zip(&m.bias))
-                                {
-                                    let v = a as f32 * mu + b;
-                                    *d = v.max(0.0) + alpha * v.min(0.0);
-                                }
-                            }
-                        }
-                        None => {
-                            for (row_acc, row_dst) in
-                                a_win.chunks_exact(cout).zip(d_win.chunks_exact_mut(cout))
-                            {
-                                for ((d, &a), (&mu, &b)) in row_dst
-                                    .iter_mut()
-                                    .zip(row_acc)
-                                    .zip(mult.iter().zip(&m.bias))
-                                {
-                                    *d = a as f32 * mu + b;
-                                }
-                            }
-                        }
-                    }
+                    dequant_window(a_win, mult, &m.bias, m.alpha, d_win);
                 }
             }
             std::mem::swap(&mut cur, &mut nxt);

@@ -228,6 +228,17 @@ pub fn activation_scale(observed: &[f32]) -> Result<f32, QuantError> {
 pub fn quantize_activations(values: &[f32], scale: f32, out: &mut [i8]) {
     debug_assert_eq!(values.len(), out.len());
     let inv = 1.0 / scale;
+    #[cfg(target_arch = "x86_64")]
+    if vehigan_tensor::gemm::avx512_available() {
+        // SAFETY: guarded by cached runtime detection of avx512f.
+        unsafe { quantize_activations_avx512(values, inv, out) };
+        return;
+    }
+    quantize_activations_portable(values, inv, out);
+}
+
+/// Portable scalar body of [`quantize_activations`] (post-reciprocal).
+fn quantize_activations_portable(values: &[f32], inv: f32, out: &mut [i8]) {
     for (o, &v) in out.iter_mut().zip(values) {
         let x = (v * inv).clamp(-127.0, 127.0);
         let x = x + 0.5f32.copysign(x);
@@ -236,6 +247,55 @@ pub fn quantize_activations(values: &[f32], scale: f32, out: &mut [i8]) {
         // [-127.5, 127.5], well inside i32 range.
         *o = unsafe { x.to_int_unchecked::<i32>() as i8 };
     }
+}
+
+/// AVX-512 lane-for-lane mirror of the scalar quantizer — every step
+/// reproduces the portable op exactly (clamp via ordered compares so NaN
+/// passes through like `f32::clamp`, copysign via sign-bit OR, NaN→0 via
+/// an unordered-compare mask, truncating convert, wrapping narrow), so
+/// the two paths are **bitwise identical** on every input including NaN
+/// and the ±x.5 rounding boundaries.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX-512F.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn quantize_activations_avx512(values: &[f32], inv: f32, out: &mut [i8]) {
+    use std::arch::x86_64::*;
+    let n = values.len();
+    let vinv = _mm512_set1_ps(inv);
+    let lo = _mm512_set1_ps(-127.0);
+    let hi = _mm512_set1_ps(127.0);
+    let half = _mm512_set1_ps(0.5);
+    let sign_bit = _mm512_set1_ps(-0.0);
+    let mut i = 0;
+    while i + 16 <= n {
+        let t = _mm512_mul_ps(_mm512_loadu_ps(values.as_ptr().add(i)), vinv);
+        // f32::clamp semantics: `x < lo → lo`, `x > hi → hi`, NaN stays.
+        let below = _mm512_cmp_ps_mask::<_CMP_LT_OQ>(t, lo);
+        let t = _mm512_mask_mov_ps(t, below, lo);
+        let above = _mm512_cmp_ps_mask::<_CMP_GT_OQ>(t, hi);
+        let t = _mm512_mask_mov_ps(t, above, hi);
+        // x + copysign(0.5, x)
+        let signed_half = _mm512_castsi512_ps(_mm512_or_si512(
+            _mm512_castps_si512(half),
+            _mm512_and_si512(_mm512_castps_si512(t), _mm512_castps_si512(sign_bit)),
+        ));
+        let t = _mm512_add_ps(t, signed_half);
+        // NaN → 0 (unordered self-compare), then truncate like
+        // `to_int_unchecked::<i32>` — every lane is in [-127.5, 127.5].
+        let ord = _mm512_cmp_ps_mask::<_CMP_ORD_Q>(t, t);
+        let t = _mm512_maskz_mov_ps(ord, t);
+        let q = _mm512_cvttps_epi32(t);
+        // Wrapping i32→i8 narrow (`as i8`); lanes already fit.
+        _mm_storeu_si128(
+            out.as_mut_ptr().add(i) as *mut __m128i,
+            _mm512_cvtepi32_epi8(q),
+        );
+        i += 16;
+    }
+    quantize_activations_portable(&values[i..], inv, &mut out[i..]);
 }
 
 #[cfg(test)]
@@ -298,6 +358,47 @@ mod tests {
             activation_scale(&[1.0, f32::NAN]),
             Err(QuantError::NonFinite { index: 1 })
         );
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn simd_quantize_matches_portable_bitwise() {
+        if !std::arch::is_x86_feature_detected!("avx512f") {
+            return;
+        }
+        // Edge soup: rounding boundaries (±x.5 after scaling), clamp
+        // saturation, NaN/Inf, ±0, denormals, and a dense random sweep —
+        // the SIMD path must match the scalar path on every one.
+        let mut values = vec![
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            126.5,
+            -126.5,
+            127.0,
+            -127.0,
+            500.0,
+            -500.0,
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE / 2.0,
+        ];
+        for i in 0..1000 {
+            values.push(((i as f32 * 0.7311).sin() * 200.0) + (i % 7) as f32 * 0.25);
+        }
+        for &scale in &[1.0f32, 0.037, 2.5] {
+            let inv = 1.0 / scale;
+            let mut scalar = vec![0i8; values.len()];
+            let mut simd = vec![0i8; values.len()];
+            quantize_activations_portable(&values, inv, &mut scalar);
+            // SAFETY: avx512f presence checked above.
+            unsafe { quantize_activations_avx512(&values, inv, &mut simd) };
+            assert_eq!(scalar, simd, "scale {scale}");
+        }
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! # vehigan-serve — city-scale streaming detection service
+//!
+//! VehiGAN's deployment story (paper §III-C) is an RSU or OBU that
+//! refreshes each vehicle's rolling feature window on every arriving BSM
+//! and scores the refreshed snapshot. This crate turns that per-message,
+//! per-vehicle loop into a line-rate data plane:
+//!
+//! - **Sharded state** — per-vehicle [`WindowBuffer`]s live in worker
+//!   shards ([`Shard`]); a pseudonym is hashed to one shard by
+//!   [`shard_for`], so ingest parallelizes across shards with no
+//!   cross-shard locks and per-vehicle message order is preserved.
+//! - **Batched scoring** — instead of scoring windows one at a time,
+//!   [`StreamServer::tick`] packs every ready snapshot from every shard
+//!   into a single `[n, w, f, 1]` batch tensor per tick.
+//! - **Two-tier gate** — the batch first flows through the fused int8
+//!   ensemble as a cheap tier-1 gate; only windows whose gate score
+//!   crosses an [`EscalationPolicy::Threshold`] are re-scored by the full
+//!   f32 k-of-m ensemble. See [`escalation_threshold`] for calibration.
+//! - **Bounded memory** — shards reuse the [`EvictionConfig`] TTL/LRU
+//!   policy from `vehigan-features`, and never evict a vehicle with
+//!   undrained pending windows.
+//!
+//! Scoring is deterministic: shards are drained in index order, both
+//! scoring backends are batch-row independent, and the member subset is
+//! pinned at construction — so serve output is bitwise identical to the
+//! serial `StreamTracker` + `score_with_members` reference path (proven
+//! by `tests/determinism.rs`).
+//!
+//! [`WindowBuffer`]: vehigan_features::WindowBuffer
+//! [`EvictionConfig`]: vehigan_features::EvictionConfig
+
+pub mod server;
+pub mod shard;
+
+pub use server::{
+    escalation_threshold, Decision, EscalationPolicy, ServeError, ServerConfig, ServerStats,
+    StreamServer, SCORE_TILE,
+};
+pub use shard::{shard_for, PendingWindow, Shard};

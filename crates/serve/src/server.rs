@@ -1,0 +1,452 @@
+//! The streaming detection server: parallel sharded ingest, one batched
+//! two-tier scoring pass per tick.
+//!
+//! Data flow per tick (DESIGN.md §10):
+//!
+//! 1. **Ingest** — [`StreamServer::ingest_batch`] partitions incoming
+//!    BSMs by [`shard_for`] and runs every non-empty shard on its own
+//!    scoped thread. A vehicle maps to exactly one shard, so its
+//!    messages are always processed in arrival order.
+//! 2. **Drain** — [`StreamServer::tick`] drains each shard's pending
+//!    queue in shard-index order (deterministic regardless of ingest
+//!    thread scheduling) and packs all ready snapshots into one
+//!    `[n, w, f, 1]` batch tensor.
+//! 3. **Gate** — the batch flows through the fused int8 backend
+//!    ([`VehiGan::score_with_members_int8`]) with the server's pinned
+//!    member subset.
+//! 4. **Escalate** — only windows whose gate score crosses the
+//!    escalation threshold are re-packed into a sub-batch and re-scored
+//!    by the full f32 ensemble ([`VehiGan::score_with_members`]); their
+//!    tier-2 score replaces the gate score in the emitted decision.
+//!
+//! Both scoring paths are batch-row independent (see the determinism
+//! contracts in `vehigan_tensor::gemm` and `vehigan_lite::ensemble`), so
+//! a window's score does not depend on which other windows share its
+//! tick — the property the serve determinism test pins down.
+
+use crate::shard::{shard_for, PendingWindow, Shard};
+use parking_lot::Mutex;
+use std::fmt;
+use vehigan_core::{EnsembleError, VehiGan};
+use vehigan_features::{EvictionConfig, MinMaxScaler};
+use vehigan_sim::{Bsm, VehicleId};
+use vehigan_tensor::Tensor;
+
+/// What the tier-1 gate does with a scored window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EscalationPolicy {
+    /// Every window goes to the full f32 ensemble (no gate). This is the
+    /// reference tier-2 path used by the determinism test.
+    Always,
+    /// Every window is decided by the int8 gate alone (no escalation).
+    Never,
+    /// Windows whose int8 gate score exceeds the threshold are re-scored
+    /// by the full f32 ensemble; the rest are decided by the gate.
+    /// Calibrate with [`escalation_threshold`] so the cutoff sits well
+    /// below the detection threshold τ.
+    Threshold(f32),
+}
+
+/// Tile size for batched scoring passes. Both backends are batch-row
+/// independent, so splitting a tick's batch into tiles changes nothing
+/// bitwise — but it keeps each pass's activations resident in cache: the
+/// fused int8 path degrades ~4× per window when hundreds of windows are
+/// scored in one monolithic call.
+pub const SCORE_TILE: usize = 128;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker shard count (vehicles are hashed across these).
+    pub n_shards: usize,
+    /// Window length `w` in messages (paper: 10).
+    pub window: usize,
+    /// Per-shard state bound; `max_vehicles` applies per shard.
+    pub eviction: EvictionConfig,
+    /// Tier-1 gate policy.
+    pub policy: EscalationPolicy,
+    /// Pinned ensemble member subset for tier-2 (and the gate, unless
+    /// [`ServerConfig::gate_members`] narrows it). `None` deploys the
+    /// first `k` healthy members. A fixed subset (rather than per-batch
+    /// sampling) keeps every tick — and the determinism test —
+    /// reproducible.
+    pub members: Option<Vec<usize>>,
+    /// Member subset for the int8 tier-1 gate. `None` gates with the
+    /// full tier-2 subset, which keeps the gated score vector within
+    /// int8 quantization error of the pure f32 path everywhere (AUROC
+    /// drift ≲ 0.004 on the attack campaign). A narrower subset trades
+    /// gate accuracy for speed: subtle attacks (constant-offset
+    /// families) start slipping under a half-width gate, so measure
+    /// drift before narrowing.
+    pub gate_members: Option<Vec<usize>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            n_shards: 8,
+            window: 10,
+            eviction: EvictionConfig::unbounded(),
+            policy: EscalationPolicy::Always,
+            members: None,
+            gate_members: None,
+        }
+    }
+}
+
+/// Construction/scoring failures surfaced by the server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// `n_shards` was zero.
+    ZeroShards,
+    /// The pinned member subset was empty or out of bounds, or the
+    /// ensemble has no healthy members.
+    BadMembers(EnsembleError),
+    /// A scoring pass failed.
+    Score(EnsembleError),
+    /// [`EscalationPolicy::Never`]/[`EscalationPolicy::Threshold`]
+    /// require a compiled int8 backend.
+    Int8NotCompiled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ZeroShards => write!(f, "server needs at least one shard"),
+            ServeError::BadMembers(e) => write!(f, "bad member subset: {e}"),
+            ServeError::Score(e) => write!(f, "scoring failed: {e}"),
+            ServeError::Int8NotCompiled => {
+                write!(f, "gate policy requires VehiGan::compile_int8 first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One scored window, emitted by [`StreamServer::tick`] in deterministic
+/// batch order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Pseudonym the window belongs to.
+    pub vehicle: VehicleId,
+    /// Timestamp of the BSM that completed the window.
+    pub timestamp: f64,
+    /// Final anomaly score: tier-2 f32 if escalated, else the gate score.
+    pub score: f32,
+    /// Detection threshold τ of the path that produced `score`.
+    pub threshold: f32,
+    /// Whether the window was re-scored by the full f32 ensemble.
+    pub escalated: bool,
+    /// `score > threshold` — a misbehavior detection.
+    pub flagged: bool,
+}
+
+/// Running counters across the server's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// BSMs ingested.
+    pub ingested: u64,
+    /// Windows scored across all ticks.
+    pub windows_scored: u64,
+    /// Windows escalated to the f32 ensemble.
+    pub escalated: u64,
+    /// Vehicles evicted by TTL/LRU across all shards.
+    pub evicted: u64,
+}
+
+/// A long-lived RSU-style streaming detection service over a trained
+/// [`VehiGan`].
+pub struct StreamServer<'a> {
+    vehigan: &'a VehiGan,
+    members: Vec<usize>,
+    gate_members: Vec<usize>,
+    shards: Vec<Mutex<Shard>>,
+    policy: EscalationPolicy,
+    window_len: usize,
+    window: usize,
+    features: usize,
+    stats: ServerStats,
+}
+
+impl<'a> StreamServer<'a> {
+    /// Builds a server over a trained ensemble and fitted scaler.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ZeroShards`] for an empty shard set,
+    /// [`ServeError::BadMembers`] for a bad pinned subset,
+    /// [`ServeError::Int8NotCompiled`] when the gate policy needs the
+    /// int8 backend but [`VehiGan::compile_int8`] has not run.
+    pub fn new(
+        vehigan: &'a VehiGan,
+        scaler: MinMaxScaler,
+        config: ServerConfig,
+    ) -> Result<Self, ServeError> {
+        if config.n_shards == 0 {
+            return Err(ServeError::ZeroShards);
+        }
+        if !matches!(config.policy, EscalationPolicy::Always) && vehigan.int8_backend().is_none() {
+            return Err(ServeError::Int8NotCompiled);
+        }
+        let members = match config.members {
+            Some(m) => m,
+            None => {
+                let healthy = vehigan.healthy_members();
+                healthy.into_iter().take(vehigan.k()).collect()
+            }
+        };
+        let gate_members = config.gate_members.unwrap_or_else(|| members.clone());
+        for subset in [&members, &gate_members] {
+            if subset.is_empty() {
+                return Err(ServeError::BadMembers(EnsembleError::EmptySubset));
+            }
+            for &i in subset {
+                if i >= vehigan.m() {
+                    return Err(ServeError::BadMembers(EnsembleError::MemberOutOfBounds {
+                        index: i,
+                        m: vehigan.m(),
+                    }));
+                }
+            }
+        }
+        let features = scaler.width();
+        let shards = (0..config.n_shards)
+            .map(|_| Mutex::new(Shard::new(config.window, scaler.clone(), config.eviction)))
+            .collect();
+        Ok(StreamServer {
+            vehigan,
+            members,
+            gate_members,
+            shards,
+            policy: config.policy,
+            window_len: config.window * features,
+            window: config.window,
+            features,
+            stats: ServerStats::default(),
+        })
+    }
+
+    /// Ingests a batch of BSMs, processing shards in parallel.
+    ///
+    /// Messages are partitioned by [`shard_for`] with relative order
+    /// preserved, and each vehicle's messages land on exactly one shard —
+    /// so per-vehicle window state is identical to serial ingestion no
+    /// matter how the shard threads interleave.
+    pub fn ingest_batch(&mut self, bsms: &[Bsm]) {
+        let n_shards = self.shards.len();
+        let mut buckets: Vec<Vec<&Bsm>> = vec![Vec::new(); n_shards];
+        for bsm in bsms {
+            buckets[shard_for(bsm.vehicle_id, n_shards)].push(bsm);
+        }
+        if n_shards == 1 || bsms.len() < 64 {
+            for (shard, bucket) in self.shards.iter().zip(&buckets) {
+                let mut guard = shard.lock();
+                for bsm in bucket {
+                    guard.ingest(bsm);
+                }
+            }
+        } else {
+            let shards = &self.shards;
+            crossbeam::thread::scope(|s| {
+                for (shard, bucket) in shards.iter().zip(&buckets) {
+                    if bucket.is_empty() {
+                        continue;
+                    }
+                    s.spawn(move |_| {
+                        let mut guard = shard.lock();
+                        for bsm in bucket {
+                            guard.ingest(bsm);
+                        }
+                    });
+                }
+            })
+            .expect("ingest scope");
+        }
+        self.stats.ingested += bsms.len() as u64;
+    }
+
+    /// Drains every shard's pending windows, scores them as one batch
+    /// through the gate/escalation pipeline, and emits decisions in
+    /// deterministic order (shard index, then ingestion order).
+    ///
+    /// Returns an empty vec when no windows are ready.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Score`] when a scoring pass fails.
+    pub fn tick(&mut self) -> Result<Vec<Decision>, ServeError> {
+        let mut batch: Vec<f32> = Vec::new();
+        let mut meta: Vec<PendingWindow> = Vec::new();
+        for shard in &self.shards {
+            let (floats, windows) = shard.lock().drain_pending();
+            batch.extend_from_slice(&floats);
+            meta.extend_from_slice(&windows);
+        }
+        if meta.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = meta.len();
+        debug_assert_eq!(batch.len(), n * self.window_len);
+        self.stats.windows_scored += n as u64;
+
+        let decisions = match self.policy {
+            EscalationPolicy::Always => {
+                let (scores, threshold) = self.score_tiled(&batch, n, false, &self.members)?;
+                self.stats.escalated += n as u64;
+                meta.iter()
+                    .zip(&scores)
+                    .map(|(w, &score)| Decision {
+                        vehicle: w.vehicle,
+                        timestamp: w.timestamp,
+                        score,
+                        threshold,
+                        escalated: true,
+                        flagged: score > threshold,
+                    })
+                    .collect()
+            }
+            EscalationPolicy::Never => {
+                let (scores, threshold) = self.score_tiled(&batch, n, true, &self.gate_members)?;
+                meta.iter()
+                    .zip(&scores)
+                    .map(|(w, &score)| Decision {
+                        vehicle: w.vehicle,
+                        timestamp: w.timestamp,
+                        score,
+                        threshold,
+                        escalated: false,
+                        flagged: score > threshold,
+                    })
+                    .collect()
+            }
+            EscalationPolicy::Threshold(tau_esc) => {
+                let (gate_scores, gate_tau) =
+                    self.score_tiled(&batch, n, true, &self.gate_members)?;
+                let escalate: Vec<usize> = (0..n).filter(|&i| gate_scores[i] > tau_esc).collect();
+                let mut decisions: Vec<Decision> = meta
+                    .iter()
+                    .zip(&gate_scores)
+                    .map(|(w, &score)| Decision {
+                        vehicle: w.vehicle,
+                        timestamp: w.timestamp,
+                        score,
+                        threshold: gate_tau,
+                        escalated: false,
+                        flagged: false,
+                    })
+                    .collect();
+                if !escalate.is_empty() {
+                    let mut sub = Vec::with_capacity(escalate.len() * self.window_len);
+                    for &i in &escalate {
+                        sub.extend_from_slice(
+                            &batch[i * self.window_len..(i + 1) * self.window_len],
+                        );
+                    }
+                    let (scores, threshold) =
+                        self.score_tiled(&sub, escalate.len(), false, &self.members)?;
+                    for (&i, &score) in escalate.iter().zip(&scores) {
+                        decisions[i].score = score;
+                        decisions[i].threshold = threshold;
+                        decisions[i].escalated = true;
+                        decisions[i].flagged = score > threshold;
+                    }
+                    self.stats.escalated += escalate.len() as u64;
+                }
+                decisions
+            }
+        };
+        Ok(decisions)
+    }
+
+    /// Scores `n` flat windows through one backend in [`SCORE_TILE`]-sized
+    /// tiles, concatenating per-tile scores. Tile boundaries cannot change
+    /// any score — both backends are batch-row independent — but they keep
+    /// each pass's activations cache-resident.
+    fn score_tiled(
+        &self,
+        data: &[f32],
+        n: usize,
+        int8: bool,
+        members: &[usize],
+    ) -> Result<(Vec<f32>, f32), ServeError> {
+        let mut scores = Vec::with_capacity(n);
+        let mut threshold = 0.0f32;
+        let mut start = 0;
+        while start < n {
+            let end = (start + SCORE_TILE).min(n);
+            let tile = Tensor::from_vec(
+                data[start * self.window_len..end * self.window_len].to_vec(),
+                &[end - start, self.window, self.features, 1],
+            );
+            let r = if int8 {
+                self.vehigan.score_with_members_int8(members, &tile)
+            } else {
+                self.vehigan.score_with_members(members, &tile)
+            }
+            .map_err(ServeError::Score)?;
+            threshold = r.threshold;
+            scores.extend_from_slice(&r.scores);
+            start = end;
+        }
+        Ok((scores, threshold))
+    }
+
+    /// Runs TTL eviction on every shard at stream time `now`, returning
+    /// how many vehicles were dropped. Vehicles with pending windows are
+    /// always retained.
+    pub fn evict_stale(&mut self, now: f64) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            dropped += shard.lock().evict_stale(now);
+        }
+        self.stats.evicted += dropped as u64;
+        dropped
+    }
+
+    /// Windows queued across all shards awaiting the next tick.
+    pub fn pending_windows(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().pending_windows()).sum()
+    }
+
+    /// Vehicles currently resident across all shards.
+    pub fn num_vehicles(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().num_vehicles()).sum()
+    }
+
+    /// Lifetime counters (ingested/scored/escalated/evicted).
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = self.stats;
+        stats.evicted = self.shards.iter().map(|s| s.lock().evicted()).sum();
+        stats
+    }
+
+    /// The pinned tier-2 ensemble member subset.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The member subset the int8 tier-1 gate scores with.
+    pub fn gate_members(&self) -> &[usize] {
+        &self.gate_members
+    }
+
+    /// Worker shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The gate policy in effect.
+    pub fn policy(&self) -> EscalationPolicy {
+        self.policy
+    }
+}
+
+/// Calibrates the gate's escalation threshold from benign gate scores:
+/// the `p`-th percentile (e.g. 90.0), so roughly `100 − p` percent of
+/// benign traffic escalates. Keep `p` below the detection percentile
+/// (99) so every would-be detection crosses the gate and is confirmed by
+/// the f32 ensemble — that is what bounds AUROC drift (DESIGN.md §10).
+pub fn escalation_threshold(benign_gate_scores: &[f32], p: f64) -> f32 {
+    vehigan_metrics::percentile(benign_gate_scores, p)
+}

@@ -1,0 +1,230 @@
+//! Per-shard vehicle state: a slab of ring-buffer [`WindowBuffer`]s plus
+//! the shard's pending-window queue.
+//!
+//! A vehicle's pseudonym is hashed to exactly one shard by [`shard_for`],
+//! so all of a vehicle's BSMs are processed by the same shard in arrival
+//! order and no cross-shard coordination is needed on the ingest path.
+//! Each [`Shard`] appends ready snapshots to a flat `pending` buffer that
+//! the server drains into one cross-vehicle batch tensor per tick.
+
+use std::collections::HashMap;
+use vehigan_features::{EvictionConfig, MinMaxScaler, WindowBuffer};
+use vehigan_sim::{Bsm, VehicleId};
+
+/// Maps a pseudonym to its owning shard.
+///
+/// Fibonacci multiplicative hashing on the raw id: pure, stateless, and
+/// stable across runs, processes, and shard iteration order — the
+/// property the shard-assignment proptest pins down. Changing this
+/// function redistributes every vehicle, so treat it as a wire format.
+pub fn shard_for(vehicle: VehicleId, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard count must be positive");
+    let h = (vehicle.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 33) % n_shards as u64) as usize
+}
+
+/// A window snapshot queued for the next batch tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingWindow {
+    /// Pseudonym that produced the snapshot.
+    pub vehicle: VehicleId,
+    /// Timestamp of the BSM that completed the window.
+    pub timestamp: f64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    vehicle: VehicleId,
+    buffer: WindowBuffer,
+    /// Windows from this vehicle sitting in `pending` (not yet drained).
+    /// Eviction never removes a slot while this is non-zero.
+    in_flight: usize,
+}
+
+/// One worker shard: a slab of per-vehicle window buffers and the queue
+/// of snapshots awaiting the next batch tick.
+#[derive(Debug)]
+pub struct Shard {
+    window: usize,
+    features: usize,
+    scaler: MinMaxScaler,
+    eviction: EvictionConfig,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    index: HashMap<VehicleId, usize>,
+    /// Concatenated ready snapshots, `window × features` floats each, in
+    /// ingestion order.
+    pending: Vec<f32>,
+    pending_meta: Vec<PendingWindow>,
+    ingested: u64,
+    evicted: u64,
+}
+
+impl Shard {
+    /// Creates an empty shard.
+    pub fn new(window: usize, scaler: MinMaxScaler, eviction: EvictionConfig) -> Self {
+        let features = scaler.width();
+        Shard {
+            window,
+            features,
+            scaler,
+            eviction,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            pending: Vec::new(),
+            pending_meta: Vec::new(),
+            ingested: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Ingests one BSM into the sender's window buffer; if the push
+    /// completes a window, queues the snapshot for the next tick.
+    pub fn ingest(&mut self, bsm: &Bsm) {
+        self.ingested += 1;
+        let slot_idx = match self.index.get(&bsm.vehicle_id) {
+            Some(&i) => i,
+            None => self.insert_vehicle(bsm.vehicle_id),
+        };
+        let slot = self.slots[slot_idx].as_mut().expect("indexed slot is live");
+        if slot.buffer.push(bsm).is_some() {
+            let snap = slot
+                .buffer
+                .snapshot_slice()
+                .expect("push returned a snapshot");
+            self.pending.extend_from_slice(snap);
+            self.pending_meta.push(PendingWindow {
+                vehicle: bsm.vehicle_id,
+                timestamp: bsm.timestamp,
+            });
+            slot.in_flight += 1;
+        }
+    }
+
+    /// Allocates a slab slot for a new pseudonym, evicting the
+    /// least-recently-updated *idle* vehicle first when the shard is at
+    /// its `max_vehicles` bound. A vehicle with in-flight pending windows
+    /// is never evicted, so the slab can transiently exceed the bound
+    /// rather than drop undrained work.
+    fn insert_vehicle(&mut self, vehicle: VehicleId) -> usize {
+        if let Some(cap) = self.eviction.max_vehicles {
+            if self.index.len() >= cap.max(1) {
+                self.evict_lru_idle();
+            }
+        }
+        let buffer = WindowBuffer::new(self.window, self.scaler.clone());
+        let slot = Slot {
+            vehicle,
+            buffer,
+            in_flight: 0,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(vehicle, idx);
+        idx
+    }
+
+    /// Evicts the least-recently-updated vehicle with no pending windows
+    /// (ties broken by pseudonym). A no-op when every vehicle has
+    /// in-flight work.
+    fn evict_lru_idle(&mut self) {
+        let victim = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|s| s.in_flight == 0)
+            .map(|s| (s.buffer.last_seen(), s.vehicle))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+            .map(|(_, id)| id);
+        if let Some(id) = victim {
+            self.remove(id);
+            self.evicted += 1;
+        }
+    }
+
+    /// Drops vehicles whose TTL expired at stream time `now`, skipping
+    /// any with in-flight pending windows. Returns how many were evicted.
+    pub fn evict_stale(&mut self, now: f64) -> usize {
+        if self.eviction.ttl_s.is_none() {
+            return 0;
+        }
+        let stale: Vec<VehicleId> = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|s| s.in_flight == 0 && self.eviction.is_stale(s.buffer.last_seen(), now))
+            .map(|s| s.vehicle)
+            .collect();
+        for id in &stale {
+            self.remove(*id);
+        }
+        self.evicted += stale.len() as u64;
+        stale.len()
+    }
+
+    fn remove(&mut self, vehicle: VehicleId) {
+        if let Some(idx) = self.index.remove(&vehicle) {
+            self.slots[idx] = None;
+            self.free.push(idx);
+        }
+    }
+
+    /// Drains the pending queue: the flat snapshot floats and their
+    /// metadata, in ingestion order. Clears all in-flight marks.
+    pub fn drain_pending(&mut self) -> (Vec<f32>, Vec<PendingWindow>) {
+        for slot in self.slots.iter_mut().flatten() {
+            slot.in_flight = 0;
+        }
+        (
+            std::mem::take(&mut self.pending),
+            std::mem::take(&mut self.pending_meta),
+        )
+    }
+
+    /// Number of snapshots awaiting the next tick.
+    pub fn pending_windows(&self) -> usize {
+        self.pending_meta.len()
+    }
+
+    /// Number of vehicles currently resident in the slab.
+    pub fn num_vehicles(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether `vehicle` is resident in this shard.
+    pub fn contains(&self, vehicle: VehicleId) -> bool {
+        self.index.contains_key(&vehicle)
+    }
+
+    /// Whether `vehicle` currently has pending (undrained) windows.
+    pub fn has_in_flight(&self, vehicle: VehicleId) -> bool {
+        self.index
+            .get(&vehicle)
+            .and_then(|&i| self.slots[i].as_ref())
+            .is_some_and(|s| s.in_flight > 0)
+    }
+
+    /// BSMs ingested by this shard since construction.
+    pub fn ingested(&self) -> u64 {
+        self.ingested
+    }
+
+    /// Vehicles evicted by LRU or TTL since construction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Floats per snapshot (`window × features`).
+    pub fn window_len(&self) -> usize {
+        self.window * self.features
+    }
+}

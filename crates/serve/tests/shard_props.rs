@@ -1,0 +1,131 @@
+//! Property tests for the shard layer (ISSUE 7 satellite): shard
+//! assignment is a pure, stable function of the pseudonym, and
+//! TTL/LRU eviction never drops a vehicle that still has in-flight
+//! (undrained) pending windows.
+
+use proptest::prelude::*;
+use vehigan_features::{EvictionConfig, MinMaxScaler, NUM_FEATURES};
+use vehigan_serve::{shard_for, Shard};
+use vehigan_sim::{Bsm, VehicleId};
+
+fn test_scaler() -> MinMaxScaler {
+    MinMaxScaler::fit(&[vec![-50.0; NUM_FEATURES], vec![50.0; NUM_FEATURES]])
+}
+
+fn bsm(vehicle: u32, timestamp: f64) -> Bsm {
+    Bsm {
+        vehicle_id: VehicleId(vehicle),
+        timestamp,
+        pos_x: timestamp * 3.0,
+        pos_y: vehicle as f64,
+        speed: 10.0,
+        acceleration: 0.1,
+        heading: 0.3,
+        yaw_rate: 0.0,
+    }
+}
+
+#[test]
+fn shard_assignment_golden_values() {
+    // shard_for is a wire format: changing the hash silently rebalances
+    // every deployment, so pin concrete values.
+    assert_eq!(shard_for(VehicleId(0), 8), 0);
+    assert_eq!(shard_for(VehicleId(1), 8), 4);
+    assert_eq!(shard_for(VehicleId(2), 8), 1);
+    assert_eq!(shard_for(VehicleId(12345), 8), 5);
+    assert_eq!(shard_for(VehicleId(u32::MAX), 8), 5);
+    assert_eq!(shard_for(VehicleId(12345), 1), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range(
+        id in any::<u32>(),
+        n_shards in 1usize..64,
+    ) {
+        let s = shard_for(VehicleId(id), n_shards);
+        prop_assert!(s < n_shards);
+        // Pure function of (id, n_shards): repeated calls agree.
+        for _ in 0..3 {
+            prop_assert_eq!(shard_for(VehicleId(id), n_shards), s);
+        }
+    }
+
+    #[test]
+    fn eviction_never_drops_vehicles_with_in_flight_windows(
+        holders in proptest::collection::vec(0u32..8, 1..4),
+        churn in proptest::collection::vec(100u32..200, 1..40),
+        cap in 1usize..3,
+    ) {
+        let window = 3usize;
+        let mut shard = Shard::new(
+            window,
+            test_scaler(),
+            EvictionConfig { max_vehicles: Some(cap), ttl_s: Some(0.5) },
+        );
+        let mut t = 0.0f64;
+
+        // Give each holder a completed (pending) window: window + 1 BSMs.
+        let mut holders = holders;
+        holders.sort_unstable();
+        holders.dedup();
+        for &v in &holders {
+            for _ in 0..=window {
+                shard.ingest(&bsm(v, t));
+                t += 0.1;
+            }
+            prop_assert!(shard.has_in_flight(VehicleId(v)));
+        }
+        let pending_before = shard.pending_windows();
+        prop_assert_eq!(pending_before, holders.len());
+
+        // Hammer the shard with fresh pseudonyms (LRU pressure far past
+        // the cap) and a stale-eviction sweep far past every holder's
+        // TTL. Holders have undrained windows, so they must survive.
+        for &v in &churn {
+            shard.ingest(&bsm(v, t));
+            t += 0.1;
+        }
+        shard.evict_stale(t + 1e6);
+        for &v in &holders {
+            prop_assert!(
+                shard.contains(VehicleId(v)),
+                "vehicle {} evicted with an in-flight window", v
+            );
+        }
+        prop_assert_eq!(shard.pending_windows(), pending_before);
+
+        // Draining clears the in-flight marks; now the same pressure may
+        // evict the holders.
+        let (floats, meta) = shard.drain_pending();
+        prop_assert_eq!(meta.len(), pending_before);
+        prop_assert_eq!(floats.len(), pending_before * shard.window_len());
+        for &v in &holders {
+            prop_assert!(!shard.has_in_flight(VehicleId(v)));
+        }
+        shard.evict_stale(t + 1e6);
+        prop_assert_eq!(shard.num_vehicles(), 0, "post-drain TTL sweep keeps nothing");
+    }
+
+    #[test]
+    fn lru_capacity_holds_for_idle_vehicles(
+        ids in proptest::collection::vec(any::<u32>(), 1..60),
+        cap in 1usize..5,
+    ) {
+        // One BSM per vehicle never completes a window, so every slot is
+        // idle and the cap is a hard bound.
+        let mut shard = Shard::new(
+            4,
+            test_scaler(),
+            EvictionConfig { max_vehicles: Some(cap), ttl_s: None },
+        );
+        let mut t = 0.0;
+        for &v in &ids {
+            shard.ingest(&bsm(v, t));
+            t += 0.1;
+        }
+        prop_assert!(shard.num_vehicles() <= cap);
+    }
+}

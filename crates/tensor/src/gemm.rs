@@ -57,23 +57,30 @@
 //!
 //! - [`PackedI8`] — a weight matrix packed **once** (at model-compile
 //!   time) into `NR`-column strips with the shared dimension interleaved
-//!   in `k`-pairs, the exact layout `_mm256_madd_epi16` consumes;
+//!   in `k`-pairs, the exact layout `_mm256_madd_epi16` consumes, plus a
+//!   `k`-quad mirror in [`NR_VNNI`]-column strips (with per-column sums)
+//!   for the AVX-512 VNNI kernel;
 //! - [`gemm_i8`] — `C += A·B` over a packed `B`: a portable blocked
-//!   kernel and an AVX2 variant (`cvtepi8_epi16` widening +
-//!   `madd_epi16` pair-dot, the `maddubs`/`madd` idiom without the
-//!   unsigned-operand offset dance);
+//!   kernel, an AVX2 variant (`cvtepi8_epi16` widening + `madd_epi16`
+//!   pair-dot, the `maddubs`/`madd` idiom without the unsigned-operand
+//!   offset dance), and an AVX-512 VNNI variant (`vpdpbusd`, one
+//!   4-deep dot per lane per instruction — `vpdpbusd` takes *unsigned*
+//!   left operands, so activations are biased by +128 via XOR and the
+//!   exact correction `128·Σ_k b[k][j]` is subtracted from the packed
+//!   per-column sums at store);
 //! - [`gemm_i8_fused`] — the multi-member sweep: one call walks several
 //!   packed weight matrices over shared or per-member activations, so a
 //!   `k`-of-`m` ensemble layer is one kernel invocation, not `k` model
 //!   walks.
 //!
-//! Integer accumulation is exact, so **portable and AVX2 int8 kernels
-//! produce bitwise-identical i32 accumulators** on every ISA — stronger
-//! than the f32 contract, and the property the int8 backend's
+//! Integer accumulation is exact, so **portable, AVX2, and VNNI int8
+//! kernels produce bitwise-identical i32 accumulators** on every ISA —
+//! stronger than the f32 contract, and the property the int8 backend's
 //! determinism rests on. Exactness requires the accumulator not to
 //! overflow: with operands in `[-128, 127]` any `k ≤ 65534` is safe
-//! (`k/2` pair-sums of magnitude ≤ 2·128² against an i32), far above any
-//! critic shape in this stack.
+//! (`k/2` pair-sums of magnitude ≤ 2·128² against an i32; the VNNI
+//! path's biased `u8×i8` quad-dots stay within the same bound), far
+//! above any critic shape in this stack.
 //!
 //! Setting the environment variable `VEHIGAN_FORCE_PORTABLE` (to any
 //! value, before first use) pins **all** kernel dispatch to the portable
@@ -115,6 +122,35 @@ fn avx2_available() -> bool {
     use std::sync::OnceLock;
     static AVX2: OnceLock<bool> = OnceLock::new();
     *AVX2.get_or_init(|| !force_portable() && is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn vnni_available() -> bool {
+    use std::sync::OnceLock;
+    static VNNI: OnceLock<bool> = OnceLock::new();
+    *VNNI.get_or_init(|| {
+        !force_portable()
+            && is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512vnni")
+    })
+}
+
+/// Whether AVX-512F elementwise kernels may be used (respects
+/// `VEHIGAN_FORCE_PORTABLE`). Exposed so downstream crates that add
+/// their own SIMD fast paths (e.g. activation quantization in
+/// `vehigan-lite`) share this crate's dispatch pin — one env var gates
+/// every vectorized kernel in the process.
+#[cfg(target_arch = "x86_64")]
+pub fn avx512_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX512: OnceLock<bool> = OnceLock::new();
+    *AVX512.get_or_init(|| !force_portable() && is_x86_feature_detected!("avx512f"))
+}
+
+/// Non-x86 fallback: no AVX-512, portable kernels only.
+#[cfg(not(target_arch = "x86_64"))]
+pub fn avx512_available() -> bool {
+    false
 }
 
 fn check_dims(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &[f32]) {
@@ -475,6 +511,10 @@ pub fn transpose_into(m: usize, n: usize, src: &[f32], dst: &mut [f32]) {
 /// of i32 lanes.
 pub const NR_I8: usize = 8;
 
+/// Columns per packed VNNI strip: one 512-bit `vpdpbusd` accumulator's
+/// worth of i32 lanes.
+pub const NR_VNNI: usize = 16;
+
 /// Rows of `A` swept per int8 micro-kernel pass (amortizes each packed-`B`
 /// load across four accumulator registers).
 const MR_I8: usize = 4;
@@ -499,6 +539,16 @@ pub struct PackedI8 {
     k_pairs: usize,
     /// `[n_strips][k_pairs][NR_I8 · 2]`, pair-interleaved as above.
     data: Vec<i8>,
+    /// `[n_strips16][k_quads][NR_VNNI · 4]`, quad-interleaved: strip `s`,
+    /// quad `q` stores `[b[4q][j], b[4q+1][j], b[4q+2][j], b[4q+3][j]]`
+    /// for each of the strip's 16 columns — one 512-bit `vpdpbusd` step.
+    /// A runtime acceleration mirror of `data` (not counted as artifact
+    /// bytes); zero-padded at ragged edges, exact for integer math.
+    quad: Vec<i8>,
+    /// Per-column sums `Σ_k b[k][j]`: the exact correction for running
+    /// `vpdpbusd`'s unsigned×signed form on biased activations
+    /// (`Σ(a+128)·b = Σa·b + 128·S_j`).
+    col_sums: Vec<i32>,
 }
 
 impl PackedI8 {
@@ -525,11 +575,37 @@ impl PackedI8 {
                 }
             }
         }
+        let k_quads = k.div_ceil(4);
+        let n_strips16 = n.div_ceil(NR_VNNI);
+        let mut quad = vec![0i8; n_strips16 * k_quads * NR_VNNI * 4];
+        for s in 0..n_strips16 {
+            let js = s * NR_VNNI;
+            let width = NR_VNNI.min(n - js);
+            for q in 0..k_quads {
+                let base = (s * k_quads + q) * NR_VNNI * 4;
+                for j in 0..width {
+                    for t in 0..4 {
+                        if 4 * q + t < k {
+                            quad[base + 4 * j + t] = b[(4 * q + t) * n + js + j];
+                        }
+                    }
+                }
+            }
+        }
+        let mut col_sums = vec![0i32; n];
+        for (kk, row) in b.chunks_exact(n).enumerate() {
+            debug_assert!(kk < k);
+            for (s, &v) in col_sums.iter_mut().zip(row) {
+                *s += v as i32;
+            }
+        }
         PackedI8 {
             k,
             n,
             k_pairs,
             data,
+            quad,
+            col_sums,
         }
     }
 
@@ -576,6 +652,12 @@ pub fn gemm_i8(m: usize, a: &[i8], b: &PackedI8, c: &mut [i32]) {
         b.n
     );
     if m == 0 || b.n == 0 || b.k == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if vnni_available() {
+        // Safety: guarded by cached runtime detection of avx512f+vnni.
+        unsafe { gemm_i8_vnni(m, a, b, c) };
         return;
     }
     #[cfg(target_arch = "x86_64")]
@@ -815,6 +897,182 @@ unsafe fn gemm_i8_avx2_block<const H: usize>(
             }
         }
         store_acc_block(&acc, c, i0, n, s * NR_I8);
+    }
+}
+
+/// AVX-512 VNNI int8 micro-kernel sweep. Each inner step is one
+/// `vpdpbusd` — sixteen output columns × four `k`-steps per instruction,
+/// four times the `madd_epi16` idiom's throughput. `vpdpbusd` multiplies
+/// **unsigned** bytes by signed bytes, so activations are biased once per
+/// row block (`a XOR 0x80 = a + 128` in u8) and the exact integer
+/// correction `128·Σ_k b[k][j]` (precomputed per column at pack time) is
+/// subtracted at store. The four 16-bit products are summed into the i32
+/// lane without saturation, so the whole path is exact integer
+/// arithmetic ⇒ bitwise identical to the portable kernel.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX-512F and AVX-512 VNNI.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vnni")]
+unsafe fn gemm_i8_vnni(m: usize, a: &[i8], b: &PackedI8, c: &mut [i32]) {
+    use std::cell::RefCell;
+    // Reused biased-quad scratch: one row block per live call.
+    thread_local! {
+        static AQ: RefCell<Vec<i32>> = const { RefCell::new(Vec::new()) };
+    }
+    AQ.with(|cell| {
+        let mut aq = cell.take();
+        let k_quads = b.k.div_ceil(4);
+        if aq.len() < MR_I8 * k_quads {
+            aq.resize(MR_I8 * k_quads, 0);
+        }
+        let mut i0 = 0;
+        while i0 < m {
+            let h = MR_I8.min(m - i0);
+            match h {
+                4 => gemm_i8_vnni_block::<4>(i0, a, b, c, &mut aq),
+                3 => gemm_i8_vnni_block::<3>(i0, a, b, c, &mut aq),
+                2 => gemm_i8_vnni_block::<2>(i0, a, b, c, &mut aq),
+                _ => gemm_i8_vnni_block::<1>(i0, a, b, c, &mut aq),
+            }
+            i0 += h;
+        }
+        cell.replace(aq);
+    });
+}
+
+/// Biases one row of i8 activations to u8 (`a + 128`, i.e. `a XOR 0x80`)
+/// packed four-per-i32 in `k` order, zero-padding the dangling quad with
+/// the bias value 128 (exact: the packed `B` is zero there).
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX-512F and
+/// `dst.len() == row.len().div_ceil(4)`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn bias_row_quads(row: &[i8], dst: &mut [i32]) {
+    let k = row.len();
+    debug_assert_eq!(dst.len(), k.div_ceil(4));
+    let dst8 = dst.as_mut_ptr() as *mut u8;
+    let mut j = 0;
+    while j + 64 <= k {
+        use std::arch::x86_64::*;
+        let v = _mm512_loadu_si512(row.as_ptr().add(j) as *const __m512i);
+        let biased = _mm512_xor_si512(v, _mm512_set1_epi8(-128));
+        _mm512_storeu_si512(dst8.add(j) as *mut __m512i, biased);
+        j += 64;
+    }
+    while j < k {
+        *dst8.add(j) = (row[j] as u8) ^ 0x80;
+        j += 1;
+    }
+    let padded = k.div_ceil(4) * 4;
+    while j < padded {
+        // Bias of zero: the matching packed `B` bytes are zero-padded,
+        // so the product contributes nothing either way.
+        *dst8.add(j) = 0x80;
+        j += 1;
+    }
+}
+
+/// One `H`-row block of the VNNI sweep (`H ≤` [`MR_I8`]).
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX-512F and AVX-512 VNNI,
+/// `i0 + H ≤ m`, and `aq.len() ≥ H · k_quads`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vnni")]
+unsafe fn gemm_i8_vnni_block<const H: usize>(
+    i0: usize,
+    a: &[i8],
+    b: &PackedI8,
+    c: &mut [i32],
+    aq: &mut [i32],
+) {
+    use std::arch::x86_64::*;
+    let (k, n) = (b.k, b.n);
+    let k_quads = k.div_ceil(4);
+    let n_strips = n.div_ceil(NR_VNNI);
+    for r in 0..H {
+        bias_row_quads(
+            &a[(i0 + r) * k..(i0 + r) * k + k],
+            &mut aq[r * k_quads..(r + 1) * k_quads],
+        );
+    }
+    // Strip pairs: both strips share one broadcast of each activation
+    // quad, and the 2·H independent dpbusd chains hide the instruction's
+    // latency (a single strip gives the scheduler only H chains).
+    let mut s = 0;
+    while s + 2 <= n_strips {
+        let strip0 = b.quad.as_ptr().add(s * k_quads * NR_VNNI * 4);
+        let strip1 = b.quad.as_ptr().add((s + 1) * k_quads * NR_VNNI * 4);
+        let mut acc0 = [_mm512_setzero_si512(); H];
+        let mut acc1 = [_mm512_setzero_si512(); H];
+        for q in 0..k_quads {
+            let bv0 = _mm512_loadu_si512(strip0.add(q * NR_VNNI * 4) as *const __m512i);
+            let bv1 = _mm512_loadu_si512(strip1.add(q * NR_VNNI * 4) as *const __m512i);
+            for r in 0..H {
+                let av = _mm512_set1_epi32(*aq.get_unchecked(r * k_quads + q));
+                acc0[r] = _mm512_dpbusd_epi32(acc0[r], av, bv0);
+                acc1[r] = _mm512_dpbusd_epi32(acc1[r], av, bv1);
+            }
+        }
+        gemm_vnni_epilogue::<H>(&acc0, i0, b, s, c);
+        gemm_vnni_epilogue::<H>(&acc1, i0, b, s + 1, c);
+        s += 2;
+    }
+    if s < n_strips {
+        let strip = b.quad.as_ptr().add(s * k_quads * NR_VNNI * 4);
+        let mut acc = [_mm512_setzero_si512(); H];
+        for q in 0..k_quads {
+            let bv = _mm512_loadu_si512(strip.add(q * NR_VNNI * 4) as *const __m512i);
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = _mm512_set1_epi32(*aq.get_unchecked(r * k_quads + q));
+                *accr = _mm512_dpbusd_epi32(*accr, av, bv);
+            }
+        }
+        gemm_vnni_epilogue::<H>(&acc, i0, b, s, c);
+    }
+}
+
+/// Masked vector epilogue of the VNNI sweep: `c += acc − 128·S_j` for one
+/// strip, one shot per row (the shift is exact — col sums are far below
+/// 2^24). A scalar epilogue here costs more than the dpbusd core at
+/// these widths.
+///
+/// # Safety
+///
+/// Callers must ensure the CPU supports AVX-512F, `i0 + H ≤ m`, and `s`
+/// is a valid strip index.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn gemm_vnni_epilogue<const H: usize>(
+    acc: &[std::arch::x86_64::__m512i; H],
+    i0: usize,
+    b: &PackedI8,
+    s: usize,
+    c: &mut [i32],
+) {
+    use std::arch::x86_64::*;
+    let n = b.n;
+    let js = s * NR_VNNI;
+    let width = NR_VNNI.min(n - js);
+    let mask: __mmask16 = if width == NR_VNNI {
+        0xffff
+    } else {
+        (1u16 << width) - 1
+    };
+    let cs = _mm512_maskz_loadu_epi32(mask, b.col_sums.as_ptr().add(js));
+    let corr = _mm512_slli_epi32::<7>(cs);
+    for (r, accr) in acc.iter().enumerate() {
+        let cp = c.as_mut_ptr().add((i0 + r) * n + js);
+        let cv = _mm512_maskz_loadu_epi32(mask, cp);
+        // Undo the u8 bias: Σ(a+128)·b − 128·S_j = Σ a·b.
+        let sum = _mm512_add_epi32(cv, _mm512_sub_epi32(*accr, corr));
+        _mm512_mask_storeu_epi32(cp, mask, sum);
     }
 }
 

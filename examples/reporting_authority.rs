@@ -75,11 +75,7 @@ fn main() {
                 if i % 11 != oi {
                     continue; // observers sample different instants
                 }
-                if let Some(report) = pipeline
-                    .vehigan
-                    .check_vehicle(pseudonym, &snapshot)
-                    .unwrap()
-                {
+                if let Some(report) = pipeline.vehigan.check_vehicle(pseudonym, snapshot).unwrap() {
                     let mbr = Mbr {
                         reporter: observer,
                         suspect: report.vehicle,

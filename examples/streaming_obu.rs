@@ -1,28 +1,49 @@
-//! Streaming OBU: the testing-phase deployment loop (§III-A.2).
+//! Streaming OBU/RSU: the testing-phase deployment loop (§III-A.2),
+//! served through the `vehigan::serve` streaming data plane.
 //!
 //! ```text
 //! cargo run --release --example streaming_obu
 //! ```
 //!
-//! Simulates an on-board unit receiving interleaved BSMs from nearby
-//! vehicles (one of which misbehaves), maintaining the latest-w window per
-//! pseudonym, scoring each refresh with the randomized ensemble, and
-//! emitting misbehavior reports — plus the quantized lite path for
-//! constrained hardware.
+//! Simulates a roadside unit receiving interleaved BSMs from nearby
+//! vehicles (one of which misbehaves). Instead of scoring each window
+//! refresh one vehicle at a time, the `StreamServer` shards per-pseudonym
+//! window state, batches every window completed in a radio tick across
+//! vehicles, screens the batch with the fused int8 tier-1 gate, and
+//! escalates only suspicious windows to the full f32 ensemble.
+//!
+//! The pre-serve, single-vehicle-at-a-time loop this replaces looked
+//! like this (kept for reference — it still works, and the determinism
+//! test in `crates/serve/tests/determinism.rs` proves the served path is
+//! bitwise identical to it):
+//!
+//! ```ignore
+//! let mut tracker = StreamTracker::new(w, pipeline.scaler.clone());
+//! for bsm in &inbox {
+//!     if let Some(snapshot) = tracker.push(bsm) {
+//!         if let Some(report) = pipeline
+//!             .vehigan
+//!             .check_vehicle(bsm.vehicle_id, snapshot)
+//!             .unwrap()
+//!         {
+//!             // one misbehavior report per flagged window refresh
+//!         }
+//!     }
+//! }
+//! ```
 
 use std::collections::HashMap;
 use vehigan::core::{Pipeline, PipelineConfig};
-use vehigan::features::StreamTracker;
-use vehigan::lite::LiteCritic;
+use vehigan::serve::{escalation_threshold, EscalationPolicy, ServerConfig, StreamServer};
 use vehigan::sim::{Bsm, VehicleId};
 use vehigan::tensor::init::seeded_rng;
 use vehigan::vasp::{inject, Attack, AttackParams, AttackPolicy};
 
 fn main() {
-    println!("=== VehiGAN streaming OBU demo ===\n");
+    println!("=== VehiGAN streaming serve demo ===\n");
     println!("[setup] training the detector…");
     let mut pipeline = Pipeline::run(PipelineConfig::demo());
-    let w = 10;
+    pipeline.compile_int8().expect("int8 backend compiles");
 
     // Build the radio environment: the held-out fleet, with vehicle 0
     // replaced by a misbehaving sender (coherent fake turn, Fig 1b).
@@ -43,48 +64,69 @@ fn main() {
     );
 
     // Interleave all messages by timestamp, as the radio would deliver.
-    let mut inbox: Vec<&Bsm> = attacked
+    let mut inbox: Vec<Bsm> = attacked
         .trace
         .bsms
         .iter()
         .chain(fleet[1..].iter().flat_map(|t| &t.bsms))
+        .copied()
         .collect();
-    inbox.sort_by(|a, b| a.timestamp.partial_cmp(&b.timestamp).expect("finite time"));
+    inbox.sort_by(|a, b| {
+        a.timestamp
+            .partial_cmp(&b.timestamp)
+            .expect("finite time")
+            .then(a.vehicle_id.cmp(&b.vehicle_id))
+    });
 
-    // The OBU loop: window maintenance + randomized-ensemble scoring.
-    let mut tracker = StreamTracker::new(w, pipeline.scaler.clone());
+    // Calibrate the tier-1 escalation cutoff on benign training windows:
+    // windows whose int8 gate score clears the 90th benign percentile are
+    // re-scored by the full f32 ensemble (DESIGN.md §10).
+    let k = pipeline.vehigan.k();
+    let members: Vec<usize> = (0..k).collect();
+    let gate = pipeline
+        .vehigan
+        .score_with_members_int8(&members, &pipeline.train_windows.x)
+        .expect("gate scores");
+    let tau_esc = escalation_threshold(&gate.scores, 90.0);
+    println!("[setup] int8 gate over {k} members, escalation cutoff τ_esc = {tau_esc:.4}\n");
+
+    // The serve loop: ingest each radio tick as one batch, then score
+    // every window completed that tick across all vehicles at once.
+    let mut server = StreamServer::new(
+        &pipeline.vehigan,
+        pipeline.scaler.clone(),
+        ServerConfig {
+            n_shards: 2,
+            policy: EscalationPolicy::Threshold(tau_esc),
+            members: Some(members.clone()),
+            gate_members: Some(members),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server builds");
     let mut reports: HashMap<VehicleId, usize> = HashMap::new();
-    let mut checks: HashMap<VehicleId, usize> = HashMap::new();
+    let mut windows: HashMap<VehicleId, usize> = HashMap::new();
     let mut first_detection: Option<(VehicleId, f64)> = None;
-    // Score every 5th refresh per vehicle to keep the demo fast.
-    let mut refresh_count: HashMap<VehicleId, usize> = HashMap::new();
-    for bsm in &inbox {
-        if let Some(snapshot) = tracker.push(bsm) {
-            let c = refresh_count.entry(bsm.vehicle_id).or_insert(0);
-            *c += 1;
-            if !(*c).is_multiple_of(5) {
-                continue;
-            }
-            *checks.entry(bsm.vehicle_id).or_insert(0) += 1;
-            if let Some(report) = pipeline
-                .vehigan
-                .check_vehicle(bsm.vehicle_id, &snapshot)
-                .unwrap()
-            {
-                *reports.entry(report.vehicle).or_insert(0) += 1;
-                if first_detection.is_none() && report.vehicle == attacker_id {
-                    first_detection = Some((report.vehicle, bsm.timestamp));
+    for tick in inbox.chunks(64) {
+        server.ingest_batch(tick);
+        for decision in server.tick().expect("tick scores") {
+            *windows.entry(decision.vehicle).or_insert(0) += 1;
+            if decision.flagged {
+                *reports.entry(decision.vehicle).or_insert(0) += 1;
+                if first_detection.is_none() && decision.vehicle == attacker_id {
+                    first_detection = Some((decision.vehicle, decision.timestamp));
                 }
             }
         }
     }
+    let stats = server.stats();
 
-    println!("per-vehicle report rates (reports / scored windows):");
-    let mut ids: Vec<VehicleId> = checks.keys().copied().collect();
+    println!("per-vehicle report rates (flagged / scored windows):");
+    let mut ids: Vec<VehicleId> = windows.keys().copied().collect();
     ids.sort();
     for id in ids {
         let r = reports.get(&id).copied().unwrap_or(0);
-        let c = checks[&id];
+        let c = windows[&id];
         let marker = if id == attacker_id {
             "  << attacker"
         } else {
@@ -92,26 +134,18 @@ fn main() {
         };
         println!("  {id}: {r:>4}/{c}{marker}");
     }
+    println!(
+        "\nserved {} BSMs, scored {} windows, escalated {} ({:.1}%) to the f32 ensemble",
+        stats.ingested,
+        stats.windows_scored,
+        stats.escalated,
+        100.0 * stats.escalated as f64 / stats.windows_scored.max(1) as f64
+    );
     match first_detection {
         Some((id, t)) => {
-            println!("\nfirst MBR for {id} at t = {t:.1}s (attack active from its first message)")
+            println!("first MBR for {id} at t = {t:.1}s (attack active from its first message)")
         }
-        None => println!("\nno MBR raised for the attacker — try a larger training scale"),
-    }
-
-    // Lite path: the same critics, quantized and fused for constrained OBUs.
-    println!("\n[lite] compiling the deployed critics for the int8 path…");
-    let member = &pipeline.vehigan.members()[0];
-    let mut lite = LiteCritic::compile(member.wgan.critic(), (10, 12, 1)).expect("critic compiles");
-    println!("       {lite:?}");
-    // Last push may be mid-warmup for that vehicle; skip the demo score then.
-    let snapshot = tracker.push(inbox.last().expect("nonempty inbox"));
-    if let Some(snap) = snapshot {
-        let s = lite.score(snap.as_slice());
-        println!(
-            "       lite anomaly score of the final window: {s:.4} (τ = {:.4})",
-            member.threshold
-        );
+        None => println!("no MBR raised for the attacker — try a larger training scale"),
     }
     println!("\ndone.");
 }

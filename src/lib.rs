@@ -16,6 +16,7 @@
 //! | [`baselines`] | `vehigan-baselines` | PCA/KNN/GMM/AE comparison detectors |
 //! | [`lite`] | `vehigan-lite` | quantized OBU inference (TFLite substitute) |
 //! | [`mbr`] | `vehigan-mbr` | misbehavior reports, authority, CRL, pseudonym linkage |
+//! | [`serve`] | `vehigan-serve` | RSU streaming service: sharded state, batched two-tier scoring |
 //! | [`tensor`] | `vehigan-tensor` | CPU DL stack with exact backprop |
 //!
 //! # Quickstart
@@ -44,6 +45,7 @@ pub use vehigan_features as features;
 pub use vehigan_lite as lite;
 pub use vehigan_mbr as mbr;
 pub use vehigan_metrics as metrics;
+pub use vehigan_serve as serve;
 pub use vehigan_sim as sim;
 pub use vehigan_tensor as tensor;
 pub use vehigan_vasp as vasp;

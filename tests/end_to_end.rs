@@ -211,7 +211,7 @@ fn streaming_detection_flags_the_attacker_not_the_honest() {
                 }
                 scored[slot] += 1;
                 if p.vehigan
-                    .check_vehicle(bsm.vehicle_id, &snapshot)
+                    .check_vehicle(bsm.vehicle_id, snapshot)
                     .unwrap()
                     .is_some()
                 {
@@ -238,7 +238,7 @@ fn streaming_detection_flags_the_attacker_not_the_honest() {
                 if i % 7 != 0 {
                     continue;
                 }
-                let r = p.vehigan.score_with_members(&members, &snapshot).unwrap();
+                let r = p.vehigan.score_with_members(&members, snapshot).unwrap();
                 sums[slot] += r.scores[0] as f64;
                 counts[slot] += 1;
             }

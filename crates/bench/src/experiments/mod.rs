@@ -13,5 +13,6 @@ pub mod gemmbench;
 pub mod probe;
 pub mod quant;
 pub mod resume;
+pub mod slo;
 pub mod stream;
 pub mod table3;

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: `campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a
-//! fig7b fig8 gemm quant resume stream table3 all`.
+//! fig7b fig8 gemm quant resume slo stream table3 all`.
 //!
 //! `--resume <dir>` makes zoo training crash-safe: every finished model is
 //! checkpointed in `<dir>` (and the in-flight training group at every
@@ -20,9 +20,10 @@
 //! simulate a kill; the `resume` experiment uses the same machinery to
 //! prove kill/resume bitwise equivalence end to end.
 //! `--vehicles N` / `--duration S` size the simulated traffic the `stream`
-//! experiment drives through the serve data plane (defaults: 10000
-//! vehicles, 2.0 s — the committed city-scale configuration; CI smokes a
-//! few hundred vehicles).
+//! and `slo` experiments drive through the serve data plane (defaults:
+//! 10000 vehicles, 2.0 s — the committed city-scale configuration; CI
+//! smokes a few hundred vehicles; `slo` floors the duration at 4 s so the
+//! steady phase is measurable before its overload burst).
 
 use std::path::PathBuf;
 use vehigan_bench::experiments::{
@@ -33,7 +34,7 @@ use vehigan_bench::harness::{Harness, Scale};
 fn usage() -> ! {
     eprintln!(
         "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>] [--retry-quarantined] [--stop-after-groups N] [--vehicles N] [--duration S]\n\
-         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm quant resume stream table3 adv ablation probe all"
+         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm quant resume slo stream table3 adv ablation probe all"
     );
     std::process::exit(2);
 }
@@ -129,7 +130,7 @@ fn main() {
     // the harness they would never use.
     const TRAINED: &[&str] = &[
         "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "table3", "quant",
-        "stream", "adv", "all",
+        "slo", "stream", "adv", "all",
     ];
     if !TRAINED.contains(&experiment) {
         usage();
@@ -152,6 +153,7 @@ fn main() {
         }
         "table3" => table3::run(&mut harness),
         "quant" => vehigan_bench::experiments::quant::run(&mut harness),
+        "slo" => vehigan_bench::experiments::slo::run(&mut harness, vehicles, duration_s),
         "stream" => vehigan_bench::experiments::stream::run(&mut harness, vehicles, duration_s),
         // Composite: all adversarial experiments on one trained harness.
         "adv" => {
@@ -189,6 +191,8 @@ fn main() {
             vehigan_bench::experiments::quant::run(&mut harness);
             section("Streaming service");
             vehigan_bench::experiments::stream::run(&mut harness, vehicles, duration_s);
+            section("Serving SLO");
+            vehigan_bench::experiments::slo::run(&mut harness, vehicles, duration_s);
         }
         _ => usage(),
     }

@@ -241,6 +241,12 @@ pub struct VehiGan {
     /// Compiled int8 sidecar ([`VehiGan::compile_int8`]); `None` until
     /// compiled, stale if member critics are mutated afterwards.
     int8: Option<crate::int8::Int8Backend>,
+    /// Fault-injection bitmask ([`VehiGan::chaos_poison_member`]): bit
+    /// `i` set forces member `i`'s score vectors to NaN on both scoring
+    /// backends, exercising the non-finite drop machinery end to end.
+    /// Atomic so the serve plane's chaos harness can flip it through a
+    /// shared `&VehiGan`. Always zero outside fault-injection runs.
+    chaos_poison: std::sync::atomic::AtomicU64,
 }
 
 impl std::fmt::Debug for VehiGan {
@@ -277,7 +283,37 @@ impl VehiGan {
             k,
             rng: StdRng::seed_from_u64(seed),
             int8: None,
+            chaos_poison: std::sync::atomic::AtomicU64::new(0),
         })
+    }
+
+    /// Fault-injection hook for chaos testing: while set, member
+    /// `index`'s score vectors are overwritten with NaN *before* the
+    /// non-finite filter on both scoring backends, so the member is
+    /// dropped from the reduction exactly as a genuinely poisoned member
+    /// would be (recorded in [`EnsembleScore::dropped`]). Takes `&self`
+    /// (atomic) so a running serve plane holding a shared reference can
+    /// inject and clear faults mid-flight. Limited to the first 64
+    /// members — far above any deployed `m`.
+    ///
+    /// This simulates the *output* corruption path (bad weights, bad
+    /// activation scales, hardware faults); it never mutates weights, so
+    /// clearing the flag restores bitwise-identical scoring immediately.
+    pub fn chaos_poison_member(&self, index: usize, poisoned: bool) {
+        use std::sync::atomic::Ordering;
+        assert!(index < 64, "chaos poison mask covers members 0..64");
+        let bit = 1u64 << index;
+        if poisoned {
+            self.chaos_poison.fetch_or(bit, Ordering::Relaxed);
+        } else {
+            self.chaos_poison.fetch_and(!bit, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether [`VehiGan::chaos_poison_member`] is active for `index`.
+    pub fn member_poisoned(&self, index: usize) -> bool {
+        use std::sync::atomic::Ordering;
+        index < 64 && self.chaos_poison.load(Ordering::Relaxed) & (1u64 << index) != 0
     }
 
     /// The number of candidate members `m`.
@@ -422,6 +458,12 @@ impl VehiGan {
             let member = &self.members[i];
             panic::catch_unwind(AssertUnwindSafe(|| member.wgan.score_batch(x)))
                 .ok()
+                .map(|mut scores| {
+                    if self.member_poisoned(i) {
+                        scores.fill(f32::NAN);
+                    }
+                    scores
+                })
                 .filter(|scores| scores.iter().all(|s| s.is_finite()))
         };
         let per_member: Vec<Option<Vec<f32>>> = if indices.len() == 1 {

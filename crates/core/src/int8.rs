@@ -212,7 +212,19 @@ impl VehiGan {
             x.shape(),
             backend.input_len
         );
-        let per_member = backend.member_scores(indices, x.as_slice(), n);
+        let mut per_member = backend.member_scores(indices, x.as_slice(), n);
+        // Chaos fault injection (see [`VehiGan::chaos_poison_member`]):
+        // overwrite the poisoned member's scores with NaN and re-apply
+        // the same finiteness filter `member_scores` uses, so the drop
+        // machinery is exercised identically to a real poisoning.
+        for (slot, &i) in per_member.iter_mut().zip(indices) {
+            if self.member_poisoned(i) {
+                if let Some(scores) = slot.as_mut() {
+                    scores.fill(f32::NAN);
+                }
+                *slot = slot.take().filter(|s| s.iter().all(|v| v.is_finite()));
+            }
+        }
         self.reduce_member_scores(indices, &per_member, n)
     }
 

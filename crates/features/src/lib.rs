@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod decompose;
+mod ingest;
 mod scaler;
 mod stream;
 mod window;
@@ -41,8 +42,9 @@ pub use decompose::{
     decompose_pair, decompose_trace, raw_row, raw_trace, FeatureRow, FEATURE_NAMES, NUM_FEATURES,
     NUM_RAW_FEATURES,
 };
+pub use ingest::{FieldLimits, IngestGuard, RejectCounters, RejectReason};
 pub use scaler::MinMaxScaler;
-pub use stream::{EvictionConfig, StreamTracker, WindowBuffer};
+pub use stream::{lru_key, EvictionConfig, StreamTracker, WindowBuffer};
 pub use window::{
     assemble_fragments, build_fragment, build_windows, build_windows_from_rows, engineer_rows,
     engineer_trace, fit_scaler, fit_scaler_from_rows, Representation, TraceRows, WindowConfig,

@@ -151,6 +151,21 @@ impl WindowBuffer {
     }
 }
 
+/// LRU ordering key for a `last_seen` timestamp: a NaN (a non-finite
+/// timestamp that slipped past upstream validation) is treated as
+/// "freshness unknown" and ordered *before* every real timestamp, so the
+/// poisoned vehicle is the first eviction victim instead of panicking
+/// the sweep (`partial_cmp().unwrap()`) or becoming immortal (raw
+/// `total_cmp`, which sorts NaN after +∞). Used by both the tracker and
+/// the serve shards so the two eviction paths agree.
+pub fn lru_key(last_seen: f64) -> f64 {
+    if last_seen.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        last_seen
+    }
+}
+
 /// Per-vehicle window buffers keyed by pseudonym, with optional TTL/LRU
 /// eviction so city-scale pseudonym churn cannot grow state unboundedly.
 #[derive(Debug)]
@@ -204,8 +219,8 @@ impl StreamTracker {
             let victim = self
                 .buffers
                 .iter()
-                .map(|(&id, b)| (b.last_seen(), id))
-                .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+                .map(|(&id, b)| (lru_key(b.last_seen()), id))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
                 .map(|(_, id)| id);
             match victim {
                 Some(id) => {
@@ -426,6 +441,68 @@ mod tests {
         unbounded.push(&a);
         assert_eq!(unbounded.evict_stale(1e9), 0);
         assert_eq!(unbounded.num_vehicles(), 1);
+    }
+
+    #[test]
+    fn buffer_accepts_out_of_order_and_duplicate_timestamps_verbatim() {
+        // Pin the raw WindowBuffer contract: it performs NO ordering or
+        // duplicate checks. An out-of-order or duplicate-timestamp BSM
+        // is ingested like any other (rows are computed from consecutive
+        // *arrivals*, not timestamps) and `last_seen` tracks the most
+        // recent *push*, even backwards. Rejection is the caller's job —
+        // the serve shards run an `IngestGuard` in front of this buffer.
+        let (fleet, scaler) = setup();
+        let mut buf = WindowBuffer::new(10, scaler);
+        for bsm in fleet[0].iter().take(12) {
+            buf.push(bsm);
+        }
+        assert_eq!(buf.len(), 10);
+        let before = buf.snapshot_slice().unwrap().to_vec();
+
+        // Duplicate timestamp: accepted, refreshes the snapshot.
+        let dup = fleet[0].bsms[11];
+        assert!(buf.push(&dup).is_some());
+        assert_eq!(buf.last_seen(), dup.timestamp);
+        let after_dup = buf.snapshot_slice().unwrap().to_vec();
+        assert_ne!(before, after_dup, "duplicate push must shift the ring");
+
+        // Out-of-order (older) timestamp: accepted, last_seen moves
+        // backwards — exactly the poisoned state the guard prevents.
+        let old = fleet[0].bsms[0];
+        assert!(buf.push(&old).is_some());
+        assert_eq!(buf.last_seen(), old.timestamp);
+        assert!(buf.last_seen() < dup.timestamp);
+    }
+
+    #[test]
+    fn lru_eviction_survives_nan_last_seen() {
+        // A NaN timestamp that reached a buffer must not panic the LRU
+        // sweep, and the poisoned vehicle (freshness unknown) must be
+        // the first eviction victim — not immortal.
+        let (fleet, scaler) = setup();
+        let mut tracker = StreamTracker::with_eviction(
+            10,
+            scaler,
+            EvictionConfig {
+                max_vehicles: Some(2),
+                ttl_s: None,
+            },
+        );
+        let mut nan_bsm = fleet[0].bsms[0];
+        nan_bsm.timestamp = f64::NAN;
+        tracker.push(&nan_bsm);
+        let mut fresh = fleet[1].bsms[0];
+        fresh.timestamp = 5.0;
+        tracker.push(&fresh);
+        let mut newcomer = fleet[2].bsms[0];
+        newcomer.timestamp = 6.0;
+        tracker.push(&newcomer); // must not panic
+        assert_eq!(tracker.num_vehicles(), 2);
+        assert_eq!(tracker.evicted(), 1);
+        assert!(
+            !tracker.buffers.contains_key(&fleet[0].id),
+            "the NaN-stamped vehicle must be the eviction victim"
+        );
     }
 
     #[test]

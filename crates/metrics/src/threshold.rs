@@ -5,12 +5,20 @@
 //! parameter between 99 and 99.99; the adversarial-robustness experiments
 //! use p = 99 so the un-attacked FPR stays below 1%.
 
-/// The `p`-th percentile of `values` by linear interpolation between order
-/// statistics (the same convention as NumPy's default).
+/// The `p`-th percentile of the **finite** values in `values` by linear
+/// interpolation between order statistics (the same convention as
+/// NumPy's default).
+///
+/// Non-finite values (NaN, ±∞) are ignored: a poisoned score vector — a
+/// member returning NaN mid-flight, an overflowed benign calibration
+/// batch — must not be able to panic threshold selection or smuggle a
+/// NaN into τ, because every downstream `score > τ` comparison would
+/// then silently evaluate to `false` and the detector would go blind.
 ///
 /// # Panics
 ///
-/// Panics if `values` is empty, contains NaN, or `p` is outside `[0, 100]`.
+/// Panics if `values` contains no finite value, or `p` is outside
+/// `[0, 100]`.
 ///
 /// # Examples
 ///
@@ -20,12 +28,17 @@
 /// assert_eq!(percentile(&v, 0.0), 1.0);
 /// assert_eq!(percentile(&v, 100.0), 4.0);
 /// assert_eq!(percentile(&v, 50.0), 2.5);
+/// // NaN poisoning is ignored, not propagated:
+/// assert_eq!(percentile(&[1.0, f32::NAN, 3.0], 100.0), 3.0);
 /// ```
 pub fn percentile(values: &[f32], p: f64) -> f32 {
-    assert!(!values.is_empty(), "percentile of an empty slice");
     assert!((0.0..=100.0).contains(&p), "p must be in [0, 100], got {p}");
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN scores"));
+    let mut sorted: Vec<f32> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    assert!(
+        !sorted.is_empty(),
+        "percentile of an empty slice (no finite values)"
+    );
+    sorted.sort_by(f32::total_cmp);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -73,9 +86,38 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_values_are_ignored() {
+        // A poisoned benign-score vector must yield the same threshold
+        // as its finite subset — never a panic, never a NaN τ.
+        let clean = [5.0f32, 1.0, 3.0, 2.0, 4.0];
+        let poisoned = [
+            5.0f32,
+            f32::NAN,
+            1.0,
+            f32::INFINITY,
+            3.0,
+            2.0,
+            f32::NEG_INFINITY,
+            4.0,
+            f32::NAN,
+        ];
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            let tau = percentile(&poisoned, p);
+            assert!(tau.is_finite());
+            assert_eq!(tau, percentile(&clean, p), "p={p}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "empty")]
     fn empty_panics() {
         let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite values")]
+    fn all_nan_panics_with_typed_message() {
+        let _ = percentile(&[f32::NAN, f32::NAN], 50.0);
     }
 
     #[test]

@@ -1,0 +1,491 @@
+//! Deterministic fault injection for the stream plane (DESIGN.md §11).
+//!
+//! A [`FaultPlan`] is a seeded, tick-indexed schedule of every fault
+//! class the serve plane defends against:
+//!
+//! - **member poisoning** — an ensemble member's scores go NaN for a
+//!   range of ticks (via [`VehiGan::chaos_poison_member`]), exercising
+//!   per-batch member dropping and [`MemberHealth`] probation;
+//! - **shard-ingest panics** — a shard's ingest worker panics before
+//!   touching state (via [`StreamServer::chaos_panic_on_ingest`]),
+//!   exercising panic capture and zero-loss resume;
+//! - **malformed bursts** — BSMs with non-finite or out-of-range fields
+//!   spoofing real pseudonyms, exercising the ingest guard (the plan
+//!   assumes a guard with [`FieldLimits::rsu`]-style range limits — a
+//!   limitless guard would *accept* the out-of-range portion);
+//! - **replay/clock-skew bursts** — copies of in-flight messages with
+//!   timestamps shifted into the past, modeling a replaying attacker or
+//!   a sender with a lagging clock, exercising staleness rejection;
+//! - **overload bursts** — time compression: `multiplier` tick-slices
+//!   of traffic delivered per server tick, exercising admission
+//!   control, shedding, and degraded-mode tiering.
+//!
+//! All injection is derived from the plan's seed and tick indices —
+//! never from wall clock or a global RNG — so a chaos run is exactly
+//! reproducible, which is what lets `tests/chaos.rs` assert the server
+//! returns to **bitwise-identical** scoring after the faults clear.
+//!
+//! Injected faults are always *additions* to the real stream (extra
+//! messages, transient flags), never mutations of it: every real BSM is
+//! still delivered, in order, exactly once. Since rejected messages
+//! touch no window state and captured panics lose no messages, the
+//! per-vehicle window sequence under faults is identical to the healthy
+//! run — the invariant the recovery assertion rests on.
+//!
+//! [`VehiGan::chaos_poison_member`]: vehigan_core::VehiGan::chaos_poison_member
+//! [`MemberHealth`]: crate::health::MemberHealth
+//! [`FieldLimits::rsu`]: vehigan_features::FieldLimits::rsu
+
+use crate::server::{Decision, ServeMode, ServerStats, StreamServer};
+use vehigan_features::RejectCounters;
+use vehigan_sim::{Bsm, BSM_INTERVAL_S};
+
+/// Splitmix64: a tiny, seedable, allocation-free PRNG. Used instead of
+/// the `rand` crate so fault generation is a pure function of the plan
+/// seed with no dependency on RNG crate versioning.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be positive.
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// A member-poisoning window: `member` returns NaN scores for server
+/// ticks in `[from, to]` (0-based, inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberPoison {
+    /// Global ensemble member index.
+    pub member: usize,
+    /// First poisoned tick.
+    pub from: u64,
+    /// Last poisoned tick.
+    pub to: u64,
+}
+
+/// A tick-indexed, seeded fault schedule. Build with the chainable
+/// `with_*` methods; run with [`ChaosRunner`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for malformed/replay message generation.
+    pub seed: u64,
+    /// Member NaN-poisoning windows.
+    pub member_poison: Vec<MemberPoison>,
+    /// `(tick, shard)` injected ingest-worker panics.
+    pub shard_panics: Vec<(u64, usize)>,
+    /// `(tick, count)` malformed-BSM bursts.
+    pub malformed_bursts: Vec<(u64, u32)>,
+    /// `(tick, count, skew_s)` replay bursts: copies of in-flight
+    /// messages shifted `skew_s` seconds into the past.
+    pub replay_bursts: Vec<(u64, u32, f64)>,
+    /// `(from, to, multiplier)` overload windows: deliver `multiplier`
+    /// tick-slices of traffic per server tick (inclusive tick range).
+    pub overload: Vec<(u64, u64, usize)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (a healthy run) with the given generation seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Poisons `member`'s scores to NaN for ticks `[from, to]`.
+    pub fn with_member_poison(mut self, member: usize, from: u64, to: u64) -> Self {
+        self.member_poison.push(MemberPoison { member, from, to });
+        self
+    }
+
+    /// Panics `shard`'s ingest worker at `tick` (before it touches
+    /// state, so no messages are lost).
+    pub fn with_shard_panic(mut self, tick: u64, shard: usize) -> Self {
+        self.shard_panics.push((tick, shard));
+        self
+    }
+
+    /// Injects `count` malformed BSMs (non-finite and out-of-range
+    /// fields, spoofing live pseudonyms) at `tick`.
+    pub fn with_malformed_burst(mut self, tick: u64, count: u32) -> Self {
+        self.malformed_bursts.push((tick, count));
+        self
+    }
+
+    /// Injects `count` replayed copies of live messages at `tick`, each
+    /// shifted `skew_s` seconds into the past (`skew_s >= 0`).
+    pub fn with_replay_burst(mut self, tick: u64, count: u32, skew_s: f64) -> Self {
+        assert!(skew_s >= 0.0, "replay skew must shift into the past");
+        self.replay_bursts.push((tick, count, skew_s));
+        self
+    }
+
+    /// Delivers `multiplier`× traffic for ticks `[from, to]`.
+    pub fn with_overload(mut self, from: u64, to: u64, multiplier: usize) -> Self {
+        assert!(multiplier >= 1, "overload multiplier must be at least 1");
+        self.overload.push((from, to, multiplier));
+        self
+    }
+
+    /// Traffic multiplier in effect at `tick` (1 outside overload
+    /// windows).
+    pub fn multiplier_at(&self, tick: u64) -> usize {
+        self.overload
+            .iter()
+            .filter(|&&(from, to, _)| from <= tick && tick <= to)
+            .map(|&(_, _, m)| m)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Whether any fault is scheduled at `tick`.
+    pub fn faulty_at(&self, tick: u64) -> bool {
+        self.member_poison
+            .iter()
+            .any(|p| p.from <= tick && tick <= p.to)
+            || self.shard_panics.iter().any(|&(t, _)| t == tick)
+            || self.malformed_bursts.iter().any(|&(t, _)| t == tick)
+            || self.replay_bursts.iter().any(|&(t, _, _)| t == tick)
+            || self.multiplier_at(tick) > 1
+    }
+
+    /// The last tick with any scheduled fault (0 for an empty plan).
+    /// Queue pressure can outlive this tick while backlog drains.
+    pub fn last_fault_tick(&self) -> u64 {
+        let mut last = 0;
+        for p in &self.member_poison {
+            last = last.max(p.to);
+        }
+        for &(t, _) in &self.shard_panics {
+            last = last.max(t);
+        }
+        for &(t, _) in &self.malformed_bursts {
+            last = last.max(t);
+        }
+        for &(t, _, _) in &self.replay_bursts {
+            last = last.max(t);
+        }
+        for &(_, to, _) in &self.overload {
+            last = last.max(to);
+        }
+        last
+    }
+
+    /// Every member index mentioned in a poisoning window.
+    fn poisoned_members(&self) -> Vec<usize> {
+        let mut m: Vec<usize> = self.member_poison.iter().map(|p| p.member).collect();
+        m.sort_unstable();
+        m.dedup();
+        m
+    }
+}
+
+/// What happened on one server tick of a chaos run.
+#[derive(Debug, Clone)]
+pub struct TickRecord {
+    /// 0-based server tick index (matches the plan's tick indexing).
+    pub tick: u64,
+    /// Real traffic tick-slices delivered (>1 during overload).
+    pub slices: usize,
+    /// Malformed BSMs injected this tick.
+    pub injected_malformed: u64,
+    /// Replayed BSMs injected this tick.
+    pub injected_replays: u64,
+    /// Whether a shard panic was injected this tick.
+    pub panic_injected: bool,
+    /// Whether any member was poisoned this tick.
+    pub poison_active: bool,
+    /// Whether the plan scheduled *any* fault this tick.
+    pub faulted: bool,
+    /// Guard rejections during this tick's ingest.
+    pub rejected: RejectCounters,
+    /// Windows shed during this tick's ingest (queue bounds).
+    pub shed: u64,
+    /// Shards whose ingest worker panicked (captured).
+    pub panicked_shards: Vec<usize>,
+    /// Windows still queued after the tick (backlog under pressure).
+    pub pending_after: usize,
+    /// Server mode after the tick.
+    pub mode_after: ServeMode,
+    /// Members still benched by health probation after the tick.
+    pub benched_after: Vec<usize>,
+    /// Decisions emitted, or the typed scoring error's rendering.
+    pub outcome: Result<Vec<Decision>, String>,
+}
+
+/// The full trace of a chaos run. The runner returning at all is the
+/// liveness assertion: every fault was absorbed without the server
+/// process going down.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Per-tick trace, in tick order (includes post-stream drain ticks).
+    pub ticks: Vec<TickRecord>,
+    /// Server counters at the end of the run.
+    pub stats: ServerStats,
+}
+
+impl ChaosReport {
+    /// All decisions across the run, flattened in tick order.
+    pub fn decisions(&self) -> Vec<Decision> {
+        self.ticks
+            .iter()
+            .filter_map(|t| t.outcome.as_ref().ok())
+            .flatten()
+            .copied()
+            .collect()
+    }
+
+    /// Ticks whose scoring returned a typed error.
+    pub fn errored_ticks(&self) -> Vec<u64> {
+        self.ticks
+            .iter()
+            .filter(|t| t.outcome.is_err())
+            .map(|t| t.tick)
+            .collect()
+    }
+}
+
+/// Drives a [`StreamServer`] through a BSM stream while injecting a
+/// [`FaultPlan`]'s faults at their scheduled ticks.
+pub struct ChaosRunner {
+    plan: FaultPlan,
+}
+
+impl ChaosRunner {
+    /// Creates a runner for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        ChaosRunner { plan }
+    }
+
+    /// Runs `server` over `stream` (timestamp-sorted, 10 Hz cadence),
+    /// one server tick per [`BSM_INTERVAL_S`] slice of traffic —
+    /// compressed to `multiplier` slices per tick during overload —
+    /// then keeps ticking until all backlog drains (bounded at 1024
+    /// drain ticks). Poison flags are always cleared before returning.
+    pub fn run(&self, server: &mut StreamServer<'_>, stream: &[Bsm]) -> ChaosReport {
+        let slices = slice_stream(stream);
+        let poisoned = self.plan.poisoned_members();
+        let mut rng = SplitMix64(self.plan.seed ^ 0xC3A5_C85C_97CB_3127);
+        let mut ticks = Vec::new();
+        let mut cursor = 0usize;
+        let mut tick = 0u64;
+        let mut drain_ticks = 0u32;
+        loop {
+            let mult = self.plan.multiplier_at(tick);
+            let mut batch: Vec<Bsm> = Vec::new();
+            let mut consumed = 0usize;
+            while consumed < mult && cursor < slices.len() {
+                batch.extend_from_slice(&slices[cursor]);
+                cursor += 1;
+                consumed += 1;
+            }
+            if consumed == 0 {
+                // Stream exhausted: drain remaining backlog.
+                if server.pending_windows() == 0 || drain_ticks >= 1024 {
+                    break;
+                }
+                drain_ticks += 1;
+            }
+
+            for &m in &poisoned {
+                let active = self
+                    .plan
+                    .member_poison
+                    .iter()
+                    .any(|p| p.member == m && p.from <= tick && tick <= p.to);
+                server.vehigan().chaos_poison_member(m, active);
+            }
+            let mut panic_injected = false;
+            for &(t, shard) in &self.plan.shard_panics {
+                if t == tick {
+                    server.chaos_panic_on_ingest(shard);
+                    panic_injected = true;
+                }
+            }
+
+            let mut injected_malformed = 0u64;
+            let mut injected_replays = 0u64;
+            // Injected messages are drawn from (and appended after) the
+            // tick's *real* traffic, so every original is processed
+            // before its corrupted copy and each copy's reject class is
+            // exact: malformed → NonFinite/OutOfRange, replay → Stale.
+            let real_len = batch.len();
+            if real_len > 0 {
+                for &(t, count) in &self.plan.malformed_bursts {
+                    if t == tick {
+                        for _ in 0..count {
+                            let mal = malform(&batch[rng.below(real_len)], &mut rng);
+                            batch.push(mal);
+                            injected_malformed += 1;
+                        }
+                    }
+                }
+                for &(t, count, skew) in &self.plan.replay_bursts {
+                    if t == tick {
+                        for _ in 0..count {
+                            let mut replay = batch[rng.below(real_len)];
+                            replay.timestamp -= skew;
+                            batch.push(replay);
+                            injected_replays += 1;
+                        }
+                    }
+                }
+            }
+
+            let report = server.ingest_batch(&batch);
+            let outcome = server.tick().map_err(|e| e.to_string());
+            ticks.push(TickRecord {
+                tick,
+                slices: consumed,
+                injected_malformed,
+                injected_replays,
+                panic_injected,
+                poison_active: poisoned.iter().any(|&m| {
+                    self.plan
+                        .member_poison
+                        .iter()
+                        .any(|p| p.member == m && p.from <= tick && tick <= p.to)
+                }),
+                faulted: self.plan.faulty_at(tick),
+                rejected: report.rejected,
+                shed: report.shed,
+                panicked_shards: report.panicked_shards,
+                pending_after: server.pending_windows(),
+                mode_after: server.mode(),
+                benched_after: server.benched_members(),
+                outcome,
+            });
+            tick += 1;
+        }
+        for &m in &poisoned {
+            server.vehigan().chaos_poison_member(m, false);
+        }
+        ChaosReport {
+            ticks,
+            stats: server.stats(),
+        }
+    }
+}
+
+/// Groups a timestamp-sorted stream into [`BSM_INTERVAL_S`] tick slices
+/// relative to the first message.
+fn slice_stream(stream: &[Bsm]) -> Vec<Vec<Bsm>> {
+    let mut slices: Vec<Vec<Bsm>> = Vec::new();
+    let Some(first) = stream.first() else {
+        return slices;
+    };
+    let t0 = first.timestamp;
+    for bsm in stream {
+        let idx = ((bsm.timestamp - t0) / BSM_INTERVAL_S).floor().max(0.0) as usize;
+        while slices.len() <= idx {
+            slices.push(Vec::new());
+        }
+        slices[idx].push(*bsm);
+    }
+    slices
+}
+
+/// Produces a malformed copy of a live message: spoofs the pseudonym
+/// with a slightly advanced timestamp and corrupts one field. Kinds 0–2
+/// are non-finite (rejected by any guard); kind 3 is finite but
+/// physically absurd (rejected only by a guard with range limits).
+fn malform(template: &Bsm, rng: &mut SplitMix64) -> Bsm {
+    let mut bsm = *template;
+    bsm.timestamp += BSM_INTERVAL_S * 0.25;
+    match rng.below(4) {
+        0 => bsm.pos_x = f64::NAN,
+        1 => bsm.speed = f64::INFINITY,
+        2 => bsm.yaw_rate = f64::NAN,
+        _ => bsm.speed = 900.0,
+    }
+    bsm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vehigan_sim::VehicleId;
+
+    #[test]
+    fn plan_schedule_queries() {
+        let plan = FaultPlan::new(7)
+            .with_member_poison(2, 10, 12)
+            .with_shard_panic(11, 0)
+            .with_malformed_burst(13, 5)
+            .with_replay_burst(14, 3, 2.0)
+            .with_overload(15, 16, 4);
+        assert_eq!(plan.multiplier_at(14), 1);
+        assert_eq!(plan.multiplier_at(15), 4);
+        assert_eq!(plan.multiplier_at(17), 1);
+        assert!(plan.faulty_at(10) && plan.faulty_at(16));
+        assert!(!plan.faulty_at(9) && !plan.faulty_at(17));
+        assert_eq!(plan.last_fault_tick(), 16);
+        assert_eq!(plan.poisoned_members(), vec![2]);
+    }
+
+    #[test]
+    fn malformed_messages_never_pass_an_rsu_guard() {
+        use vehigan_features::IngestGuard;
+        let template = Bsm {
+            vehicle_id: VehicleId(3),
+            timestamp: 5.0,
+            pos_x: 10.0,
+            pos_y: 20.0,
+            speed: 13.0,
+            acceleration: 0.2,
+            heading: 1.0,
+            yaw_rate: 0.05,
+        };
+        let guard = IngestGuard::rsu();
+        let mut rng = SplitMix64(1);
+        for _ in 0..64 {
+            let bad = malform(&template, &mut rng);
+            assert!(
+                guard.validate(&bad, None).is_err(),
+                "malformed message passed the guard: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_bounded() {
+        let (mut a, mut b) = (SplitMix64(42), SplitMix64(42));
+        for bound in [1usize, 2, 7, 1000] {
+            for _ in 0..32 {
+                let x = a.below(bound);
+                assert_eq!(x, b.below(bound));
+                assert!(x < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_slicing_groups_by_interval() {
+        let bsm = |t: f64| Bsm {
+            vehicle_id: VehicleId(1),
+            timestamp: t,
+            pos_x: 0.0,
+            pos_y: 0.0,
+            speed: 0.0,
+            acceleration: 0.0,
+            heading: 0.0,
+            yaw_rate: 0.0,
+        };
+        let stream = [bsm(1.0), bsm(1.05), bsm(1.1), bsm(1.35)];
+        let slices = slice_stream(&stream);
+        assert_eq!(slices.len(), 4);
+        assert_eq!(slices[0].len(), 2);
+        assert_eq!(slices[1].len(), 1);
+        assert_eq!(slices[2].len(), 0);
+        assert_eq!(slices[3].len(), 1);
+    }
+}

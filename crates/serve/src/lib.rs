@@ -19,21 +19,38 @@
 //! - **Bounded memory** — shards reuse the [`EvictionConfig`] TTL/LRU
 //!   policy from `vehigan-features`, and never evict a vehicle with
 //!   undrained pending windows.
+//! - **Overload resilience** (DESIGN.md §11) — an [`AdmissionConfig`]
+//!   window budget with bounded per-shard queues sheds the oldest
+//!   backlog deterministically under burst, and a [`ServeMode`]
+//!   hysteresis machine steps a `Threshold` policy down to gate-only
+//!   scoring while pressure is sustained.
+//! - **Fault resilience** — shard ingest guards
+//!   ([`vehigan_features::IngestGuard`]) reject malformed/stale BSMs
+//!   before they touch window state; panicking ingest workers are
+//!   captured and resumed; members returning non-finite scores are
+//!   benched and later reinstated ([`MemberHealth`]). The [`chaos`]
+//!   module drives all of these faults deterministically.
 //!
 //! Scoring is deterministic: shards are drained in index order, both
 //! scoring backends are batch-row independent, and the member subset is
 //! pinned at construction — so serve output is bitwise identical to the
 //! serial `StreamTracker` + `score_with_members` reference path (proven
-//! by `tests/determinism.rs`).
+//! by `tests/determinism.rs`), and a faulted server recovers to
+//! bitwise-identical scoring once its faults clear (proven by
+//! `tests/chaos.rs`).
 //!
 //! [`WindowBuffer`]: vehigan_features::WindowBuffer
 //! [`EvictionConfig`]: vehigan_features::EvictionConfig
 
+pub mod chaos;
+pub mod health;
 pub mod server;
 pub mod shard;
 
+pub use chaos::{ChaosReport, ChaosRunner, FaultPlan, TickRecord};
+pub use health::MemberHealth;
 pub use server::{
-    escalation_threshold, Decision, EscalationPolicy, ServeError, ServerConfig, ServerStats,
-    StreamServer, SCORE_TILE,
+    escalation_threshold, AdmissionConfig, Decision, EscalationPolicy, IngestReport, ServeError,
+    ServeMode, ServerConfig, ServerStats, StreamServer, SCORE_TILE,
 };
 pub use shard::{shard_for, PendingWindow, Shard};

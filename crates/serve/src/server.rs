@@ -6,14 +6,23 @@
 //! 1. **Ingest** — [`StreamServer::ingest_batch`] partitions incoming
 //!    BSMs by [`shard_for`] and runs every non-empty shard on its own
 //!    scoped thread. A vehicle maps to exactly one shard, so its
-//!    messages are always processed in arrival order.
-//! 2. **Drain** — [`StreamServer::tick`] drains each shard's pending
-//!    queue in shard-index order (deterministic regardless of ingest
-//!    thread scheduling) and packs all ready snapshots into one
-//!    `[n, w, f, 1]` batch tensor.
-//! 3. **Gate** — the batch flows through the fused int8 backend
+//!    messages are always processed in arrival order. Each shard's
+//!    `IngestGuard` rejects malformed/stale messages before they touch
+//!    window state, and a shard worker that panics is captured and
+//!    resumed rather than crashing the server.
+//! 2. **Admit** — [`StreamServer::tick`] measures the offered backlog
+//!    against the [`AdmissionConfig`] window budget, drives the
+//!    [`ServeMode`] hysteresis state machine, and takes at most the
+//!    budget's worth of the **oldest** pending windows (water-filled
+//!    across shards in shard-index order — deterministic regardless of
+//!    ingest thread scheduling). Overflow beyond each shard's queue
+//!    bound was already shed oldest-first at ingest, every shed window
+//!    counted.
+//! 3. **Gate** — the admitted batch flows through the fused int8 backend
 //!    ([`VehiGan::score_with_members_int8`]) with the server's pinned
-//!    member subset.
+//!    member subset, minus any members currently benched by
+//!    [`MemberHealth`]. In [`ServeMode::Degraded`] a `Threshold` policy
+//!    steps down to gate-only scoring.
 //! 4. **Escalate** — only windows whose gate score crosses the
 //!    escalation threshold are re-packed into a sub-batch and re-scored
 //!    by the full f32 ensemble ([`VehiGan::score_with_members`]); their
@@ -22,13 +31,18 @@
 //! Both scoring paths are batch-row independent (see the determinism
 //! contracts in `vehigan_tensor::gemm` and `vehigan_lite::ensemble`), so
 //! a window's score does not depend on which other windows share its
-//! tick — the property the serve determinism test pins down.
+//! tick — the property the serve determinism test pins down. The
+//! overload/degradation state machine and fault taxonomy are specified
+//! in DESIGN.md §11.
 
+use crate::health::MemberHealth;
 use crate::shard::{shard_for, PendingWindow, Shard};
 use parking_lot::Mutex;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use vehigan_core::{EnsembleError, VehiGan};
-use vehigan_features::{EvictionConfig, MinMaxScaler};
+use vehigan_features::{EvictionConfig, IngestGuard, MinMaxScaler, RejectCounters};
 use vehigan_sim::{Bsm, VehicleId};
 use vehigan_tensor::Tensor;
 
@@ -47,12 +61,87 @@ pub enum EscalationPolicy {
     Threshold(f32),
 }
 
+/// Load-shedding posture of the server (DESIGN.md §11).
+///
+/// Driven by the offered backlog relative to the admission budget with
+/// hysteresis on both edges, so a single noisy tick cannot flap the
+/// policy: the server degrades only after `degrade_after` consecutive
+/// over-budget ticks and restores only after `restore_after` consecutive
+/// under-budget ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Configured policy in full effect.
+    Normal,
+    /// Sustained overload: a `Threshold` gate policy steps down to
+    /// gate-only ([`EscalationPolicy::Never`]) scoring until pressure
+    /// clears. `Always` (the reference/calibration path, which has no
+    /// gate to fall back on) and `Never` are unaffected.
+    Degraded,
+}
+
 /// Tile size for batched scoring passes. Both backends are batch-row
 /// independent, so splitting a tick's batch into tiles changes nothing
 /// bitwise — but it keeps each pass's activations resident in cache: the
 /// fused int8 path degrades ~4× per window when hundreds of windows are
 /// scored in one monolithic call.
 pub const SCORE_TILE: usize = 128;
+
+/// Admission-control and degradation parameters (DESIGN.md §11).
+///
+/// The default is fully unbounded — bitwise-identical behavior to a
+/// server without admission control — so existing callers and the
+/// determinism suite are unaffected unless a deployment opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Compute budget: windows scored per tick. `None` = unbounded.
+    /// Derive from a measured per-window cost with
+    /// [`AdmissionConfig::budget_from_cost`]. Values below 1 are treated
+    /// as 1 so a tick always makes progress.
+    pub windows_per_tick: Option<usize>,
+    /// Pending-queue bound per shard; when a completing window would
+    /// overflow it, the shard sheds its **oldest** queued window
+    /// (drop-head) and counts it. `None` = unbounded.
+    pub max_pending_per_shard: Option<usize>,
+    /// Consecutive over-budget ticks before `Normal → Degraded`.
+    pub degrade_after: u32,
+    /// Consecutive under-budget ticks before `Degraded → Normal`.
+    pub restore_after: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig::unbounded()
+    }
+}
+
+impl AdmissionConfig {
+    /// No budget, no queue bound: the historical always-score-everything
+    /// behavior.
+    pub fn unbounded() -> Self {
+        AdmissionConfig {
+            windows_per_tick: None,
+            max_pending_per_shard: None,
+            degrade_after: 2,
+            restore_after: 3,
+        }
+    }
+
+    /// Converts a measured per-window scoring cost into a window budget:
+    /// the number of windows scoreable within `utilization` (e.g. 0.7)
+    /// of one tick interval, rounded to the nearest whole window. At
+    /// 10 Hz BSM cadence the tick interval is 0.1 s.
+    pub fn budget_from_cost(
+        tick_interval_s: f64,
+        per_window_cost_s: f64,
+        utilization: f64,
+    ) -> usize {
+        assert!(
+            tick_interval_s > 0.0 && per_window_cost_s > 0.0 && utilization > 0.0,
+            "budget_from_cost needs positive inputs"
+        );
+        ((tick_interval_s * utilization / per_window_cost_s).round() as usize).max(1)
+    }
+}
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -79,6 +168,17 @@ pub struct ServerConfig {
     /// families) start slipping under a half-width gate, so measure
     /// drift before narrowing.
     pub gate_members: Option<Vec<usize>>,
+    /// Ingest-time validation applied by every shard before window
+    /// state is touched. The default guard checks finiteness and strict
+    /// per-vehicle timestamp monotonicity only; [`IngestGuard::rsu`]
+    /// adds physical range limits.
+    pub guard: IngestGuard,
+    /// Admission control and degraded-mode tiering. Unbounded by
+    /// default.
+    pub admission: AdmissionConfig,
+    /// Server ticks a member stays benched after returning non-finite
+    /// scores, before being reinstated into its pinned position.
+    pub probation_ticks: u64,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +190,9 @@ impl Default for ServerConfig {
             policy: EscalationPolicy::Always,
             members: None,
             gate_members: None,
+            guard: IngestGuard::permissive(),
+            admission: AdmissionConfig::unbounded(),
+            probation_ticks: 3,
         }
     }
 }
@@ -107,6 +210,14 @@ pub enum ServeError {
     /// [`EscalationPolicy::Never`]/[`EscalationPolicy::Threshold`]
     /// require a compiled int8 backend.
     Int8NotCompiled,
+    /// A shard ingest worker panicked. The panic was captured: the
+    /// worker resumed past the poison message once, and if it panicked
+    /// again the rest of that shard's bucket was quarantined for the
+    /// batch. Per-vehicle window state for other shards is unaffected.
+    ShardPanic {
+        /// Index of the shard whose worker panicked.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -117,6 +228,9 @@ impl fmt::Display for ServeError {
             ServeError::Score(e) => write!(f, "scoring failed: {e}"),
             ServeError::Int8NotCompiled => {
                 write!(f, "gate policy requires VehiGan::compile_int8 first")
+            }
+            ServeError::ShardPanic { shard } => {
+                write!(f, "ingest worker for shard {shard} panicked (captured)")
             }
         }
     }
@@ -153,6 +267,158 @@ pub struct ServerStats {
     pub escalated: u64,
     /// Vehicles evicted by TTL/LRU across all shards.
     pub evicted: u64,
+    /// BSMs rejected by the ingest guards, per reason class.
+    pub rejected: RejectCounters,
+    /// Windows shed unscored by queue bounds/admission control.
+    pub shed: u64,
+    /// Captured ingest-worker panics.
+    pub shard_panics: u64,
+    /// Server ticks elapsed.
+    pub ticks: u64,
+    /// Ticks spent in [`ServeMode::Degraded`].
+    pub degraded_ticks: u64,
+    /// Mode transitions in either direction.
+    pub mode_switches: u64,
+    /// Members benched for returning non-finite scores.
+    pub member_demotions: u64,
+    /// Members reinstated after probation.
+    pub member_reinstatements: u64,
+}
+
+/// Outcome of one [`StreamServer::ingest_batch`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Messages in the batch.
+    pub received: u64,
+    /// Messages accepted into window state.
+    pub accepted: u64,
+    /// Messages rejected by the ingest guards during this batch.
+    pub rejected: RejectCounters,
+    /// Windows shed by per-shard queue bounds during this batch.
+    pub shed: u64,
+    /// Shards whose ingest worker panicked (captured and resumed).
+    pub panicked_shards: Vec<usize>,
+}
+
+impl IngestReport {
+    /// Whether every message was accepted with no faults.
+    pub fn fully_accepted(&self) -> bool {
+        self.accepted == self.received && self.panicked_shards.is_empty()
+    }
+
+    /// The first captured shard panic as a typed error, if any.
+    pub fn error(&self) -> Option<ServeError> {
+        self.panicked_shards
+            .first()
+            .map(|&shard| ServeError::ShardPanic { shard })
+    }
+}
+
+/// The degrade/restore hysteresis core, kept free of server state so the
+/// edge conditions are unit-testable.
+#[derive(Debug, Clone, Copy)]
+struct ModeMachine {
+    mode: ServeMode,
+    over_streak: u32,
+    under_streak: u32,
+}
+
+impl ModeMachine {
+    fn new() -> Self {
+        ModeMachine {
+            mode: ServeMode::Normal,
+            over_streak: 0,
+            under_streak: 0,
+        }
+    }
+
+    /// Feeds one tick's pressure observation; returns whether the mode
+    /// switched.
+    fn observe(&mut self, over_budget: bool, degrade_after: u32, restore_after: u32) -> bool {
+        if over_budget {
+            self.over_streak += 1;
+            self.under_streak = 0;
+        } else {
+            self.under_streak += 1;
+            self.over_streak = 0;
+        }
+        match self.mode {
+            ServeMode::Normal if self.over_streak >= degrade_after.max(1) => {
+                self.mode = ServeMode::Degraded;
+                true
+            }
+            ServeMode::Degraded if self.under_streak >= restore_after.max(1) => {
+                self.mode = ServeMode::Normal;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Splits a window budget across shard queue depths, oldest-first within
+/// each shard: every shard gets its proportional share (floor), and the
+/// remainder is dealt one window at a time in shard-index order to
+/// shards with backlog left. Deterministic in the queue depths alone.
+fn budgeted_take(lens: &[usize], budget: Option<usize>) -> Vec<usize> {
+    let total: usize = lens.iter().sum();
+    let Some(b) = budget else {
+        return lens.to_vec();
+    };
+    let b = b.max(1);
+    if total <= b {
+        return lens.to_vec();
+    }
+    let mut take: Vec<usize> = lens.iter().map(|&l| l * b / total).collect();
+    let mut assigned: usize = take.iter().sum();
+    let mut i = 0;
+    while assigned < b {
+        if take[i] < lens[i] {
+            take[i] += 1;
+            assigned += 1;
+        }
+        i = (i + 1) % lens.len();
+    }
+    take
+}
+
+/// Runs one shard's bucket with panic capture: a panicked worker is
+/// resumed once past the message it died on; a second panic quarantines
+/// the rest of the bucket for this batch. Returns observed panics.
+fn ingest_bucket(shard: &Mutex<Shard>, bucket: &[&Bsm], inject_panic: bool) -> u32 {
+    // Index of the message being processed; usize::MAX = none yet, so a
+    // panic before the loop (the chaos injection point) resumes from 0
+    // with zero message loss.
+    let progress = AtomicUsize::new(usize::MAX);
+    let mut panics = 0u32;
+    let mut start = 0usize;
+    let mut first_attempt = true;
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if first_attempt && inject_panic {
+                panic!("chaos: injected shard-ingest panic");
+            }
+            let mut guard = shard.lock();
+            for (offset, bsm) in bucket[start..].iter().enumerate() {
+                progress.store(start + offset, Ordering::Relaxed);
+                guard.ingest(bsm);
+            }
+        }));
+        match result {
+            Ok(()) => return panics,
+            Err(_) => {
+                panics += 1;
+                if panics >= 2 {
+                    return panics;
+                }
+                first_attempt = false;
+                start = progress.load(Ordering::Relaxed).wrapping_add(1);
+                if start >= bucket.len() {
+                    return panics;
+                }
+            }
+        }
+    }
 }
 
 /// A long-lived RSU-style streaming detection service over a trained
@@ -163,6 +429,15 @@ pub struct StreamServer<'a> {
     gate_members: Vec<usize>,
     shards: Vec<Mutex<Shard>>,
     policy: EscalationPolicy,
+    admission: AdmissionConfig,
+    probation_ticks: u64,
+    mode_machine: ModeMachine,
+    health: MemberHealth,
+    tick_index: u64,
+    /// Shards whose next ingest worker run should panic before touching
+    /// state (deterministic fault injection; consumed by the next
+    /// [`StreamServer::ingest_batch`]).
+    chaos_panic_shards: Vec<usize>,
     window_len: usize,
     window: usize,
     features: usize,
@@ -212,7 +487,15 @@ impl<'a> StreamServer<'a> {
         }
         let features = scaler.width();
         let shards = (0..config.n_shards)
-            .map(|_| Mutex::new(Shard::new(config.window, scaler.clone(), config.eviction)))
+            .map(|_| {
+                Mutex::new(Shard::with_guard(
+                    config.window,
+                    scaler.clone(),
+                    config.eviction,
+                    config.guard,
+                    config.admission.max_pending_per_shard,
+                ))
+            })
             .collect();
         Ok(StreamServer {
             vehigan,
@@ -220,6 +503,12 @@ impl<'a> StreamServer<'a> {
             gate_members,
             shards,
             policy: config.policy,
+            admission: config.admission,
+            probation_ticks: config.probation_ticks.max(1),
+            mode_machine: ModeMachine::new(),
+            health: MemberHealth::new(),
+            tick_index: 0,
+            chaos_panic_shards: Vec::new(),
             window_len: config.window * features,
             window: config.window,
             features,
@@ -232,43 +521,100 @@ impl<'a> StreamServer<'a> {
     /// Messages are partitioned by [`shard_for`] with relative order
     /// preserved, and each vehicle's messages land on exactly one shard —
     /// so per-vehicle window state is identical to serial ingestion no
-    /// matter how the shard threads interleave.
-    pub fn ingest_batch(&mut self, bsms: &[Bsm]) {
+    /// matter how the shard threads interleave. Guard rejections and
+    /// queue-bound shedding are counted; a panicking shard worker is
+    /// captured and resumed instead of tearing the server down (see
+    /// [`IngestReport`]).
+    pub fn ingest_batch(&mut self, bsms: &[Bsm]) -> IngestReport {
         let n_shards = self.shards.len();
         let mut buckets: Vec<Vec<&Bsm>> = vec![Vec::new(); n_shards];
         for bsm in bsms {
             buckets[shard_for(bsm.vehicle_id, n_shards)].push(bsm);
         }
+        let panic_shards = std::mem::take(&mut self.chaos_panic_shards);
+        let inject: Vec<bool> = (0..n_shards).map(|i| panic_shards.contains(&i)).collect();
+
+        let before: Vec<(u64, RejectCounters, u64)> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let g = s.lock();
+                (g.ingested(), g.rejects(), g.shed())
+            })
+            .collect();
+
+        let panics: Vec<AtomicU32> = (0..n_shards).map(|_| AtomicU32::new(0)).collect();
         if n_shards == 1 || bsms.len() < 64 {
-            for (shard, bucket) in self.shards.iter().zip(&buckets) {
-                let mut guard = shard.lock();
-                for bsm in bucket {
-                    guard.ingest(bsm);
+            for (i, (shard, bucket)) in self.shards.iter().zip(&buckets).enumerate() {
+                if bucket.is_empty() && !inject[i] {
+                    continue;
                 }
+                let p = ingest_bucket(shard, bucket, inject[i]);
+                panics[i].store(p, Ordering::Relaxed);
             }
         } else {
             let shards = &self.shards;
-            crossbeam::thread::scope(|s| {
-                for (shard, bucket) in shards.iter().zip(&buckets) {
-                    if bucket.is_empty() {
+            let panics_ref = &panics;
+            let inject_ref = &inject;
+            // Worker panics are captured inside ingest_bucket, so the
+            // scope result is always Ok; a panic that somehow escaped
+            // capture (panic-while-panicking aborts before reaching
+            // here) still must not take the server down with it.
+            let scope = crossbeam::thread::scope(|s| {
+                for (i, (shard, bucket)) in shards.iter().zip(&buckets).enumerate() {
+                    if bucket.is_empty() && !inject_ref[i] {
                         continue;
                     }
                     s.spawn(move |_| {
-                        let mut guard = shard.lock();
-                        for bsm in bucket {
-                            guard.ingest(bsm);
-                        }
+                        let p = ingest_bucket(shard, bucket, inject_ref[i]);
+                        panics_ref[i].store(p, Ordering::Relaxed);
                     });
                 }
-            })
-            .expect("ingest scope");
+            });
+            if scope.is_err() {
+                // Attribute the escaped panic to every shard we cannot
+                // vouch for rather than crash; counters below still
+                // reflect whatever work completed.
+                for p in &panics {
+                    p.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
         self.stats.ingested += bsms.len() as u64;
+
+        let mut report = IngestReport {
+            received: bsms.len() as u64,
+            ..IngestReport::default()
+        };
+        let mut processed = 0u64;
+        for (i, (shard, (ingested0, rejects0, shed0))) in
+            self.shards.iter().zip(&before).enumerate()
+        {
+            let g = shard.lock();
+            processed += g.ingested() - ingested0;
+            report.rejected += g.rejects().since(rejects0);
+            report.shed += g.shed() - shed0;
+            let p = panics[i].load(Ordering::Relaxed);
+            if p > 0 {
+                report.panicked_shards.push(i);
+                self.stats.shard_panics += u64::from(p);
+            }
+        }
+        report.accepted = processed - report.rejected.total();
+        report
     }
 
-    /// Drains every shard's pending windows, scores them as one batch
-    /// through the gate/escalation pipeline, and emits decisions in
-    /// deterministic order (shard index, then ingestion order).
+    /// Admits up to the window budget from the shards' pending queues
+    /// (oldest-first per shard, water-filled across shards), scores the
+    /// admitted batch through the gate/escalation pipeline, and emits
+    /// decisions in deterministic order (shard index, then ingestion
+    /// order). Windows over budget stay queued for later ticks unless a
+    /// queue bound sheds them at ingest.
+    ///
+    /// Each tick also advances the [`ServeMode`] hysteresis machine and
+    /// the member-health probation clock: members that returned
+    /// non-finite scores last tick sit out, and expired probations are
+    /// reinstated into their pinned positions before scoring.
     ///
     /// Returns an empty vec when no windows are ready.
     ///
@@ -276,10 +622,40 @@ impl<'a> StreamServer<'a> {
     ///
     /// [`ServeError::Score`] when a scoring pass fails.
     pub fn tick(&mut self) -> Result<Vec<Decision>, ServeError> {
+        self.tick_index += 1;
+        self.stats.ticks += 1;
+
+        let lens: Vec<usize> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().pending_windows())
+            .collect();
+        let offered: usize = lens.iter().sum();
+        let over_budget = self
+            .admission
+            .windows_per_tick
+            .is_some_and(|b| offered > b.max(1));
+        if self.mode_machine.observe(
+            over_budget,
+            self.admission.degrade_after,
+            self.admission.restore_after,
+        ) {
+            self.stats.mode_switches += 1;
+        }
+        if self.mode_machine.mode == ServeMode::Degraded {
+            self.stats.degraded_ticks += 1;
+        }
+
+        self.stats.member_reinstatements += self.health.release_expired(self.tick_index) as u64;
+
+        let take = budgeted_take(&lens, self.admission.windows_per_tick);
         let mut batch: Vec<f32> = Vec::new();
         let mut meta: Vec<PendingWindow> = Vec::new();
-        for shard in &self.shards {
-            let (floats, windows) = shard.lock().drain_pending();
+        for (shard, &k) in self.shards.iter().zip(&take) {
+            if k == 0 {
+                continue;
+            }
+            let (floats, windows) = shard.lock().take_pending(k);
             batch.extend_from_slice(&floats);
             meta.extend_from_slice(&windows);
         }
@@ -290,9 +666,15 @@ impl<'a> StreamServer<'a> {
         debug_assert_eq!(batch.len(), n * self.window_len);
         self.stats.windows_scored += n as u64;
 
-        let decisions = match self.policy {
+        let members = self.health.active(&self.members);
+        let gate_members = self.health.active(&self.gate_members);
+        let policy = self.effective_policy();
+        let mut dropped_union: Vec<usize> = Vec::new();
+
+        let decisions = match policy {
             EscalationPolicy::Always => {
-                let (scores, threshold) = self.score_tiled(&batch, n, false, &self.members)?;
+                let (scores, threshold, dropped) = self.score_tiled(&batch, n, false, &members)?;
+                dropped_union.extend(dropped);
                 self.stats.escalated += n as u64;
                 meta.iter()
                     .zip(&scores)
@@ -307,7 +689,9 @@ impl<'a> StreamServer<'a> {
                     .collect()
             }
             EscalationPolicy::Never => {
-                let (scores, threshold) = self.score_tiled(&batch, n, true, &self.gate_members)?;
+                let (scores, threshold, dropped) =
+                    self.score_tiled(&batch, n, true, &gate_members)?;
+                dropped_union.extend(dropped);
                 meta.iter()
                     .zip(&scores)
                     .map(|(w, &score)| Decision {
@@ -321,8 +705,9 @@ impl<'a> StreamServer<'a> {
                     .collect()
             }
             EscalationPolicy::Threshold(tau_esc) => {
-                let (gate_scores, gate_tau) =
-                    self.score_tiled(&batch, n, true, &self.gate_members)?;
+                let (gate_scores, gate_tau, dropped) =
+                    self.score_tiled(&batch, n, true, &gate_members)?;
+                dropped_union.extend(dropped);
                 let escalate: Vec<usize> = (0..n).filter(|&i| gate_scores[i] > tau_esc).collect();
                 let mut decisions: Vec<Decision> = meta
                     .iter()
@@ -343,8 +728,9 @@ impl<'a> StreamServer<'a> {
                             &batch[i * self.window_len..(i + 1) * self.window_len],
                         );
                     }
-                    let (scores, threshold) =
-                        self.score_tiled(&sub, escalate.len(), false, &self.members)?;
+                    let (scores, threshold, dropped) =
+                        self.score_tiled(&sub, escalate.len(), false, &members)?;
+                    dropped_union.extend(dropped);
                     for (&i, &score) in escalate.iter().zip(&scores) {
                         decisions[i].score = score;
                         decisions[i].threshold = threshold;
@@ -356,22 +742,44 @@ impl<'a> StreamServer<'a> {
                 decisions
             }
         };
+
+        if !dropped_union.is_empty() {
+            dropped_union.sort_unstable();
+            dropped_union.dedup();
+            let until = self.tick_index + self.probation_ticks;
+            for m in dropped_union {
+                self.health.bench(m, until);
+            }
+        }
+        self.stats.member_demotions = self.health.demotions();
         Ok(decisions)
+    }
+
+    /// The policy actually applied this tick: `Threshold` steps down to
+    /// `Never` while degraded; `Always` and `Never` pass through.
+    fn effective_policy(&self) -> EscalationPolicy {
+        match (self.mode_machine.mode, self.policy) {
+            (ServeMode::Degraded, EscalationPolicy::Threshold(_)) => EscalationPolicy::Never,
+            (_, p) => p,
+        }
     }
 
     /// Scores `n` flat windows through one backend in [`SCORE_TILE`]-sized
     /// tiles, concatenating per-tile scores. Tile boundaries cannot change
     /// any score — both backends are batch-row independent — but they keep
-    /// each pass's activations cache-resident.
+    /// each pass's activations cache-resident. Also returns the union of
+    /// members dropped for non-finite scores across tiles, so the caller
+    /// can bench them.
     fn score_tiled(
         &self,
         data: &[f32],
         n: usize,
         int8: bool,
         members: &[usize],
-    ) -> Result<(Vec<f32>, f32), ServeError> {
+    ) -> Result<(Vec<f32>, f32, Vec<usize>), ServeError> {
         let mut scores = Vec::with_capacity(n);
         let mut threshold = 0.0f32;
+        let mut dropped: Vec<usize> = Vec::new();
         let mut start = 0;
         while start < n {
             let end = (start + SCORE_TILE).min(n);
@@ -387,9 +795,10 @@ impl<'a> StreamServer<'a> {
             .map_err(ServeError::Score)?;
             threshold = r.threshold;
             scores.extend_from_slice(&r.scores);
+            dropped.extend(r.dropped);
             start = end;
         }
-        Ok((scores, threshold))
+        Ok((scores, threshold, dropped))
     }
 
     /// Runs TTL eviction on every shard at stream time `now`, returning
@@ -414,10 +823,20 @@ impl<'a> StreamServer<'a> {
         self.shards.iter().map(|s| s.lock().num_vehicles()).sum()
     }
 
-    /// Lifetime counters (ingested/scored/escalated/evicted).
+    /// Lifetime counters (ingest/score/reject/shed/degrade/health).
     pub fn stats(&self) -> ServerStats {
         let mut stats = self.stats;
-        stats.evicted = self.shards.iter().map(|s| s.lock().evicted()).sum();
+        stats.evicted = 0;
+        stats.rejected = RejectCounters::default();
+        stats.shed = 0;
+        for shard in &self.shards {
+            let g = shard.lock();
+            stats.evicted += g.evicted();
+            stats.rejected += g.rejects();
+            stats.shed += g.shed();
+        }
+        stats.member_demotions = self.health.demotions();
+        stats.member_reinstatements = self.health.reinstatements();
         stats
     }
 
@@ -431,14 +850,51 @@ impl<'a> StreamServer<'a> {
         &self.gate_members
     }
 
+    /// Members currently benched by serve-time health probation.
+    pub fn benched_members(&self) -> Vec<usize> {
+        self.health.benched()
+    }
+
     /// Worker shard count.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
-    /// The gate policy in effect.
+    /// The configured gate policy (the effective policy may step down
+    /// while degraded — see [`ServeMode`]).
     pub fn policy(&self) -> EscalationPolicy {
         self.policy
+    }
+
+    /// Current load-shedding posture.
+    pub fn mode(&self) -> ServeMode {
+        self.mode_machine.mode
+    }
+
+    /// The admission configuration in effect.
+    pub fn admission(&self) -> AdmissionConfig {
+        self.admission
+    }
+
+    /// Server ticks elapsed.
+    pub fn tick_index(&self) -> u64 {
+        self.tick_index
+    }
+
+    /// The ensemble this server scores with (chaos harnesses use this to
+    /// reach the member poison hooks).
+    pub fn vehigan(&self) -> &VehiGan {
+        self.vehigan
+    }
+
+    /// Schedules a one-shot injected panic in `shard`'s next ingest
+    /// worker run, *before* it touches any state — the deterministic
+    /// fault the chaos harness uses to exercise panic capture. No
+    /// messages are lost: the captured worker resumes from the start of
+    /// its bucket.
+    pub fn chaos_panic_on_ingest(&mut self, shard: usize) {
+        assert!(shard < self.shards.len(), "shard index out of range");
+        self.chaos_panic_shards.push(shard);
     }
 }
 
@@ -449,4 +905,60 @@ impl<'a> StreamServer<'a> {
 /// the f32 ensemble — that is what bounds AUROC drift (DESIGN.md §10).
 pub fn escalation_threshold(benign_gate_scores: &[f32], p: f64) -> f32 {
     vehigan_metrics::percentile(benign_gate_scores, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgeted_take_is_proportional_and_exact() {
+        // Under budget: take everything.
+        assert_eq!(budgeted_take(&[3, 0, 2], Some(10)), vec![3, 0, 2]);
+        assert_eq!(budgeted_take(&[3, 0, 2], None), vec![3, 0, 2]);
+        // Over budget: water-filled, sums to exactly the budget, never
+        // exceeds a shard's queue.
+        let lens = [10, 1, 7, 0, 4];
+        let take = budgeted_take(&lens, Some(9));
+        assert_eq!(take.iter().sum::<usize>(), 9);
+        for (t, l) in take.iter().zip(&lens) {
+            assert!(t <= l);
+        }
+        // Deterministic.
+        assert_eq!(take, budgeted_take(&lens, Some(9)));
+        // Budget floor of 1.
+        assert_eq!(budgeted_take(&[5, 5], Some(0)).iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn mode_machine_degrades_and_restores_with_hysteresis() {
+        let mut m = ModeMachine::new();
+        // One over-budget tick is not enough (degrade_after = 2).
+        assert!(!m.observe(true, 2, 3));
+        assert_eq!(m.mode, ServeMode::Normal);
+        // A clean tick resets the streak.
+        assert!(!m.observe(false, 2, 3));
+        assert!(!m.observe(true, 2, 3));
+        assert_eq!(m.mode, ServeMode::Normal);
+        // Two consecutive over-budget ticks degrade.
+        assert!(m.observe(true, 2, 3));
+        assert_eq!(m.mode, ServeMode::Degraded);
+        // Restoring needs 3 consecutive clean ticks; pressure resets.
+        assert!(!m.observe(false, 2, 3));
+        assert!(!m.observe(false, 2, 3));
+        assert!(!m.observe(true, 2, 3));
+        assert!(!m.observe(false, 2, 3));
+        assert!(!m.observe(false, 2, 3));
+        assert_eq!(m.mode, ServeMode::Degraded);
+        assert!(m.observe(false, 2, 3));
+        assert_eq!(m.mode, ServeMode::Normal);
+    }
+
+    #[test]
+    fn budget_from_cost_floors_at_one() {
+        // 0.1 s tick, 50 µs per window, 70% utilization → 1400 windows.
+        assert_eq!(AdmissionConfig::budget_from_cost(0.1, 50e-6, 0.7), 1400);
+        // A cost larger than the tick still admits one window.
+        assert_eq!(AdmissionConfig::budget_from_cost(0.1, 1.0, 0.5), 1);
+    }
 }

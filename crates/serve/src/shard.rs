@@ -6,9 +6,23 @@
 //! order and no cross-shard coordination is needed on the ingest path.
 //! Each [`Shard`] appends ready snapshots to a flat `pending` buffer that
 //! the server drains into one cross-vehicle batch tensor per tick.
+//!
+//! Two robustness layers sit in front of that buffer (DESIGN.md §11):
+//!
+//! - an [`IngestGuard`] validates every BSM (finiteness, optional
+//!   physical range limits, per-vehicle staleness) *before* it touches
+//!   window state, so one NaN field or replayed message cannot poison a
+//!   snapshot — rejections are counted per [`RejectReason`] class;
+//! - an optional pending-queue bound sheds the **oldest** queued window
+//!   when a new one would overflow it, so a traffic burst degrades into
+//!   counted, deterministic window loss instead of unbounded memory.
+//!
+//! [`WindowBuffer`]: vehigan_features::WindowBuffer
 
 use std::collections::HashMap;
-use vehigan_features::{EvictionConfig, MinMaxScaler, WindowBuffer};
+use vehigan_features::{
+    lru_key, EvictionConfig, IngestGuard, MinMaxScaler, RejectCounters, WindowBuffer,
+};
 use vehigan_sim::{Bsm, VehicleId};
 
 /// Maps a pseudonym to its owning shard.
@@ -49,6 +63,10 @@ pub struct Shard {
     features: usize,
     scaler: MinMaxScaler,
     eviction: EvictionConfig,
+    guard: IngestGuard,
+    /// Pending-queue bound; overflow sheds the oldest queued window.
+    /// `None` = unbounded (the historical behavior).
+    max_pending: Option<usize>,
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
     index: HashMap<VehicleId, usize>,
@@ -58,17 +76,34 @@ pub struct Shard {
     pending_meta: Vec<PendingWindow>,
     ingested: u64,
     evicted: u64,
+    rejects: RejectCounters,
+    shed: u64,
 }
 
 impl Shard {
-    /// Creates an empty shard.
+    /// Creates an empty shard with a permissive guard and an unbounded
+    /// pending queue (the historical behavior).
     pub fn new(window: usize, scaler: MinMaxScaler, eviction: EvictionConfig) -> Self {
+        Self::with_guard(window, scaler, eviction, IngestGuard::permissive(), None)
+    }
+
+    /// Creates an empty shard with an explicit [`IngestGuard`] and
+    /// optional pending-queue bound.
+    pub fn with_guard(
+        window: usize,
+        scaler: MinMaxScaler,
+        eviction: EvictionConfig,
+        guard: IngestGuard,
+        max_pending: Option<usize>,
+    ) -> Self {
         let features = scaler.width();
         Shard {
             window,
             features,
             scaler,
             eviction,
+            guard,
+            max_pending,
             slots: Vec::new(),
             free: Vec::new(),
             index: HashMap::new(),
@@ -76,19 +111,46 @@ impl Shard {
             pending_meta: Vec::new(),
             ingested: 0,
             evicted: 0,
+            rejects: RejectCounters::default(),
+            shed: 0,
         }
     }
 
-    /// Ingests one BSM into the sender's window buffer; if the push
-    /// completes a window, queues the snapshot for the next tick.
-    pub fn ingest(&mut self, bsm: &Bsm) {
+    /// Ingests one BSM: validates it against the shard's [`IngestGuard`]
+    /// (rejections are counted and touch no state — not even a slab slot
+    /// for an unseen pseudonym), then pushes it into the sender's window
+    /// buffer; if the push completes a window, queues the snapshot for
+    /// the next tick, shedding the oldest queued window when the queue
+    /// bound would overflow.
+    ///
+    /// Returns whether the message was accepted.
+    pub fn ingest(&mut self, bsm: &Bsm) -> bool {
         self.ingested += 1;
-        let slot_idx = match self.index.get(&bsm.vehicle_id) {
-            Some(&i) => i,
+        let existing = self.index.get(&bsm.vehicle_id).copied();
+        // last_seen is NEG_INFINITY before a vehicle's first push;
+        // filtering to finite makes both "new vehicle" and "no push yet"
+        // skip the staleness check.
+        let last_seen = existing
+            .map(|i| self.slot(i).buffer.last_seen())
+            .filter(|t| t.is_finite());
+        if let Err(reason) = self.guard.validate(bsm, last_seen) {
+            self.rejects.count(reason);
+            return false;
+        }
+        let slot_idx = match existing {
+            Some(i) => i,
             None => self.insert_vehicle(bsm.vehicle_id),
         };
         let slot = self.slots[slot_idx].as_mut().expect("indexed slot is live");
         if slot.buffer.push(bsm).is_some() {
+            if let Some(cap) = self.max_pending {
+                let cap = cap.max(1);
+                if self.pending_meta.len() >= cap {
+                    let over = self.pending_meta.len() + 1 - cap;
+                    self.shed_oldest(over);
+                }
+            }
+            let slot = self.slots[slot_idx].as_mut().expect("indexed slot is live");
             let snap = slot
                 .buffer
                 .snapshot_slice()
@@ -100,6 +162,11 @@ impl Shard {
             });
             slot.in_flight += 1;
         }
+        true
+    }
+
+    fn slot(&self, idx: usize) -> &Slot {
+        self.slots[idx].as_ref().expect("indexed slot is live")
     }
 
     /// Allocates a slab slot for a new pseudonym, evicting the
@@ -134,16 +201,17 @@ impl Shard {
     }
 
     /// Evicts the least-recently-updated vehicle with no pending windows
-    /// (ties broken by pseudonym). A no-op when every vehicle has
-    /// in-flight work.
+    /// (ties broken by pseudonym; a NaN `last_seen` counts as oldest via
+    /// [`lru_key`] instead of panicking the sweep). A no-op when every
+    /// vehicle has in-flight work.
     fn evict_lru_idle(&mut self) {
         let victim = self
             .slots
             .iter()
             .flatten()
             .filter(|s| s.in_flight == 0)
-            .map(|s| (s.buffer.last_seen(), s.vehicle))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)))
+            .map(|s| (lru_key(s.buffer.last_seen()), s.vehicle))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
             .map(|(_, id)| id);
         if let Some(id) = victim {
             self.remove(id);
@@ -178,16 +246,64 @@ impl Shard {
         }
     }
 
-    /// Drains the pending queue: the flat snapshot floats and their
+    fn dec_in_flight(&mut self, vehicle: VehicleId) {
+        if let Some(&idx) = self.index.get(&vehicle) {
+            if let Some(slot) = self.slots[idx].as_mut() {
+                slot.in_flight = slot.in_flight.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Removes the `n` **oldest** queued windows without scoring them
+    /// (admission-control shedding), clearing their in-flight marks so
+    /// eviction sees the truth. Returns how many were shed.
+    ///
+    /// Oldest-first is the deterministic drop-head policy: under
+    /// overload the stalest backlog is sacrificed so freshly completed
+    /// windows — the ones a detection would still be actionable for —
+    /// keep flowing.
+    pub fn shed_oldest(&mut self, n: usize) -> usize {
+        let n = n.min(self.pending_meta.len());
+        if n == 0 {
+            return 0;
+        }
+        let len = self.window_len();
+        self.pending.drain(..n * len);
+        let meta: Vec<PendingWindow> = self.pending_meta.drain(..n).collect();
+        for w in &meta {
+            self.dec_in_flight(w.vehicle);
+        }
+        self.shed += n as u64;
+        n
+    }
+
+    /// Takes up to `n` of the **oldest** queued windows for scoring
+    /// (FIFO service order), leaving the rest queued for later ticks and
+    /// clearing the taken windows' in-flight marks.
+    pub fn take_pending(&mut self, n: usize) -> (Vec<f32>, Vec<PendingWindow>) {
+        let n = n.min(self.pending_meta.len());
+        if n == self.pending_meta.len() {
+            let floats = std::mem::take(&mut self.pending);
+            let meta = std::mem::take(&mut self.pending_meta);
+            for w in &meta {
+                self.dec_in_flight(w.vehicle);
+            }
+            return (floats, meta);
+        }
+        let len = self.window_len();
+        let floats: Vec<f32> = self.pending.drain(..n * len).collect();
+        let meta: Vec<PendingWindow> = self.pending_meta.drain(..n).collect();
+        for w in &meta {
+            self.dec_in_flight(w.vehicle);
+        }
+        (floats, meta)
+    }
+
+    /// Drains the whole pending queue: the flat snapshot floats and their
     /// metadata, in ingestion order. Clears all in-flight marks.
     pub fn drain_pending(&mut self) -> (Vec<f32>, Vec<PendingWindow>) {
-        for slot in self.slots.iter_mut().flatten() {
-            slot.in_flight = 0;
-        }
-        (
-            std::mem::take(&mut self.pending),
-            std::mem::take(&mut self.pending_meta),
-        )
+        let n = self.pending_meta.len();
+        self.take_pending(n)
     }
 
     /// Number of snapshots awaiting the next tick.
@@ -213,7 +329,8 @@ impl Shard {
             .is_some_and(|s| s.in_flight > 0)
     }
 
-    /// BSMs ingested by this shard since construction.
+    /// BSMs processed by this shard since construction (accepted and
+    /// rejected alike).
     pub fn ingested(&self) -> u64 {
         self.ingested
     }
@@ -221,6 +338,16 @@ impl Shard {
     /// Vehicles evicted by LRU or TTL since construction.
     pub fn evicted(&self) -> u64 {
         self.evicted
+    }
+
+    /// Rejections by the shard's [`IngestGuard`], per reason class.
+    pub fn rejects(&self) -> RejectCounters {
+        self.rejects
+    }
+
+    /// Windows shed by the pending-queue bound or admission control.
+    pub fn shed(&self) -> u64 {
+        self.shed
     }
 
     /// Floats per snapshot (`window × features`).

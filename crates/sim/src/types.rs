@@ -57,6 +57,21 @@ pub struct Bsm {
 }
 
 impl Bsm {
+    /// Whether every payload field (timestamp included) is a finite
+    /// number. Field-equipment BSMs are not guaranteed well-formed, so
+    /// ingest paths check this before any feature arithmetic — a single
+    /// NaN survives subtraction, scaling, and clamping all the way into
+    /// a window tensor.
+    pub fn all_finite(&self) -> bool {
+        self.timestamp.is_finite()
+            && self.pos_x.is_finite()
+            && self.pos_y.is_finite()
+            && self.speed.is_finite()
+            && self.acceleration.is_finite()
+            && self.heading.is_finite()
+            && self.yaw_rate.is_finite()
+    }
+
     /// Normalizes an angle to `(-π, π]`.
     pub fn normalize_angle(theta: f64) -> f64 {
         let mut t = theta % (2.0 * std::f64::consts::PI);

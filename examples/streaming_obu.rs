@@ -141,6 +141,20 @@ fn main() {
         stats.escalated,
         100.0 * stats.escalated as f64 / stats.windows_scored.max(1) as f64
     );
+    // Resilience counters (DESIGN.md §11): a clean demo run holds the
+    // server at 1× load with well-formed traffic, so all of these stay 0.
+    println!(
+        "resilience: rejected {} (non-finite {}, out-of-range {}, stale {}), \
+         shed {}, degraded ticks {}, benched members {}, shard panics {}",
+        stats.rejected.total(),
+        stats.rejected.non_finite,
+        stats.rejected.out_of_range,
+        stats.rejected.stale,
+        stats.shed,
+        stats.degraded_ticks,
+        stats.member_demotions,
+        stats.shard_panics
+    );
     match first_detection {
         Some((id, t)) => {
             println!("first MBR for {id} at t = {t:.1}s (attack active from its first message)")

@@ -1,0 +1,83 @@
+//! Criterion benches for the tier-0 kinematic monitors: per-BSM update
+//! cost and gate evaluation, with a hard <100 ns/BSM assertion on the
+//! monitor push (the O(1) budget that makes tier 0 free relative to the
+//! int8 ensemble).
+//!
+//! Run with `cargo bench -p vehigan-bench --bench tier0`. The
+//! JSON-emitting city-scale variant (gated vs ungated serve, in-binary
+//! acceptance gates) is `vehigan-bench tier0`, which writes
+//! `results/BENCH_tier0.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use vehigan_features::{Tier0Calibration, Tier0Monitor};
+use vehigan_sim::{Bsm, SimConfig, TrafficSimulator};
+
+/// Hard budget for one monitor update. The monitor runs on every
+/// accepted BSM in every shard, so it must be vanishingly cheap next to
+/// the ~µs-scale int8 window score it lets the server skip.
+const MAX_NS_PER_PUSH: f64 = 100.0;
+
+fn bench_tier0(c: &mut Criterion) {
+    let fleet = TrafficSimulator::new(SimConfig {
+        n_vehicles: 8,
+        duration_s: 60.0,
+        seed: 13,
+        ..SimConfig::default()
+    })
+    .run();
+    let cal = Tier0Calibration::fit(&fleet, 10, 0.995).expect("calibration fits");
+    let bsms: Vec<Bsm> = fleet.iter().flat_map(|t| t.bsms.iter().copied()).collect();
+    let trace = &fleet[0].bsms;
+
+    // Hard gate first: measure the amortized push cost over every trace
+    // (warm, in cache — the serve-shard steady state) and fail the bench
+    // run outright if it blows the O(1) budget.
+    let mut m = Tier0Monitor::new(cal.params);
+    for bsm in trace {
+        m.push(bsm); // warm-up
+    }
+    let reps = 50usize;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for t in &fleet {
+            let mut m = Tier0Monitor::new(cal.params);
+            for bsm in &t.bsms {
+                m.push(bsm);
+            }
+            black_box(m.statistics());
+        }
+    }
+    let ns_per_push = t0.elapsed().as_nanos() as f64 / (reps * bsms.len()) as f64;
+    println!("tier0 monitor push: {ns_per_push:.1} ns/BSM (budget {MAX_NS_PER_PUSH})");
+    assert!(
+        ns_per_push < MAX_NS_PER_PUSH,
+        "monitor push {ns_per_push:.1} ns/BSM exceeds the {MAX_NS_PER_PUSH} ns budget"
+    );
+
+    let mut group = c.benchmark_group("tier0");
+    group.bench_function("monitor_push_per_trace", |bch| {
+        bch.iter(|| {
+            let mut m = Tier0Monitor::new(cal.params);
+            for bsm in trace {
+                m.push(bsm);
+            }
+            black_box(m.statistics())
+        });
+    });
+    group.bench_function("evaluate_warm_monitor", |bch| {
+        let mut m = Tier0Monitor::new(cal.params);
+        for bsm in trace {
+            m.push(bsm);
+        }
+        bch.iter(|| black_box(cal.evaluate(black_box(&m))));
+    });
+    group.bench_function("calibration_fit_8v_60s", |bch| {
+        bch.iter(|| black_box(Tier0Calibration::fit(black_box(&fleet), 10, 0.995)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tier0);
+criterion_main!(benches);

@@ -13,6 +13,8 @@ pub mod gemmbench;
 pub mod probe;
 pub mod quant;
 pub mod resume;
+pub mod serve_driver;
 pub mod slo;
 pub mod stream;
 pub mod table3;
+pub mod tier0;

@@ -1,0 +1,277 @@
+//! Shared server-driving helpers for the serve-plane benchmarks.
+//!
+//! `stream`, `slo`, and `tier0` all need the same scaffolding: a mixed
+//! benign/attack city stream, tick slicing at BSM cadence, a
+//! deterministic ingest→tick drive loop with optional overload burst,
+//! int8 gate scoring in serve-sized tiles, and decision hashing /
+//! latency accounting. This module is the single copy (the `stream` and
+//! `slo` experiments used to carry near-identical private versions).
+
+use crate::harness::Harness;
+use std::ops::Range;
+use std::time::Instant;
+use vehigan_serve::{ServeMode, ServerConfig, ServerStats, StreamServer};
+use vehigan_sim::{Bsm, SimConfig, TrafficSimulator, VehicleTrace, BSM_INTERVAL_S};
+use vehigan_tensor::init::seeded_rng;
+use vehigan_tensor::Tensor;
+use vehigan_vasp::{inject, Attack, AttackParams, AttackPolicy};
+
+/// Simulates a city fleet for a serve benchmark.
+pub fn city_fleet(vehicles: usize, duration_s: f64, seed: u64) -> Vec<VehicleTrace> {
+    TrafficSimulator::new(SimConfig {
+        n_vehicles: vehicles,
+        duration_s,
+        seed,
+        ..SimConfig::default()
+    })
+    .run()
+}
+
+/// Mixed benign/attack stream: every `1/attacker_fraction`-th vehicle
+/// runs a VASP attack (cycling over position/speed/heading families,
+/// falsified values inside RSU guard field limits), all BSMs interleaved
+/// in arrival order. Returns the stream and the attacker count.
+pub fn mixed_stream(
+    fleet: &[VehicleTrace],
+    seed: u64,
+    attacker_fraction: f64,
+) -> (Vec<Bsm>, usize) {
+    let attacks: Vec<Attack> = ["RandomPosition", "RandomSpeed", "HighHeadingYawRate"]
+        .iter()
+        .map(|n| Attack::by_name(n).expect("catalog attack"))
+        .collect();
+    let mut rng = seeded_rng(seed);
+    let every = (1.0 / attacker_fraction) as usize;
+    let mut stream = Vec::new();
+    let mut attackers = 0usize;
+    for (i, trace) in fleet.iter().enumerate() {
+        if i % every == 0 {
+            let attacked = inject(
+                trace,
+                attacks[attackers % attacks.len()],
+                AttackPolicy::Persistent,
+                &AttackParams::default(),
+                &mut rng,
+            );
+            stream.extend_from_slice(&attacked.trace.bsms);
+            attackers += 1;
+        } else {
+            stream.extend_from_slice(&trace.bsms);
+        }
+    }
+    stream.sort_by(|a, b| {
+        a.timestamp
+            .partial_cmp(&b.timestamp)
+            .unwrap()
+            .then(a.vehicle_id.cmp(&b.vehicle_id))
+    });
+    (stream, attackers)
+}
+
+/// Groups a timestamp-sorted stream into per-tick index ranges of
+/// [`BSM_INTERVAL_S`] width (empty slices included, so the drive loop
+/// ticks at real cadence).
+pub fn slice_ranges(stream: &[Bsm]) -> Vec<Range<usize>> {
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut slice_end = BSM_INTERVAL_S;
+    let mut i = 0usize;
+    while i < stream.len() {
+        while i < stream.len() && stream[i].timestamp < slice_end {
+            i += 1;
+        }
+        ranges.push(start..i);
+        start = i;
+        slice_end += BSM_INTERVAL_S;
+    }
+    ranges
+}
+
+/// Scores flat windows through the int8 gate in serve-sized tiles.
+pub fn gate_scores(harness: &Harness, members: &[usize], x: &Tensor) -> Vec<f32> {
+    let shape = x.shape();
+    let (n, len) = (shape[0], shape[1] * shape[2] * shape[3]);
+    let mut scores = Vec::with_capacity(n);
+    let mut start = 0;
+    while start < n {
+        let end = (start + vehigan_serve::SCORE_TILE).min(n);
+        let tile = Tensor::from_vec(
+            x.as_slice()[start * len..end * len].to_vec(),
+            &[end - start, shape[1], shape[2], shape[3]],
+        );
+        scores.extend_from_slice(
+            &harness
+                .pipeline
+                .vehigan
+                .score_with_members_int8(members, &tile)
+                .unwrap()
+                .scores,
+        );
+        start = end;
+    }
+    scores
+}
+
+/// An overload burst: deliver `multiplier` tick-slices per server tick
+/// for `ticks` consecutive ticks starting at `at_tick`.
+#[derive(Debug, Clone, Copy)]
+pub struct Burst {
+    /// First bursting tick.
+    pub at_tick: u64,
+    /// Tick-slices delivered per tick while bursting.
+    pub multiplier: usize,
+    /// Consecutive bursting ticks.
+    pub ticks: u64,
+}
+
+/// Everything one serving run produces that gates and reports need.
+/// Every field except the wall-clock ones (`tick_lat`, `elapsed_s`) is a
+/// pure function of the stream and the server configuration, so two
+/// identical runs must agree on all of them — the determinism checks
+/// compare `fnv` and `stats` directly.
+pub struct DriveOutcome {
+    /// Decisions emitted across the run.
+    pub decisions: u64,
+    /// Decisions with `flagged` set.
+    pub flagged: u64,
+    /// FNV-1a over the full bit pattern of every decision, in emission
+    /// order: two runs agree iff they emitted the same decisions in the
+    /// same order.
+    pub fnv: u64,
+    /// Windows shed before the burst's first tick (equals `stats.shed`
+    /// when the run has no burst).
+    pub shed_steady: u64,
+    /// Final server counters (includes shed/escalated/tier counters).
+    pub stats: ServerStats,
+    /// Server mode at the end of the run.
+    pub final_mode: ServeMode,
+    /// `(tick wall ms, decisions that tick)`, scoring ticks only.
+    pub tick_lat: Vec<(f64, usize)>,
+    /// Total ingest+tick wall time.
+    pub elapsed_s: f64,
+}
+
+/// Folds one decision into an FNV-1a decision hash.
+fn fnv_decision(h: u64, d: &vehigan_serve::Decision) -> u64 {
+    let mut h = h;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    mix(&d.vehicle.0.to_le_bytes());
+    mix(&d.timestamp.to_bits().to_le_bytes());
+    mix(&d.score.to_bits().to_le_bytes());
+    mix(&[d.escalated as u8, d.flagged as u8, d.suppressed as u8]);
+    h
+}
+
+/// Drives one server over the sliced stream — ingest then tick per
+/// slice, optional overload burst by time compression — then keeps
+/// ticking until the backlog drains (bounded at 4096 drain ticks).
+/// Panicking ingest workers and an undrained queue are hard failures.
+pub fn drive(
+    harness: &Harness,
+    stream: &[Bsm],
+    ranges: &[Range<usize>],
+    config: ServerConfig,
+    burst: Option<Burst>,
+) -> DriveOutcome {
+    drive_observed(harness, stream, ranges, config, burst, |_| {})
+}
+
+/// [`drive`] with a per-decision observer, called in emission order —
+/// the `tier0` bench uses it to attribute suppression to benign vs
+/// attacker vehicles without materializing every decision.
+pub fn drive_observed(
+    harness: &Harness,
+    stream: &[Bsm],
+    ranges: &[Range<usize>],
+    config: ServerConfig,
+    burst: Option<Burst>,
+    mut observe: impl FnMut(&vehigan_serve::Decision),
+) -> DriveOutcome {
+    let mut server = StreamServer::new(
+        &harness.pipeline.vehigan,
+        harness.pipeline.scaler.clone(),
+        config,
+    )
+    .expect("server builds");
+
+    let mut out = DriveOutcome {
+        decisions: 0,
+        flagged: 0,
+        fnv: 0xcbf2_9ce4_8422_2325,
+        shed_steady: 0,
+        stats: ServerStats::default(),
+        final_mode: ServeMode::Normal,
+        tick_lat: Vec::new(),
+        elapsed_s: 0.0,
+    };
+    let mut cursor = 0usize;
+    let mut tick = 0u64;
+    let mut drain_ticks = 0u32;
+    loop {
+        let mult = match burst {
+            Some(b) if tick >= b.at_tick && tick < b.at_tick + b.ticks => b.multiplier,
+            _ => 1,
+        };
+        let mut consumed = 0usize;
+        let start = ranges.get(cursor).map_or(stream.len(), |r| r.start);
+        let mut end = start;
+        while consumed < mult && cursor < ranges.len() {
+            end = ranges[cursor].end;
+            cursor += 1;
+            consumed += 1;
+        }
+        if consumed == 0 {
+            if server.pending_windows() == 0 || drain_ticks >= 4096 {
+                break;
+            }
+            drain_ticks += 1;
+        }
+        let t0 = Instant::now();
+        let report = server.ingest_batch(&stream[start..end]);
+        assert!(report.panicked_shards.is_empty(), "ingest worker panicked");
+        let ticked = server.tick().expect("tick scores");
+        let dt = t0.elapsed().as_secs_f64();
+        out.elapsed_s += dt;
+        if !ticked.is_empty() {
+            out.tick_lat.push((dt * 1000.0, ticked.len()));
+        }
+        for d in &ticked {
+            out.fnv = fnv_decision(out.fnv, d);
+            out.flagged += d.flagged as u64;
+            observe(d);
+        }
+        out.decisions += ticked.len() as u64;
+        if let Some(b) = burst {
+            if tick < b.at_tick {
+                out.shed_steady = server.stats().shed;
+            }
+        }
+        tick += 1;
+    }
+    assert_eq!(server.pending_windows(), 0, "service failed to drain");
+    out.stats = server.stats();
+    if burst.is_none() {
+        out.shed_steady = out.stats.shed;
+    }
+    out.final_mode = server.mode();
+    out
+}
+
+/// Decision-weighted latency percentile over `(ms, n_decisions)` ticks.
+pub fn latency_pct(tick_lat: &mut [(f64, usize)], decisions: u64, p: f64) -> f64 {
+    tick_lat.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let target = ((p / 100.0 * decisions as f64).ceil() as usize).max(1);
+    let mut seen = 0usize;
+    for &(ms, n) in tick_lat.iter() {
+        seen += n;
+        if seen >= target {
+            return ms;
+        }
+    }
+    tick_lat.last().map_or(0.0, |&(ms, _)| ms)
+}

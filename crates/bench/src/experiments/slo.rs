@@ -17,15 +17,15 @@
 //!   identical runs shed identically and emit bitwise-identical
 //!   decisions (determinism under overload).
 
+use crate::experiments::serve_driver::{
+    city_fleet, drive, latency_pct, mixed_stream, slice_ranges, Burst,
+};
 use crate::harness::{results_dir, Harness};
-use std::time::Instant;
 use vehigan_features::IngestGuard;
 use vehigan_serve::{
-    escalation_threshold, AdmissionConfig, EscalationPolicy, ServeMode, ServerConfig, StreamServer,
+    escalation_threshold, AdmissionConfig, EscalationPolicy, ServerConfig, StreamServer,
 };
-use vehigan_sim::{Bsm, SimConfig, TrafficSimulator, VehicleTrace, BSM_INTERVAL_S};
-use vehigan_tensor::init::seeded_rng;
-use vehigan_vasp::{inject, Attack, AttackParams, AttackPolicy};
+use vehigan_sim::BSM_INTERVAL_S;
 
 /// Minimum fraction of scored windows that must stay on the int8 fast
 /// path at target load (ISSUE gate).
@@ -57,232 +57,6 @@ const BUDGET_HEADROOM: f64 = 1.3;
 
 const N_SHARDS: usize = 4;
 
-/// Mixed stream: every `1/ATTACKER_FRACTION`-th vehicle runs a VASP
-/// attack whose falsified values stay inside the RSU guard's field
-/// limits (the guard must reject *malformed* traffic, not attacks —
-/// detecting plausible-but-false data is the model's job).
-fn mixed_stream(fleet: &[VehicleTrace], seed: u64) -> (Vec<Bsm>, usize) {
-    let attacks: Vec<Attack> = ["RandomPosition", "RandomSpeed", "HighHeadingYawRate"]
-        .iter()
-        .map(|n| Attack::by_name(n).expect("catalog attack"))
-        .collect();
-    let mut rng = seeded_rng(seed);
-    let every = (1.0 / ATTACKER_FRACTION) as usize;
-    let mut stream = Vec::new();
-    let mut attackers = 0usize;
-    for (i, trace) in fleet.iter().enumerate() {
-        if i % every == 0 {
-            let attacked = inject(
-                trace,
-                attacks[attackers % attacks.len()],
-                AttackPolicy::Persistent,
-                &AttackParams::default(),
-                &mut rng,
-            );
-            stream.extend_from_slice(&attacked.trace.bsms);
-            attackers += 1;
-        } else {
-            stream.extend_from_slice(&trace.bsms);
-        }
-    }
-    stream.sort_by(|a, b| {
-        a.timestamp
-            .partial_cmp(&b.timestamp)
-            .unwrap()
-            .then(a.vehicle_id.cmp(&b.vehicle_id))
-    });
-    (stream, attackers)
-}
-
-/// Groups a timestamp-sorted stream into per-tick index ranges of
-/// [`BSM_INTERVAL_S`] width.
-fn slice_ranges(stream: &[Bsm]) -> Vec<std::ops::Range<usize>> {
-    let mut ranges = Vec::new();
-    let mut start = 0usize;
-    let mut slice_end = BSM_INTERVAL_S;
-    let mut i = 0usize;
-    while i < stream.len() {
-        while i < stream.len() && stream[i].timestamp < slice_end {
-            i += 1;
-        }
-        ranges.push(start..i);
-        start = i;
-        slice_end += BSM_INTERVAL_S;
-    }
-    ranges
-}
-
-/// Everything one serving run produces that the gates and the report
-/// need; wall-clock fields are excluded from the determinism comparison.
-struct RunOutcome {
-    decisions: u64,
-    flagged: u64,
-    fnv: u64,
-    shed_steady: u64,
-    shed_total: u64,
-    escalated: u64,
-    windows_scored: u64,
-    degraded_ticks: u64,
-    mode_switches: u64,
-    rejected_total: u64,
-    final_mode: ServeMode,
-    /// `(tick wall ms, decisions that tick)`, scoring ticks only.
-    tick_lat: Vec<(f64, usize)>,
-    elapsed_s: f64,
-}
-
-/// FNV-1a over the full bit pattern of every decision, in emission
-/// order: two runs agree iff they emitted the same decisions in the
-/// same order.
-fn fnv_decision(h: u64, vehicle: u32, ts: f64, score: f32, escalated: bool, flagged: bool) -> u64 {
-    let mut h = h;
-    let mut mix = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    };
-    mix(&vehicle.to_le_bytes());
-    mix(&ts.to_bits().to_le_bytes());
-    mix(&score.to_bits().to_le_bytes());
-    mix(&[escalated as u8, flagged as u8]);
-    h
-}
-
-/// The per-run serving knobs derived during calibration, bundled so the
-/// two determinism runs are guaranteed to share them.
-struct SloKnobs {
-    tau_esc: f32,
-    budget: usize,
-    cap: usize,
-    burst_at: u64,
-}
-
-/// Drives one admission-controlled server over the sliced stream, with
-/// the overload burst time-compressing `BURST_MULTIPLIER` slices per
-/// tick at `knobs.burst_at`, then drains the backlog to empty.
-fn drive(
-    harness: &Harness,
-    stream: &[Bsm],
-    ranges: &[std::ops::Range<usize>],
-    members: &[usize],
-    knobs: &SloKnobs,
-) -> RunOutcome {
-    let SloKnobs {
-        tau_esc,
-        budget,
-        cap,
-        burst_at,
-    } = *knobs;
-    let mut server = StreamServer::new(
-        &harness.pipeline.vehigan,
-        harness.pipeline.scaler.clone(),
-        ServerConfig {
-            n_shards: N_SHARDS,
-            policy: EscalationPolicy::Threshold(tau_esc),
-            members: Some(members.to_vec()),
-            guard: IngestGuard::rsu(),
-            admission: AdmissionConfig {
-                windows_per_tick: Some(budget),
-                max_pending_per_shard: Some(cap),
-                degrade_after: 2,
-                restore_after: 3,
-            },
-            ..ServerConfig::default()
-        },
-    )
-    .expect("server builds");
-
-    let mut out = RunOutcome {
-        decisions: 0,
-        flagged: 0,
-        fnv: 0xcbf2_9ce4_8422_2325,
-        shed_steady: 0,
-        shed_total: 0,
-        escalated: 0,
-        windows_scored: 0,
-        degraded_ticks: 0,
-        mode_switches: 0,
-        rejected_total: 0,
-        final_mode: ServeMode::Normal,
-        tick_lat: Vec::new(),
-        elapsed_s: 0.0,
-    };
-    let mut cursor = 0usize;
-    let mut tick = 0u64;
-    let mut drain_ticks = 0u32;
-    loop {
-        let mult = if tick >= burst_at && tick < burst_at + BURST_TICKS {
-            BURST_MULTIPLIER
-        } else {
-            1
-        };
-        let mut consumed = 0usize;
-        let start = ranges.get(cursor).map_or(stream.len(), |r| r.start);
-        let mut end = start;
-        while consumed < mult && cursor < ranges.len() {
-            end = ranges[cursor].end;
-            cursor += 1;
-            consumed += 1;
-        }
-        if consumed == 0 {
-            if server.pending_windows() == 0 || drain_ticks >= 4096 {
-                break;
-            }
-            drain_ticks += 1;
-        }
-        let t0 = Instant::now();
-        let report = server.ingest_batch(&stream[start..end]);
-        assert!(report.panicked_shards.is_empty(), "ingest worker panicked");
-        let ticked = server.tick().expect("tick scores");
-        let dt = t0.elapsed().as_secs_f64();
-        out.elapsed_s += dt;
-        if !ticked.is_empty() {
-            out.tick_lat.push((dt * 1000.0, ticked.len()));
-        }
-        for d in &ticked {
-            out.fnv = fnv_decision(
-                out.fnv,
-                d.vehicle.0,
-                d.timestamp,
-                d.score,
-                d.escalated,
-                d.flagged,
-            );
-            out.flagged += d.flagged as u64;
-        }
-        out.decisions += ticked.len() as u64;
-        if tick < burst_at {
-            out.shed_steady = server.stats().shed;
-        }
-        tick += 1;
-    }
-    assert_eq!(server.pending_windows(), 0, "service failed to drain");
-    let stats = server.stats();
-    out.shed_total = stats.shed;
-    out.escalated = stats.escalated;
-    out.windows_scored = stats.windows_scored;
-    out.degraded_ticks = stats.degraded_ticks;
-    out.mode_switches = stats.mode_switches;
-    out.rejected_total = stats.rejected.total();
-    out.final_mode = server.mode();
-    out
-}
-
-/// Decision-weighted latency percentile over `(ms, n_decisions)` ticks.
-fn latency_pct(tick_lat: &mut [(f64, usize)], decisions: u64, p: f64) -> f64 {
-    tick_lat.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    let target = ((p / 100.0 * decisions as f64).ceil() as usize).max(1);
-    let mut seen = 0usize;
-    for &(ms, n) in tick_lat.iter() {
-        seen += n;
-        if seen >= target {
-            return ms;
-        }
-    }
-    tick_lat.last().map_or(0.0, |&(ms, _)| ms)
-}
-
 /// Runs the SLO benchmark on a trained harness and writes
 /// `results/BENCH_slo.json`.
 pub fn run(harness: &mut Harness, vehicles: usize, duration_s: f64) {
@@ -302,14 +76,8 @@ pub fn run(harness: &mut Harness, vehicles: usize, duration_s: f64) {
     let members: Vec<usize> = (0..k).collect();
 
     // --- Simulated city traffic (2 % attackers). ---
-    let fleet = TrafficSimulator::new(SimConfig {
-        n_vehicles: vehicles,
-        duration_s,
-        seed: 11,
-        ..SimConfig::default()
-    })
-    .run();
-    let (stream, attackers) = mixed_stream(&fleet, 29);
+    let fleet = city_fleet(vehicles, duration_s, 11);
+    let (stream, attackers) = mixed_stream(&fleet, 29, ATTACKER_FRACTION);
     let ranges = slice_ranges(&stream);
     println!(
         "traffic: {} BSMs from {vehicles} vehicles ({attackers} attackers), {} tick slices",
@@ -362,45 +130,59 @@ pub fn run(harness: &mut Harness, vehicles: usize, duration_s: f64) {
     );
 
     // --- Two identical SLO runs (determinism under overload). ---
-    let knobs = SloKnobs {
-        tau_esc,
-        budget,
-        cap,
-        burst_at,
+    let config = ServerConfig {
+        n_shards: N_SHARDS,
+        policy: EscalationPolicy::Threshold(tau_esc),
+        members: Some(members.clone()),
+        guard: IngestGuard::rsu(),
+        admission: AdmissionConfig {
+            windows_per_tick: Some(budget),
+            max_pending_per_shard: Some(cap),
+            degrade_after: 2,
+            restore_after: 3,
+        },
+        ..ServerConfig::default()
     };
-    let mut a = drive(harness, &stream, &ranges, &members, &knobs);
-    let b = drive(harness, &stream, &ranges, &members, &knobs);
+    let burst = Burst {
+        at_tick: burst_at,
+        multiplier: BURST_MULTIPLIER,
+        ticks: BURST_TICKS,
+    };
+    let mut a = drive(harness, &stream, &ranges, config.clone(), Some(burst));
+    let b = drive(harness, &stream, &ranges, config, Some(burst));
 
-    let fast_path = 1.0 - a.escalated as f64 / a.windows_scored.max(1) as f64;
-    let shed_burst = a.shed_total - a.shed_steady;
+    let escalated = a.stats.escalated;
+    let windows_scored = a.stats.windows_scored;
+    let shed_total = a.stats.shed;
+    let degraded_ticks = a.stats.degraded_ticks;
+    let mode_switches = a.stats.mode_switches;
+    let rejected_total = a.stats.rejected.total();
+    let fast_path = 1.0 - escalated as f64 / windows_scored.max(1) as f64;
+    let shed_burst = shed_total - a.shed_steady;
     let (p50_ms, p99_ms) = (
         latency_pct(&mut a.tick_lat, a.decisions, 50.0),
         latency_pct(&mut a.tick_lat, a.decisions, 99.0),
     );
     let bsm_rate = stream.len() as f64 / a.elapsed_s;
+    // `ServerStats` covers shed/escalated/degraded/rejected and the
+    // per-tier counters in one PartialEq comparison.
     let deterministic = a.fnv == b.fnv
         && a.decisions == b.decisions
-        && a.shed_total == b.shed_total
         && a.shed_steady == b.shed_steady
-        && a.escalated == b.escalated
-        && a.windows_scored == b.windows_scored
-        && a.degraded_ticks == b.degraded_ticks
-        && a.mode_switches == b.mode_switches
-        && a.rejected_total == b.rejected_total;
+        && a.stats == b.stats;
 
     println!(
         "slo: fast path {:.4} ({} escalated of {}), {} decisions, {} flagged",
-        fast_path, a.escalated, a.windows_scored, a.decisions, a.flagged
+        fast_path, escalated, windows_scored, a.decisions, a.flagged
     );
     println!(
         "overload: shed {} (steady {}, burst {shed_burst}), degraded ticks {}, \
          mode switches {}, final mode {:?}",
-        a.shed_total, a.shed_steady, a.degraded_ticks, a.mode_switches, a.final_mode
+        shed_total, a.shed_steady, degraded_ticks, mode_switches, a.final_mode
     );
     println!(
         "latency: p50 {p50_ms:.2} ms, p99 {p99_ms:.2} ms, {bsm_rate:.0} BSMs/sec, \
-         rejected {}",
-        a.rejected_total
+         rejected {rejected_total}"
     );
 
     let mut json = String::new();
@@ -417,12 +199,12 @@ pub fn run(harness: &mut Harness, vehicles: usize, duration_s: f64) {
         gate_scores.len()
     ));
     json.push_str(&format!(
-        "  \"serving\": {{\"windows_scored\": {}, \"decisions\": {}, \"flagged\": {}, \"escalated\": {}, \"fast_path_fraction\": {fast_path:.4}, \"p50_ms\": {p50_ms:.3}, \"p99_ms\": {p99_ms:.3}, \"bsms_per_sec\": {bsm_rate:.0}, \"rejected\": {}}},\n",
-        a.windows_scored, a.decisions, a.flagged, a.escalated, a.rejected_total
+        "  \"serving\": {{\"windows_scored\": {windows_scored}, \"decisions\": {}, \"flagged\": {}, \"escalated\": {escalated}, \"fast_path_fraction\": {fast_path:.4}, \"p50_ms\": {p50_ms:.3}, \"p99_ms\": {p99_ms:.3}, \"bsms_per_sec\": {bsm_rate:.0}, \"rejected\": {rejected_total}}},\n",
+        a.decisions, a.flagged
     ));
     json.push_str(&format!(
-        "  \"overload\": {{\"shed_total\": {}, \"shed_steady\": {}, \"shed_burst\": {shed_burst}, \"degraded_ticks\": {}, \"mode_switches\": {}, \"final_mode\": \"{:?}\"}},\n",
-        a.shed_total, a.shed_steady, a.degraded_ticks, a.mode_switches, a.final_mode
+        "  \"overload\": {{\"shed_total\": {shed_total}, \"shed_steady\": {}, \"shed_burst\": {shed_burst}, \"degraded_ticks\": {degraded_ticks}, \"mode_switches\": {mode_switches}, \"final_mode\": \"{:?}\"}},\n",
+        a.shed_steady, a.final_mode
     ));
     json.push_str(&format!(
         "  \"gates\": {{\"fast_path_target\": {FAST_PATH_TARGET}, \"fast_path_ok\": {}, \"steady_shed_zero\": {}, \"burst_shed_positive\": {}, \"deterministic\": {deterministic}, \"drained\": true}}\n}}\n",
@@ -444,7 +226,7 @@ pub fn run(harness: &mut Harness, vehicles: usize, duration_s: f64) {
     assert!(
         deterministic,
         "two identical overload runs diverged (decisions fnv {:#x} vs {:#x}, shed {} vs {})",
-        a.fnv, b.fnv, a.shed_total, b.shed_total
+        a.fnv, b.fnv, a.stats.shed, b.stats.shed
     );
     println!(
         "gates: fast path {fast_path:.4} >= {FAST_PATH_TARGET} ok, steady shed 0 ok, \

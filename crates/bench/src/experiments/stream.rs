@@ -18,15 +18,15 @@
 //! - the service fully drains its queue and emits exactly one decision
 //!   per completed window.
 
+use crate::experiments::serve_driver::{
+    city_fleet, drive, gate_scores, latency_pct, mixed_stream, slice_ranges,
+};
 use crate::harness::{results_dir, Harness};
 use std::time::Instant;
 use vehigan_features::StreamTracker;
 use vehigan_metrics::{auroc, percentile};
-use vehigan_serve::{escalation_threshold, EscalationPolicy, ServerConfig, StreamServer};
-use vehigan_sim::{Bsm, SimConfig, TrafficSimulator, VehicleTrace, BSM_INTERVAL_S};
-use vehigan_tensor::init::seeded_rng;
-use vehigan_tensor::Tensor;
-use vehigan_vasp::{inject, Attack, AttackParams, AttackPolicy};
+use vehigan_serve::{escalation_threshold, EscalationPolicy, ServerConfig};
+use vehigan_sim::Bsm;
 
 /// Minimum required BSMs/sec speedup of the gated batched service over
 /// naive per-window f32 scoring (ISSUE gate).
@@ -51,67 +51,6 @@ pub const ESCALATION_PERCENTILE: f64 = 97.5;
 
 /// Fraction of simulated vehicles transmitting falsified BSMs.
 const ATTACKER_FRACTION: f64 = 0.1;
-
-/// Mixed benign/attack stream: every `1/ATTACKER_FRACTION`-th vehicle
-/// runs a VASP attack (cycling over position/speed/heading families),
-/// all BSMs interleaved in arrival order.
-fn mixed_stream(fleet: &[VehicleTrace], seed: u64) -> (Vec<Bsm>, usize) {
-    let attacks: Vec<Attack> = ["RandomPosition", "RandomSpeed", "HighHeadingYawRate"]
-        .iter()
-        .map(|n| Attack::by_name(n).expect("catalog attack"))
-        .collect();
-    let mut rng = seeded_rng(seed);
-    let every = (1.0 / ATTACKER_FRACTION) as usize;
-    let mut stream = Vec::new();
-    let mut attackers = 0usize;
-    for (i, trace) in fleet.iter().enumerate() {
-        if i % every == 0 {
-            let attacked = inject(
-                trace,
-                attacks[attackers % attacks.len()],
-                AttackPolicy::Persistent,
-                &AttackParams::default(),
-                &mut rng,
-            );
-            stream.extend_from_slice(&attacked.trace.bsms);
-            attackers += 1;
-        } else {
-            stream.extend_from_slice(&trace.bsms);
-        }
-    }
-    stream.sort_by(|a, b| {
-        a.timestamp
-            .partial_cmp(&b.timestamp)
-            .unwrap()
-            .then(a.vehicle_id.cmp(&b.vehicle_id))
-    });
-    (stream, attackers)
-}
-
-/// Scores flat windows through the int8 gate in serve-sized tiles.
-fn gate_scores(harness: &Harness, members: &[usize], x: &Tensor) -> Vec<f32> {
-    let shape = x.shape();
-    let (n, len) = (shape[0], shape[1] * shape[2] * shape[3]);
-    let mut scores = Vec::with_capacity(n);
-    let mut start = 0;
-    while start < n {
-        let end = (start + vehigan_serve::SCORE_TILE).min(n);
-        let tile = Tensor::from_vec(
-            x.as_slice()[start * len..end * len].to_vec(),
-            &[end - start, shape[1], shape[2], shape[3]],
-        );
-        scores.extend_from_slice(
-            &harness
-                .pipeline
-                .vehigan
-                .score_with_members_int8(members, &tile)
-                .unwrap()
-                .scores,
-        );
-        start = end;
-    }
-    scores
-}
 
 /// Runs the stream benchmark on a trained harness and writes
 /// `results/BENCH_stream.json`.
@@ -177,14 +116,9 @@ pub fn run(harness: &mut Harness, vehicles: usize, duration_s: f64) {
     );
 
     // --- Simulated city traffic. ---
-    let fleet = TrafficSimulator::new(SimConfig {
-        n_vehicles: vehicles,
-        duration_s,
-        seed: 7,
-        ..SimConfig::default()
-    })
-    .run();
-    let (stream, attackers) = mixed_stream(&fleet, 23);
+    let fleet = city_fleet(vehicles, duration_s, 7);
+    let (stream, attackers) = mixed_stream(&fleet, 23, ATTACKER_FRACTION);
+    let ranges = slice_ranges(&stream);
     let expected_windows: usize = fleet.iter().map(|t| t.bsms.len().saturating_sub(10)).sum();
     println!(
         "traffic: {} BSMs from {vehicles} vehicles ({attackers} attackers), \
@@ -194,9 +128,10 @@ pub fn run(harness: &mut Harness, vehicles: usize, duration_s: f64) {
 
     // --- Gated batched serve run, one tick per BSM interval. ---
     let scaler = harness.pipeline.scaler.clone();
-    let mut server = StreamServer::new(
-        &harness.pipeline.vehigan,
-        scaler.clone(),
+    let mut out = drive(
+        harness,
+        &stream,
+        &ranges,
         ServerConfig {
             n_shards: 4,
             policy: EscalationPolicy::Threshold(tau_esc),
@@ -204,59 +139,24 @@ pub fn run(harness: &mut Harness, vehicles: usize, duration_s: f64) {
             gate_members: Some(gate_members.clone()),
             ..ServerConfig::default()
         },
-    )
-    .expect("server builds");
-    let mut decisions = 0usize;
-    let mut flagged = 0usize;
-    let mut tick_latencies: Vec<(f64, usize)> = Vec::new();
-    let mut elapsed_s = 0.0f64;
-    let mut slice_end = BSM_INTERVAL_S;
-    let mut i = 0usize;
-    while i < stream.len() {
-        let start = i;
-        while i < stream.len() && stream[i].timestamp < slice_end {
-            i += 1;
-        }
-        slice_end += BSM_INTERVAL_S;
-        if start == i {
-            continue;
-        }
-        let t0 = Instant::now();
-        server.ingest_batch(&stream[start..i]);
-        let ticked = server.tick().expect("tick scores");
-        let dt = t0.elapsed().as_secs_f64();
-        elapsed_s += dt;
-        if !ticked.is_empty() {
-            tick_latencies.push((dt * 1000.0, ticked.len()));
-        }
-        decisions += ticked.len();
-        flagged += ticked.iter().filter(|d| d.flagged).count();
-    }
-    let stats = server.stats();
-    assert_eq!(server.pending_windows(), 0, "service failed to drain");
+        None,
+    );
+    let decisions = out.decisions as usize;
+    let flagged = out.flagged as usize;
     assert_eq!(
         decisions, expected_windows,
         "decisions != completed windows (equivalence check)"
     );
-    assert_eq!(stats.ingested, stream.len() as u64);
-    let gated_bsm_rate = stream.len() as f64 / elapsed_s;
-    let stream_esc_rate = stats.escalated as f64 / stats.windows_scored.max(1) as f64;
+    assert_eq!(out.stats.ingested, stream.len() as u64);
+    let gated_bsm_rate = stream.len() as f64 / out.elapsed_s;
+    let stream_esc_rate = out.stats.escalated as f64 / out.stats.windows_scored.max(1) as f64;
 
     // Decision latency: each decision inherits its tick's ingest+score
     // wall time (windows completed mid-tick wait for the batch).
-    tick_latencies.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    let pct = |p: f64| -> f64 {
-        let target = (p / 100.0 * decisions as f64).ceil() as usize;
-        let mut seen = 0usize;
-        for &(ms, n) in &tick_latencies {
-            seen += n;
-            if seen >= target.max(1) {
-                return ms;
-            }
-        }
-        tick_latencies.last().map_or(0.0, |&(ms, _)| ms)
-    };
-    let (p50_ms, p99_ms) = (pct(50.0), pct(99.0));
+    let (p50_ms, p99_ms) = (
+        latency_pct(&mut out.tick_lat, out.decisions, 50.0),
+        latency_pct(&mut out.tick_lat, out.decisions, 99.0),
+    );
 
     // --- Naive baseline: StreamTracker + per-window f32 scoring. ---
     // Measured on a vehicle-subset sub-stream (same cadence, same

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Experiments: `campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a
-//! fig7b fig8 gemm quant resume slo stream table3 all`.
+//! fig7b fig8 gemm quant resume slo stream table3 tier0 all`.
 //!
 //! `--resume <dir>` makes zoo training crash-safe: every finished model is
 //! checkpointed in `<dir>` (and the in-flight training group at every
@@ -34,7 +34,7 @@ use vehigan_bench::harness::{Harness, Scale};
 fn usage() -> ! {
     eprintln!(
         "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>] [--retry-quarantined] [--stop-after-groups N] [--vehicles N] [--duration S]\n\
-         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm quant resume slo stream table3 adv ablation probe all"
+         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm quant resume slo stream table3 tier0 adv ablation probe all"
     );
     std::process::exit(2);
 }
@@ -130,7 +130,7 @@ fn main() {
     // the harness they would never use.
     const TRAINED: &[&str] = &[
         "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "table3", "quant",
-        "slo", "stream", "adv", "all",
+        "slo", "stream", "tier0", "adv", "all",
     ];
     if !TRAINED.contains(&experiment) {
         usage();
@@ -155,6 +155,7 @@ fn main() {
         "quant" => vehigan_bench::experiments::quant::run(&mut harness),
         "slo" => vehigan_bench::experiments::slo::run(&mut harness, vehicles, duration_s),
         "stream" => vehigan_bench::experiments::stream::run(&mut harness, vehicles, duration_s),
+        "tier0" => vehigan_bench::experiments::tier0::run(&mut harness, vehicles, duration_s),
         // Composite: all adversarial experiments on one trained harness.
         "adv" => {
             fig5::run_5a(&mut harness);
@@ -193,6 +194,8 @@ fn main() {
             vehigan_bench::experiments::stream::run(&mut harness, vehicles, duration_s);
             section("Serving SLO");
             vehigan_bench::experiments::slo::run(&mut harness, vehicles, duration_s);
+            section("Tier-0 physics gate");
+            vehigan_bench::experiments::tier0::run(&mut harness, vehicles, duration_s);
         }
         _ => usage(),
     }

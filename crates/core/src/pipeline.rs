@@ -420,6 +420,14 @@ impl Pipeline {
         &self.test_fleet
     }
 
+    /// The benign training fleet — the traces the scaler (and any
+    /// serve-time calibration, e.g. the tier-0 kinematic gate's decision
+    /// intervals) may legitimately be fit on without touching held-out
+    /// data.
+    pub fn train_fleet(&self) -> &[VehicleTrace] {
+        &self.train_fleet
+    }
+
     /// A campaign evaluation plane over the held-out test fleet: each
     /// benign trace's windows are computed once and shared across all 35
     /// attack datasets (plus the benign one). Datasets assembled from the

@@ -34,6 +34,7 @@
 
 mod decompose;
 mod ingest;
+mod monitor;
 mod scaler;
 mod stream;
 mod window;
@@ -43,6 +44,10 @@ pub use decompose::{
     NUM_RAW_FEATURES,
 };
 pub use ingest::{FieldLimits, IngestGuard, RejectCounters, RejectReason};
+pub use monitor::{
+    residuals, GateDecision, Tier0Calibration, Tier0Monitor, Tier0Params, EWMA_LAMBDA,
+    NUM_RESIDUALS, NUM_STATISTICS, RESIDUAL_NAMES,
+};
 pub use scaler::MinMaxScaler;
 pub use stream::{lru_key, EvictionConfig, StreamTracker, WindowBuffer};
 pub use window::{

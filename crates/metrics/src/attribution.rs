@@ -1,0 +1,114 @@
+//! Per-tier score attribution for the tiered serving pipeline
+//! (DESIGN.md §12).
+//!
+//! The streaming server decides every window at exactly one tier —
+//! tier-0 kinematic suppression, the int8 tier-1 gate, or the f32
+//! tier-2 ensemble — and any accuracy drift the tiering introduces is
+//! confined to the windows whose deciding tier differs from the
+//! reference pipeline's. This module gives the bench/drift accounting a
+//! common vocabulary: tag each window's score with its deciding
+//! [`Tier`], aggregate tags into a [`TierBreakdown`], and compare a
+//! gated score vector against its reference with [`auroc_drift`].
+
+use crate::curves::auroc;
+
+/// The tier whose score became a window's final decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Tier 0: kinematic monitors suppressed the window; the score is
+    /// the monitor-implied benign score and no ensemble ran.
+    Suppressed,
+    /// Tier 1: the int8 gate's score stood (no escalation).
+    Screened,
+    /// Tier 2: the full f32 ensemble re-scored the window.
+    Escalated,
+}
+
+/// Counts of windows decided at each tier. Sums to the number of
+/// windows scored when every window is recorded exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierBreakdown {
+    /// Windows decided at tier 0 (suppressed).
+    pub suppressed: u64,
+    /// Windows decided at tier 1 (gate score stood).
+    pub screened: u64,
+    /// Windows decided at tier 2 (escalated).
+    pub escalated: u64,
+}
+
+impl TierBreakdown {
+    /// Records one window's deciding tier.
+    pub fn record(&mut self, tier: Tier) {
+        match tier {
+            Tier::Suppressed => self.suppressed += 1,
+            Tier::Screened => self.screened += 1,
+            Tier::Escalated => self.escalated += 1,
+        }
+    }
+
+    /// Total windows recorded.
+    pub fn total(&self) -> u64 {
+        self.suppressed + self.screened + self.escalated
+    }
+
+    /// Fraction of recorded windows suppressed at tier 0 (0.0 when
+    /// nothing was recorded).
+    pub fn suppressed_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.suppressed as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Absolute AUROC difference between a reference score vector and a
+/// gated one over the same labeled windows — the drift-accounting
+/// number the tier-0 bench gates on (budget 0.01, matching the int8
+/// gate's budget).
+///
+/// # Panics
+///
+/// Panics when the three slices disagree in length.
+pub fn auroc_drift(reference: &[f32], gated: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(reference.len(), labels.len(), "reference/labels mismatch");
+    assert_eq!(gated.len(), labels.len(), "gated/labels mismatch");
+    (auroc(reference, labels) - auroc(gated, labels)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_partitions_and_fractions() {
+        let mut b = TierBreakdown::default();
+        for tier in [
+            Tier::Suppressed,
+            Tier::Suppressed,
+            Tier::Suppressed,
+            Tier::Screened,
+            Tier::Escalated,
+        ] {
+            b.record(tier);
+        }
+        assert_eq!(b.suppressed, 3);
+        assert_eq!(b.screened, 1);
+        assert_eq!(b.escalated, 1);
+        assert_eq!(b.total(), 5);
+        assert!((b.suppressed_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(TierBreakdown::default().suppressed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn drift_is_zero_for_identical_scores_and_symmetric() {
+        let labels = [true, true, false, false];
+        let reference = [0.9, 0.8, 0.3, 0.1];
+        assert_eq!(auroc_drift(&reference, &reference, &labels), 0.0);
+        // Swapping one benign score past a positive costs AUROC 0.25.
+        let gated = [0.9, 0.8, 0.85, 0.1];
+        let d = auroc_drift(&reference, &gated, &labels);
+        assert!((d - 0.25).abs() < 1e-6, "drift {d}");
+        assert_eq!(d, auroc_drift(&gated, &reference, &labels));
+    }
+}

@@ -18,7 +18,12 @@
 //!   a sender with a lagging clock, exercising staleness rejection;
 //! - **overload bursts** — time compression: `multiplier` tick-slices
 //!   of traffic delivered per server tick, exercising admission
-//!   control, shedding, and degraded-mode tiering.
+//!   control, shedding, and degraded-mode tiering;
+//! - **monitor poisoning** — the tier-0 kinematic gate's verdicts are
+//!   distrusted for a range of ticks (via
+//!   [`StreamServer::chaos_poison_monitors`]), forcing every window
+//!   through tier 1 — the conservative posture when monitor state may
+//!   be corrupted — and exercising the gate's clean re-engagement.
 //!
 //! All injection is derived from the plan's seed and tick indices —
 //! never from wall clock or a global RNG — so a chaos run is exactly
@@ -90,6 +95,10 @@ pub struct FaultPlan {
     /// `(from, to, multiplier)` overload windows: deliver `multiplier`
     /// tick-slices of traffic per server tick (inclusive tick range).
     pub overload: Vec<(u64, u64, usize)>,
+    /// `(from, to)` tier-0 monitor-poisoning windows (inclusive): the
+    /// server distrusts suppression verdicts and screens every window
+    /// through tier 1 while active.
+    pub monitor_poison: Vec<(u64, u64)>,
 }
 
 impl FaultPlan {
@@ -136,6 +145,22 @@ impl FaultPlan {
         self
     }
 
+    /// Distrusts tier-0 monitor verdicts for ticks `[from, to]`: every
+    /// window screens through tier 1 while active (the conservative
+    /// response to possibly-corrupted monitor state). A no-op against a
+    /// server without a tier-0 calibration.
+    pub fn with_monitor_poison(mut self, from: u64, to: u64) -> Self {
+        self.monitor_poison.push((from, to));
+        self
+    }
+
+    /// Whether tier-0 monitor poisoning is in effect at `tick`.
+    pub fn monitor_poison_at(&self, tick: u64) -> bool {
+        self.monitor_poison
+            .iter()
+            .any(|&(from, to)| from <= tick && tick <= to)
+    }
+
     /// Traffic multiplier in effect at `tick` (1 outside overload
     /// windows).
     pub fn multiplier_at(&self, tick: u64) -> usize {
@@ -156,6 +181,7 @@ impl FaultPlan {
             || self.malformed_bursts.iter().any(|&(t, _)| t == tick)
             || self.replay_bursts.iter().any(|&(t, _, _)| t == tick)
             || self.multiplier_at(tick) > 1
+            || self.monitor_poison_at(tick)
     }
 
     /// The last tick with any scheduled fault (0 for an empty plan).
@@ -175,6 +201,9 @@ impl FaultPlan {
             last = last.max(t);
         }
         for &(_, to, _) in &self.overload {
+            last = last.max(to);
+        }
+        for &(_, to) in &self.monitor_poison {
             last = last.max(to);
         }
         last
@@ -204,6 +233,8 @@ pub struct TickRecord {
     pub panic_injected: bool,
     /// Whether any member was poisoned this tick.
     pub poison_active: bool,
+    /// Whether tier-0 monitor poisoning was in effect this tick.
+    pub monitor_poisoned: bool,
     /// Whether the plan scheduled *any* fault this tick.
     pub faulted: bool,
     /// Guard rejections during this tick's ingest.
@@ -311,6 +342,8 @@ impl ChaosRunner {
                     panic_injected = true;
                 }
             }
+            let monitor_poisoned = self.plan.monitor_poison_at(tick);
+            server.chaos_poison_monitors(monitor_poisoned);
 
             let mut injected_malformed = 0u64;
             let mut injected_replays = 0u64;
@@ -355,6 +388,7 @@ impl ChaosRunner {
                         .iter()
                         .any(|p| p.member == m && p.from <= tick && tick <= p.to)
                 }),
+                monitor_poisoned,
                 faulted: self.plan.faulty_at(tick),
                 rejected: report.rejected,
                 shed: report.shed,
@@ -369,6 +403,7 @@ impl ChaosRunner {
         for &m in &poisoned {
             server.vehigan().chaos_poison_member(m, false);
         }
+        server.chaos_poison_monitors(false);
         ChaosReport {
             ticks,
             stats: server.stats(),
@@ -422,13 +457,16 @@ mod tests {
             .with_shard_panic(11, 0)
             .with_malformed_burst(13, 5)
             .with_replay_burst(14, 3, 2.0)
-            .with_overload(15, 16, 4);
+            .with_overload(15, 16, 4)
+            .with_monitor_poison(17, 18);
         assert_eq!(plan.multiplier_at(14), 1);
         assert_eq!(plan.multiplier_at(15), 4);
         assert_eq!(plan.multiplier_at(17), 1);
-        assert!(plan.faulty_at(10) && plan.faulty_at(16));
-        assert!(!plan.faulty_at(9) && !plan.faulty_at(17));
-        assert_eq!(plan.last_fault_tick(), 16);
+        assert!(plan.monitor_poison_at(17) && plan.monitor_poison_at(18));
+        assert!(!plan.monitor_poison_at(16) && !plan.monitor_poison_at(19));
+        assert!(plan.faulty_at(10) && plan.faulty_at(16) && plan.faulty_at(18));
+        assert!(!plan.faulty_at(9) && !plan.faulty_at(19));
+        assert_eq!(plan.last_fault_tick(), 18);
         assert_eq!(plan.poisoned_members(), vec![2]);
     }
 

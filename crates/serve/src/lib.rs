@@ -16,6 +16,13 @@
 //!   ensemble as a cheap tier-1 gate; only windows whose gate score
 //!   crosses an [`EscalationPolicy::Threshold`] are re-scored by the full
 //!   f32 k-of-m ensemble. See [`escalation_threshold`] for calibration.
+//! - **Tier-0 kinematic gate** (DESIGN.md §12) — with a
+//!   [`vehigan_features::Tier0Calibration`] in [`ServerConfig::tier0`],
+//!   per-vehicle O(1) CUSUM/EWMA physics monitors run alongside each
+//!   window buffer; windows whose monitors are warm and in-interval skip
+//!   tier 1 entirely and emit a monitor-implied benign score, while any
+//!   tripped monitor or cold/rebuilt buffer conservatively falls through
+//!   to the full tier-1 → tier-2 path.
 //! - **Bounded memory** — shards reuse the [`EvictionConfig`] TTL/LRU
 //!   policy from `vehigan-features`, and never evict a vehicle with
 //!   undrained pending windows.

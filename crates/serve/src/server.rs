@@ -42,7 +42,9 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use vehigan_core::{EnsembleError, VehiGan};
-use vehigan_features::{EvictionConfig, IngestGuard, MinMaxScaler, RejectCounters};
+use vehigan_features::{
+    EvictionConfig, IngestGuard, MinMaxScaler, RejectCounters, Tier0Calibration,
+};
 use vehigan_sim::{Bsm, VehicleId};
 use vehigan_tensor::Tensor;
 
@@ -179,6 +181,16 @@ pub struct ServerConfig {
     /// Server ticks a member stays benched after returning non-finite
     /// scores, before being reinstated into its pinned position.
     pub probation_ticks: u64,
+    /// Tier-0 kinematic gate calibration (DESIGN.md §12). `None` (the
+    /// default) disables the gate: every window screens through tier 1,
+    /// bitwise identical to the pre-tier-0 server. With a calibration,
+    /// windows whose per-vehicle monitors sit inside their decision
+    /// intervals skip tier 1 entirely and emit the monitor-implied
+    /// benign score; everything else — tripped monitors, cold/rebuilt
+    /// buffers — conservatively falls through to the tier-1 → tier-2
+    /// path. Ignored under [`EscalationPolicy::Always`] (the reference
+    /// path stays pure f32).
+    pub tier0: Option<Tier0Calibration>,
 }
 
 impl Default for ServerConfig {
@@ -193,6 +205,7 @@ impl Default for ServerConfig {
             guard: IngestGuard::permissive(),
             admission: AdmissionConfig::unbounded(),
             probation_ticks: 3,
+            tier0: None,
         }
     }
 }
@@ -254,6 +267,12 @@ pub struct Decision {
     pub escalated: bool,
     /// `score > threshold` — a misbehavior detection.
     pub flagged: bool,
+    /// Whether the window was suppressed at tier 0: the vehicle's
+    /// kinematic monitors were warm and in-interval and it held a fresh
+    /// sub-detection tier-1 score, so `score` is that carried gate
+    /// score and no ensemble ran. Always `false` without a tier-0
+    /// calibration.
+    pub suppressed: bool,
 }
 
 /// Running counters across the server's lifetime.
@@ -265,6 +284,14 @@ pub struct ServerStats {
     pub windows_scored: u64,
     /// Windows escalated to the f32 ensemble.
     pub escalated: u64,
+    /// Windows suppressed at tier 0 (kinematic monitors in-interval; no
+    /// ensemble ran). Partitions `windows_scored` together with
+    /// `tier1_screened` and `tier2_escalated`.
+    pub tier0_suppressed: u64,
+    /// Windows whose final decision came from the int8 tier-1 gate.
+    pub tier1_screened: u64,
+    /// Windows whose final decision came from the f32 tier-2 ensemble.
+    pub tier2_escalated: u64,
     /// Vehicles evicted by TTL/LRU across all shards.
     pub evicted: u64,
     /// BSMs rejected by the ingest guards, per reason class.
@@ -434,6 +461,12 @@ pub struct StreamServer<'a> {
     mode_machine: ModeMachine,
     health: MemberHealth,
     tick_index: u64,
+    tier0: Option<Tier0Calibration>,
+    /// While set, tier-0 suppression verdicts are distrusted and every
+    /// window screens through tier 1 — the monitor-poisoning chaos
+    /// fault. The shards keep updating their monitors, so clearing the
+    /// flag restores gating without a warmup gap.
+    chaos_monitor_poison: bool,
     /// Shards whose next ingest worker run should panic before touching
     /// state (deterministic fault injection; consumed by the next
     /// [`StreamServer::ingest_batch`]).
@@ -488,13 +521,16 @@ impl<'a> StreamServer<'a> {
         let features = scaler.width();
         let shards = (0..config.n_shards)
             .map(|_| {
-                Mutex::new(Shard::with_guard(
-                    config.window,
-                    scaler.clone(),
-                    config.eviction,
-                    config.guard,
-                    config.admission.max_pending_per_shard,
-                ))
+                Mutex::new(
+                    Shard::with_guard(
+                        config.window,
+                        scaler.clone(),
+                        config.eviction,
+                        config.guard,
+                        config.admission.max_pending_per_shard,
+                    )
+                    .with_tier0(config.tier0),
+                )
             })
             .collect();
         Ok(StreamServer {
@@ -508,6 +544,8 @@ impl<'a> StreamServer<'a> {
             mode_machine: ModeMachine::new(),
             health: MemberHealth::new(),
             tick_index: 0,
+            tier0: config.tier0,
+            chaos_monitor_poison: false,
             chaos_panic_shards: Vec::new(),
             window_len: config.window * features,
             window: config.window,
@@ -671,76 +709,75 @@ impl<'a> StreamServer<'a> {
         let policy = self.effective_policy();
         let mut dropped_union: Vec<usize> = Vec::new();
 
-        let decisions = match policy {
-            EscalationPolicy::Always => {
-                let (scores, threshold, dropped) = self.score_tiled(&batch, n, false, &members)?;
-                dropped_union.extend(dropped);
-                self.stats.escalated += n as u64;
-                meta.iter()
-                    .zip(&scores)
-                    .map(|(w, &score)| Decision {
-                        vehicle: w.vehicle,
-                        timestamp: w.timestamp,
-                        score,
-                        threshold,
-                        escalated: true,
-                        flagged: score > threshold,
-                    })
-                    .collect()
-            }
-            EscalationPolicy::Never => {
-                let (scores, threshold, dropped) =
-                    self.score_tiled(&batch, n, true, &gate_members)?;
-                dropped_union.extend(dropped);
-                meta.iter()
-                    .zip(&scores)
-                    .map(|(w, &score)| Decision {
-                        vehicle: w.vehicle,
-                        timestamp: w.timestamp,
-                        score,
-                        threshold,
-                        escalated: false,
-                        flagged: score > threshold,
-                    })
-                    .collect()
-            }
-            EscalationPolicy::Threshold(tau_esc) => {
-                let (gate_scores, gate_tau, dropped) =
-                    self.score_tiled(&batch, n, true, &gate_members)?;
-                dropped_union.extend(dropped);
-                let escalate: Vec<usize> = (0..n).filter(|&i| gate_scores[i] > tau_esc).collect();
-                let mut decisions: Vec<Decision> = meta
-                    .iter()
-                    .zip(&gate_scores)
-                    .map(|(w, &score)| Decision {
-                        vehicle: w.vehicle,
-                        timestamp: w.timestamp,
-                        score,
-                        threshold: gate_tau,
-                        escalated: false,
-                        flagged: false,
-                    })
-                    .collect();
-                if !escalate.is_empty() {
-                    let mut sub = Vec::with_capacity(escalate.len() * self.window_len);
-                    for &i in &escalate {
-                        sub.extend_from_slice(
-                            &batch[i * self.window_len..(i + 1) * self.window_len],
-                        );
-                    }
-                    let (scores, threshold, dropped) =
-                        self.score_tiled(&sub, escalate.len(), false, &members)?;
-                    dropped_union.extend(dropped);
-                    for (&i, &score) in escalate.iter().zip(&scores) {
-                        decisions[i].score = score;
-                        decisions[i].threshold = threshold;
-                        decisions[i].escalated = true;
-                        decisions[i].flagged = score > threshold;
-                    }
-                    self.stats.escalated += escalate.len() as u64;
+        // Tier-0 split: suppressed windows skip the ensemble entirely.
+        // The gate is bypassed under `Always` (the pure-f32 reference
+        // path has no gate) and while the monitor-poisoning chaos fault
+        // distrusts the monitors.
+        let gate_on = self.tier0.is_some()
+            && !self.chaos_monitor_poison
+            && !matches!(policy, EscalationPolicy::Always);
+        let n_suppressed = if gate_on {
+            meta.iter().filter(|w| w.suppressed).count()
+        } else {
+            0
+        };
+
+        let decisions = if n_suppressed == 0 {
+            // No suppression this tick: the whole batch flows through
+            // the historical path, bitwise identical to a gateless
+            // server (both backends are batch-row independent, so the
+            // branch itself cannot change any score).
+            self.score_windows(
+                &batch,
+                &meta,
+                policy,
+                &members,
+                &gate_members,
+                &mut dropped_union,
+            )?
+        } else {
+            let cal = self.tier0.expect("gate_on implies a calibration");
+            let wl = self.window_len;
+            let mut screened_batch: Vec<f32> = Vec::with_capacity((n - n_suppressed) * wl);
+            let mut screened_meta: Vec<PendingWindow> = Vec::with_capacity(n - n_suppressed);
+            for (i, w) in meta.iter().enumerate() {
+                if !w.suppressed {
+                    screened_batch.extend_from_slice(&batch[i * wl..(i + 1) * wl]);
+                    screened_meta.push(*w);
                 }
-                decisions
             }
+            let screened = self.score_windows(
+                &screened_batch,
+                &screened_meta,
+                policy,
+                &members,
+                &gate_members,
+                &mut dropped_union,
+            )?;
+            self.stats.tier0_suppressed += n_suppressed as u64;
+            // Merge back in admitted order: suppressed windows emit the
+            // vehicle's carried tier-1 gate score (below the detection
+            // threshold by the suppression policy) against the
+            // calibration's τ; screened windows keep their ensemble
+            // decision bitwise intact.
+            let mut it = screened.into_iter();
+            meta.iter()
+                .map(|w| {
+                    if w.suppressed {
+                        Decision {
+                            vehicle: w.vehicle,
+                            timestamp: w.timestamp,
+                            score: w.pinned,
+                            threshold: cal.tau,
+                            escalated: false,
+                            flagged: w.pinned > cal.tau,
+                            suppressed: true,
+                        }
+                    } else {
+                        it.next().expect("one screened decision per window")
+                    }
+                })
+                .collect()
         };
 
         if !dropped_union.is_empty() {
@@ -753,6 +790,122 @@ impl<'a> StreamServer<'a> {
         }
         self.stats.member_demotions = self.health.demotions();
         Ok(decisions)
+    }
+
+    /// Feeds the real tier-1 gate scores of a screened batch back to
+    /// the owning shards: the carried scores tier-0 suppression reuses,
+    /// and the per-vehicle refresh-streak reset. A gateless server
+    /// skips this entirely so the ungated baseline pays nothing.
+    fn record_gates(&self, meta: &[PendingWindow], gate_scores: &[f32]) {
+        if self.tier0.is_none() {
+            return;
+        }
+        let n_shards = self.shards.len();
+        for (w, &g) in meta.iter().zip(gate_scores) {
+            self.shards[shard_for(w.vehicle, n_shards)]
+                .lock()
+                .record_gate(w.vehicle, g);
+        }
+    }
+
+    /// Scores one admitted (sub-)batch through the tier-1 → tier-2
+    /// pipeline under `policy`, emitting one decision per `meta` entry
+    /// in order and maintaining the per-tier counters: every window here
+    /// lands in `tier1_screened` or `tier2_escalated` depending on which
+    /// path produced its final score.
+    fn score_windows(
+        &mut self,
+        batch: &[f32],
+        meta: &[PendingWindow],
+        policy: EscalationPolicy,
+        members: &[usize],
+        gate_members: &[usize],
+        dropped_union: &mut Vec<usize>,
+    ) -> Result<Vec<Decision>, ServeError> {
+        let n = meta.len();
+        debug_assert_eq!(batch.len(), n * self.window_len);
+        match policy {
+            EscalationPolicy::Always => {
+                let (scores, threshold, dropped) = self.score_tiled(batch, n, false, members)?;
+                dropped_union.extend(dropped);
+                self.stats.escalated += n as u64;
+                self.stats.tier2_escalated += n as u64;
+                Ok(meta
+                    .iter()
+                    .zip(&scores)
+                    .map(|(w, &score)| Decision {
+                        vehicle: w.vehicle,
+                        timestamp: w.timestamp,
+                        score,
+                        threshold,
+                        escalated: true,
+                        flagged: score > threshold,
+                        suppressed: false,
+                    })
+                    .collect())
+            }
+            EscalationPolicy::Never => {
+                let (scores, threshold, dropped) =
+                    self.score_tiled(batch, n, true, gate_members)?;
+                dropped_union.extend(dropped);
+                self.record_gates(meta, &scores);
+                self.stats.tier1_screened += n as u64;
+                Ok(meta
+                    .iter()
+                    .zip(&scores)
+                    .map(|(w, &score)| Decision {
+                        vehicle: w.vehicle,
+                        timestamp: w.timestamp,
+                        score,
+                        threshold,
+                        escalated: false,
+                        flagged: score > threshold,
+                        suppressed: false,
+                    })
+                    .collect())
+            }
+            EscalationPolicy::Threshold(tau_esc) => {
+                let (gate_scores, gate_tau, dropped) =
+                    self.score_tiled(batch, n, true, gate_members)?;
+                dropped_union.extend(dropped);
+                self.record_gates(meta, &gate_scores);
+                let escalate: Vec<usize> = (0..n).filter(|&i| gate_scores[i] > tau_esc).collect();
+                let mut decisions: Vec<Decision> = meta
+                    .iter()
+                    .zip(&gate_scores)
+                    .map(|(w, &score)| Decision {
+                        vehicle: w.vehicle,
+                        timestamp: w.timestamp,
+                        score,
+                        threshold: gate_tau,
+                        escalated: false,
+                        flagged: false,
+                        suppressed: false,
+                    })
+                    .collect();
+                if !escalate.is_empty() {
+                    let mut sub = Vec::with_capacity(escalate.len() * self.window_len);
+                    for &i in &escalate {
+                        sub.extend_from_slice(
+                            &batch[i * self.window_len..(i + 1) * self.window_len],
+                        );
+                    }
+                    let (scores, threshold, dropped) =
+                        self.score_tiled(&sub, escalate.len(), false, members)?;
+                    dropped_union.extend(dropped);
+                    for (&i, &score) in escalate.iter().zip(&scores) {
+                        decisions[i].score = score;
+                        decisions[i].threshold = threshold;
+                        decisions[i].escalated = true;
+                        decisions[i].flagged = score > threshold;
+                    }
+                    self.stats.escalated += escalate.len() as u64;
+                }
+                self.stats.tier1_screened += (n - escalate.len()) as u64;
+                self.stats.tier2_escalated += escalate.len() as u64;
+                Ok(decisions)
+            }
+        }
     }
 
     /// The policy actually applied this tick: `Threshold` steps down to
@@ -895,6 +1048,26 @@ impl<'a> StreamServer<'a> {
     pub fn chaos_panic_on_ingest(&mut self, shard: usize) {
         assert!(shard < self.shards.len(), "shard index out of range");
         self.chaos_panic_shards.push(shard);
+    }
+
+    /// Toggles the monitor-poisoning chaos fault: while active, tier-0
+    /// suppression verdicts are distrusted and every window screens
+    /// through tier 1 — the conservative response to monitors whose
+    /// state may have been corrupted. Shard monitors keep updating, so
+    /// clearing the fault resumes gating immediately (no warmup gap). A
+    /// no-op on a server without a tier-0 calibration.
+    pub fn chaos_poison_monitors(&mut self, active: bool) {
+        self.chaos_monitor_poison = active;
+    }
+
+    /// Whether the monitor-poisoning chaos fault is currently active.
+    pub fn monitor_poisoned(&self) -> bool {
+        self.chaos_monitor_poison
+    }
+
+    /// The tier-0 calibration the server gates with, if armed.
+    pub fn tier0(&self) -> Option<Tier0Calibration> {
+        self.tier0
     }
 }
 

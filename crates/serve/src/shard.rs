@@ -21,7 +21,8 @@
 
 use std::collections::HashMap;
 use vehigan_features::{
-    lru_key, EvictionConfig, IngestGuard, MinMaxScaler, RejectCounters, WindowBuffer,
+    lru_key, EvictionConfig, GateDecision, IngestGuard, MinMaxScaler, RejectCounters,
+    Tier0Calibration, Tier0Monitor, WindowBuffer,
 };
 use vehigan_sim::{Bsm, VehicleId};
 
@@ -44,12 +45,34 @@ pub struct PendingWindow {
     pub vehicle: VehicleId,
     /// Timestamp of the BSM that completed the window.
     pub timestamp: f64,
+    /// Tier-0 verdict at window completion: `true` means the vehicle's
+    /// kinematic monitors were warm and every statistic sat inside its
+    /// calibrated decision interval, so the window may skip tier 1.
+    /// Always `false` when the shard has no tier-0 calibration.
+    pub suppressed: bool,
+    /// The score a suppressed window reports in place of an ensemble
+    /// score: the vehicle's last real tier-1 gate score, carried forward
+    /// while the monitors certify its kinematics unchanged (recorded via
+    /// [`Shard::record_gate`]). `0.0` when `suppressed` is `false`.
+    pub pinned: f32,
 }
 
 #[derive(Debug)]
 struct Slot {
     vehicle: VehicleId,
     buffer: WindowBuffer,
+    /// Tier-0 kinematic monitor, present iff the shard was built with a
+    /// calibration. Reset on out-of-order input by its own `push` and
+    /// discarded wholesale with the slot on eviction.
+    monitor: Option<Tier0Monitor>,
+    /// Last real tier-1 gate score recorded for this vehicle (the score
+    /// a suppressed window carries forward). `None` until the first
+    /// screened window is scored — a vehicle's first window always runs
+    /// tier-1 — and lost with the slot on eviction.
+    last_gate: Option<f32>,
+    /// Consecutive suppressed windows since the last recorded tier-1
+    /// score; suppression requires `streak < refresh`.
+    streak: u32,
     /// Windows from this vehicle sitting in `pending` (not yet drained).
     /// Eviction never removes a slot while this is non-zero.
     in_flight: usize,
@@ -67,6 +90,9 @@ pub struct Shard {
     /// Pending-queue bound; overflow sheds the oldest queued window.
     /// `None` = unbounded (the historical behavior).
     max_pending: Option<usize>,
+    /// Tier-0 gate calibration; `None` disables the gate so every window
+    /// screens through tier 1 (the historical behavior).
+    tier0: Option<Tier0Calibration>,
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
     index: HashMap<VehicleId, usize>,
@@ -104,6 +130,7 @@ impl Shard {
             eviction,
             guard,
             max_pending,
+            tier0: None,
             slots: Vec::new(),
             free: Vec::new(),
             index: HashMap::new(),
@@ -114,6 +141,17 @@ impl Shard {
             rejects: RejectCounters::default(),
             shed: 0,
         }
+    }
+
+    /// Arms (or disarms, with `None`) the tier-0 kinematic gate.
+    ///
+    /// Vehicles inserted afterwards get a fresh [`Tier0Monitor`];
+    /// already-resident vehicles stay ungated (their windows keep
+    /// screening through tier 1) — in practice the gate is configured at
+    /// construction, before any traffic.
+    pub fn with_tier0(mut self, tier0: Option<Tier0Calibration>) -> Self {
+        self.tier0 = tier0;
+        self
     }
 
     /// Ingests one BSM: validates it against the shard's [`IngestGuard`]
@@ -141,8 +179,29 @@ impl Shard {
             Some(i) => i,
             None => self.insert_vehicle(bsm.vehicle_id),
         };
+        let tier0 = self.tier0;
         let slot = self.slots[slot_idx].as_mut().expect("indexed slot is live");
+        if let Some(monitor) = slot.monitor.as_mut() {
+            monitor.push(bsm);
+        }
         if slot.buffer.push(bsm).is_some() {
+            // Evaluate the gate at window completion, while the slot
+            // borrow is live; a missing calibration or monitor screens.
+            // Physics alone is not enough to suppress: the vehicle must
+            // also hold a fresh (streak < refresh) sub-detection tier-1
+            // score to carry forward, so its first window — and at least
+            // every `refresh + 1`-th thereafter — runs the real gate.
+            let (suppressed, pinned) = match (tier0, slot.monitor.as_ref()) {
+                (Some(cal), Some(monitor)) => match (cal.evaluate(monitor).0, slot.last_gate) {
+                    (GateDecision::Suppress, Some(g))
+                        if g < cal.tau && slot.streak < cal.refresh =>
+                    {
+                        (true, g)
+                    }
+                    _ => (false, 0.0),
+                },
+                _ => (false, 0.0),
+            };
             if let Some(cap) = self.max_pending {
                 let cap = cap.max(1);
                 if self.pending_meta.len() >= cap {
@@ -151,6 +210,9 @@ impl Shard {
                 }
             }
             let slot = self.slots[slot_idx].as_mut().expect("indexed slot is live");
+            if suppressed {
+                slot.streak += 1;
+            }
             let snap = slot
                 .buffer
                 .snapshot_slice()
@@ -159,6 +221,8 @@ impl Shard {
             self.pending_meta.push(PendingWindow {
                 vehicle: bsm.vehicle_id,
                 timestamp: bsm.timestamp,
+                suppressed,
+                pinned,
             });
             slot.in_flight += 1;
         }
@@ -167,6 +231,20 @@ impl Shard {
 
     fn slot(&self, idx: usize) -> &Slot {
         self.slots[idx].as_ref().expect("indexed slot is live")
+    }
+
+    /// Records the real tier-1 gate score of a screened window back onto
+    /// the vehicle's slot: the carried score its suppressed windows will
+    /// reuse, and the refresh-streak reset. A vanished vehicle (evicted
+    /// between snapshot and tick) is a no-op — its rebuilt slot starts
+    /// with no carried score and screens until tier-1 runs again.
+    pub fn record_gate(&mut self, vehicle: VehicleId, score: f32) {
+        if let Some(&i) = self.index.get(&vehicle) {
+            if let Some(slot) = self.slots[i].as_mut() {
+                slot.last_gate = Some(score);
+                slot.streak = 0;
+            }
+        }
     }
 
     /// Allocates a slab slot for a new pseudonym, evicting the
@@ -184,6 +262,9 @@ impl Shard {
         let slot = Slot {
             vehicle,
             buffer,
+            monitor: self.tier0.map(|cal| Tier0Monitor::new(cal.params)),
+            last_gate: None,
+            streak: 0,
             in_flight: 0,
         };
         let idx = match self.free.pop() {

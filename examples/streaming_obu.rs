@@ -34,6 +34,8 @@
 
 use std::collections::HashMap;
 use vehigan::core::{Pipeline, PipelineConfig};
+use vehigan::features::Tier0Calibration;
+use vehigan::metrics::percentile;
 use vehigan::serve::{escalation_threshold, EscalationPolicy, ServerConfig, StreamServer};
 use vehigan::sim::{Bsm, VehicleId};
 use vehigan::tensor::init::seeded_rng;
@@ -88,7 +90,24 @@ fn main() {
         .score_with_members_int8(&members, &pipeline.train_windows.x)
         .expect("gate scores");
     let tau_esc = escalation_threshold(&gate.scores, 90.0);
-    println!("[setup] int8 gate over {k} members, escalation cutoff τ_esc = {tau_esc:.4}\n");
+    println!("[setup] int8 gate over {k} members, escalation cutoff τ_esc = {tau_esc:.4}");
+
+    // Arm the tier-0 physics gate (DESIGN.md §12): per-vehicle CUSUM/EWMA
+    // kinematic monitors fit on the benign training fleet. Windows whose
+    // monitors stay deep inside the benign envelope are suppressed before
+    // the int8 ensemble ever runs, re-emitting the vehicle's last real
+    // tier-1 score (re-screened at least every 4th window); anything
+    // physically unusual — and any cold or freshly-evicted vehicle —
+    // falls through to tier 1.
+    let window = pipeline.config.window.window;
+    let mut tier0 =
+        Tier0Calibration::fit(pipeline.train_fleet(), window, 0.995).expect("tier-0 fits");
+    tier0.set_score_band(
+        percentile(&gate.scores, 10.0),
+        percentile(&gate.scores, 50.0),
+        tau_esc,
+    );
+    println!("[setup] tier-0 monitors armed: warmup {window} rows, quantile 0.995\n");
 
     // The serve loop: ingest each radio tick as one batch, then score
     // every window completed that tick across all vehicles at once.
@@ -100,6 +119,7 @@ fn main() {
             policy: EscalationPolicy::Threshold(tau_esc),
             members: Some(members.clone()),
             gate_members: Some(members),
+            tier0: Some(tier0),
             ..ServerConfig::default()
         },
     )
@@ -140,6 +160,18 @@ fn main() {
         stats.windows_scored,
         stats.escalated,
         100.0 * stats.escalated as f64 / stats.windows_scored.max(1) as f64
+    );
+    // Tier traffic split: every scored window lands in exactly one tier.
+    let scored = stats.windows_scored.max(1) as f64;
+    println!(
+        "tiers: {} suppressed at tier 0 ({:.1}%), {} screened by the int8 gate ({:.1}%), \
+         {} escalated to the f32 ensemble ({:.1}%)",
+        stats.tier0_suppressed,
+        100.0 * stats.tier0_suppressed as f64 / scored,
+        stats.tier1_screened,
+        100.0 * stats.tier1_screened as f64 / scored,
+        stats.tier2_escalated,
+        100.0 * stats.tier2_escalated as f64 / scored
     );
     // Resilience counters (DESIGN.md §11): a clean demo run holds the
     // server at 1× load with well-formed traffic, so all of these stay 0.

@@ -1,6 +1,7 @@
 //! One module per regenerated table/figure of the paper's evaluation.
 
 pub mod ablation;
+pub mod authority;
 pub mod campaign;
 pub mod catalog;
 pub mod fig3;

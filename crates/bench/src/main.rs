@@ -6,8 +6,8 @@
 //!                            [--vehicles N] [--duration S]
 //! ```
 //!
-//! Experiments: `campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a
-//! fig7b fig8 gemm quant resume slo stream table3 tier0 all`.
+//! Experiments: `authority campaign catalog fig3 fig4 fig5a fig5b fig5c
+//! fig6 fig7a fig7b fig8 gemm quant resume slo stream table3 tier0 all`.
 //!
 //! `--resume <dir>` makes zoo training crash-safe: every finished model is
 //! checkpointed in `<dir>` (and the in-flight training group at every
@@ -34,7 +34,7 @@ use vehigan_bench::harness::{Harness, Scale};
 fn usage() -> ! {
     eprintln!(
         "usage: vehigan-bench <experiment> [--scale quick|paper] [--resume <dir>] [--retry-quarantined] [--stop-after-groups N] [--vehicles N] [--duration S]\n\
-         experiments: campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm quant resume slo stream table3 tier0 adv ablation probe all"
+         experiments: authority campaign catalog fig3 fig4 fig5a fig5b fig5c fig6 fig7a fig7b fig8 gemm quant resume slo stream table3 tier0 adv ablation probe all"
     );
     std::process::exit(2);
 }
@@ -129,8 +129,22 @@ fn main() {
     // Reject unknown experiment names *before* spending minutes training
     // the harness they would never use.
     const TRAINED: &[&str] = &[
-        "fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig6", "fig7a", "fig7b", "table3", "quant",
-        "slo", "stream", "tier0", "adv", "all",
+        "fig3",
+        "fig4",
+        "fig5a",
+        "fig5b",
+        "fig5c",
+        "fig6",
+        "fig7a",
+        "fig7b",
+        "table3",
+        "quant",
+        "slo",
+        "stream",
+        "tier0",
+        "authority",
+        "adv",
+        "all",
     ];
     if !TRAINED.contains(&experiment) {
         usage();
@@ -156,6 +170,9 @@ fn main() {
         "slo" => vehigan_bench::experiments::slo::run(&mut harness, vehicles, duration_s),
         "stream" => vehigan_bench::experiments::stream::run(&mut harness, vehicles, duration_s),
         "tier0" => vehigan_bench::experiments::tier0::run(&mut harness, vehicles, duration_s),
+        "authority" => {
+            vehigan_bench::experiments::authority::run(&mut harness, vehicles, duration_s)
+        }
         // Composite: all adversarial experiments on one trained harness.
         "adv" => {
             fig5::run_5a(&mut harness);
@@ -196,6 +213,8 @@ fn main() {
             vehigan_bench::experiments::slo::run(&mut harness, vehicles, duration_s);
             section("Tier-0 physics gate");
             vehigan_bench::experiments::tier0::run(&mut harness, vehicles, duration_s);
+            section("Misbehavior authority");
+            vehigan_bench::experiments::authority::run(&mut harness, vehicles, duration_s);
         }
         _ => usage(),
     }

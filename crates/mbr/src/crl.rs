@@ -1,5 +1,18 @@
 //! Certificate revocation list (CRL) — the SCMS mechanism isolating
 //! convicted misbehaving vehicles from the V2X network (§I, [5]).
+//!
+//! Besides the membership map, the CRL keeps a bounded, sequence-numbered
+//! op journal so RSUs/OBUs holding a stale mirror can fetch an
+//! incremental [`CrlDelta`] instead of the full list: a mirror presents
+//! its last-applied sequence number, and [`delta_since`]
+//! (`CertificateRevocationList::delta_since`) answers with just the ops
+//! it missed — or a full snapshot when the journal has already compacted
+//! past that cursor.
+//!
+//! Equality between two CRLs compares the *entry set* and validity
+//! policy only, never journal op order: serial ingest and the sharded
+//! `ingest_batch` apply the same revocations in different op orders and
+//! must still compare equal.
 
 use std::collections::HashMap;
 use vehigan_sim::VehicleId;
@@ -17,7 +30,42 @@ pub struct RevocationRecord {
     pub mean_margin: f32,
 }
 
-/// A certificate revocation list with optional entry expiry.
+/// One journaled CRL mutation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum CrlOp {
+    /// A credential was revoked (or its record refreshed).
+    Revoke {
+        /// The revoked pseudonym.
+        vehicle: VehicleId,
+        /// The record placed on the list.
+        record: RevocationRecord,
+    },
+    /// An expired entry was pruned from the list.
+    Remove {
+        /// The removed pseudonym.
+        vehicle: VehicleId,
+    },
+}
+
+/// An incremental CRL update for a mirror at sequence `since`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CrlDelta {
+    /// The mirror's cursor this delta starts after.
+    pub since: u64,
+    /// The sequence number the mirror reaches by applying this delta.
+    pub upto: u64,
+    /// When `true`, `ops` is a full snapshot (the journal compacted past
+    /// `since`): the mirror must clear its entries before applying.
+    pub snapshot: bool,
+    /// Ops to apply in order.
+    pub ops: Vec<CrlOp>,
+}
+
+/// Default bound on retained journal ops before compaction.
+const DEFAULT_LOG_CAPACITY: usize = 4096;
+
+/// A certificate revocation list with optional entry expiry and an
+/// incremental-distribution journal.
 ///
 /// # Examples
 ///
@@ -31,13 +79,39 @@ pub struct RevocationRecord {
 /// });
 /// assert!(crl.is_revoked(VehicleId(7), 100.0));
 /// assert!(!crl.is_revoked(VehicleId(8), 100.0));
+///
+/// // A mirror syncs incrementally by sequence number.
+/// let mut mirror = CertificateRevocationList::new(None);
+/// let delta = crl.delta_since(mirror.seq());
+/// mirror.apply_delta(&delta);
+/// assert_eq!(mirror, crl);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CertificateRevocationList {
     entries: HashMap<VehicleId, RevocationRecord>,
     /// Entries older than this many seconds no longer apply (`None` =
     /// permanent revocation).
     validity_s: Option<f64>,
+    /// Sequence number of the last applied op.
+    seq: u64,
+    /// Retained `(seq, op)` journal, oldest first.
+    log: Vec<(u64, CrlOp)>,
+    /// Journal bound; older ops are compacted away.
+    log_capacity: usize,
+}
+
+impl Default for CertificateRevocationList {
+    fn default() -> Self {
+        CertificateRevocationList::new(None)
+    }
+}
+
+/// Entry-set equality (validity policy included, journal excluded — see
+/// module docs).
+impl PartialEq for CertificateRevocationList {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries && self.validity_s == other.validity_s
+    }
 }
 
 impl CertificateRevocationList {
@@ -46,7 +120,40 @@ impl CertificateRevocationList {
         CertificateRevocationList {
             entries: HashMap::new(),
             validity_s,
+            seq: 0,
+            log: Vec::new(),
+            log_capacity: DEFAULT_LOG_CAPACITY,
         }
+    }
+
+    /// Bounds the retained journal to `capacity` ops (compacting
+    /// immediately if already over).
+    pub fn set_log_capacity(&mut self, capacity: usize) {
+        self.log_capacity = capacity;
+        self.compact();
+    }
+
+    fn compact(&mut self) {
+        if self.log.len() > self.log_capacity {
+            let excess = self.log.len() - self.log_capacity;
+            self.log.drain(..excess);
+        }
+    }
+
+    fn journal(&mut self, op: CrlOp) {
+        self.seq += 1;
+        self.log.push((self.seq, op));
+        self.compact();
+    }
+
+    /// Sequence number of the last applied op (a mirror's sync cursor).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of ops currently retained in the journal.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
     }
 
     /// Adds (or refreshes) a revocation. Returns the previous record if
@@ -56,7 +163,9 @@ impl CertificateRevocationList {
         vehicle: VehicleId,
         record: RevocationRecord,
     ) -> Option<RevocationRecord> {
-        self.entries.insert(vehicle, record)
+        let prev = self.entries.insert(vehicle, record.clone());
+        self.journal(CrlOp::Revoke { vehicle, record });
+        prev
     }
 
     /// Whether `vehicle` is revoked at time `now`.
@@ -83,17 +192,92 @@ impl CertificateRevocationList {
         self.entries.is_empty()
     }
 
-    /// Drops entries that expired before `now` (no-op for permanent CRLs).
+    /// Drops entries that expired before `now` (no-op for permanent
+    /// CRLs). Removals are journaled in ascending vehicle-id order so
+    /// mirrors replaying the delta apply identical op sequences.
     pub fn prune(&mut self, now: f64) {
         if let Some(validity) = self.validity_s {
-            self.entries
-                .retain(|_, rec| now - rec.revoked_at <= validity);
+            let mut victims: Vec<VehicleId> = self
+                .entries
+                .iter()
+                .filter(|(_, rec)| now - rec.revoked_at > validity)
+                .map(|(v, _)| *v)
+                .collect();
+            victims.sort_unstable_by_key(|v| v.0);
+            for v in victims {
+                self.entries.remove(&v);
+                self.journal(CrlOp::Remove { vehicle: v });
+            }
         }
     }
 
     /// Iterates over `(vehicle, record)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&VehicleId, &RevocationRecord)> {
         self.entries.iter()
+    }
+
+    /// The incremental update a mirror at sequence `cursor` needs.
+    ///
+    /// Returns the journaled ops after `cursor` when they are still
+    /// retained; otherwise a full snapshot (entries as `Revoke` ops in
+    /// ascending vehicle-id order) the mirror applies from scratch.
+    pub fn delta_since(&self, cursor: u64) -> CrlDelta {
+        if cursor >= self.seq {
+            return CrlDelta {
+                since: cursor,
+                upto: self.seq,
+                snapshot: false,
+                ops: Vec::new(),
+            };
+        }
+        let oldest_retained = self.log.first().map(|(s, _)| *s).unwrap_or(self.seq + 1);
+        if cursor + 1 >= oldest_retained {
+            let ops = self
+                .log
+                .iter()
+                .filter(|(s, _)| *s > cursor)
+                .map(|(_, op)| op.clone())
+                .collect();
+            CrlDelta {
+                since: cursor,
+                upto: self.seq,
+                snapshot: false,
+                ops,
+            }
+        } else {
+            let mut items: Vec<(VehicleId, RevocationRecord)> =
+                self.entries.iter().map(|(v, r)| (*v, r.clone())).collect();
+            items.sort_unstable_by_key(|(v, _)| v.0);
+            CrlDelta {
+                since: cursor,
+                upto: self.seq,
+                snapshot: true,
+                ops: items
+                    .into_iter()
+                    .map(|(vehicle, record)| CrlOp::Revoke { vehicle, record })
+                    .collect(),
+            }
+        }
+    }
+
+    /// Applies a delta produced by [`delta_since`](Self::delta_since) on
+    /// the distributing CRL, advancing this mirror's cursor to
+    /// `delta.upto`. Mirrors do not re-journal applied ops.
+    pub fn apply_delta(&mut self, delta: &CrlDelta) {
+        if delta.snapshot {
+            self.entries.clear();
+        }
+        for op in &delta.ops {
+            match op {
+                CrlOp::Revoke { vehicle, record } => {
+                    self.entries.insert(*vehicle, record.clone());
+                }
+                CrlOp::Remove { vehicle } => {
+                    self.entries.remove(vehicle);
+                }
+            }
+        }
+        self.seq = delta.upto;
     }
 }
 
@@ -148,5 +332,101 @@ mod tests {
         let crl = CertificateRevocationList::new(None);
         assert!(!crl.is_revoked(VehicleId(9), 0.0));
         assert!(crl.is_empty());
+    }
+
+    #[test]
+    fn incremental_delta_catches_mirror_up() {
+        let mut crl = CertificateRevocationList::new(None);
+        let mut mirror = CertificateRevocationList::new(None);
+        crl.revoke(VehicleId(1), record(0.0));
+        crl.revoke(VehicleId(2), record(1.0));
+        mirror.apply_delta(&crl.delta_since(mirror.seq()));
+        assert_eq!(mirror, crl);
+        // More churn; the mirror only fetches what it missed.
+        crl.revoke(VehicleId(3), record(2.0));
+        let delta = crl.delta_since(mirror.seq());
+        assert!(!delta.snapshot);
+        assert_eq!(delta.ops.len(), 1);
+        mirror.apply_delta(&delta);
+        assert_eq!(mirror, crl);
+        assert_eq!(mirror.seq(), crl.seq());
+    }
+
+    #[test]
+    fn up_to_date_mirror_gets_empty_delta() {
+        let mut crl = CertificateRevocationList::new(None);
+        crl.revoke(VehicleId(1), record(0.0));
+        let delta = crl.delta_since(crl.seq());
+        assert!(delta.ops.is_empty());
+        assert!(!delta.snapshot);
+    }
+
+    #[test]
+    fn compaction_falls_back_to_snapshot() {
+        let mut crl = CertificateRevocationList::new(None);
+        crl.set_log_capacity(4);
+        for i in 0..20u32 {
+            crl.revoke(VehicleId(i), record(i as f64));
+        }
+        assert!(crl.log_len() <= 4);
+        // A mirror that last synced before the retained journal must get
+        // a full snapshot…
+        let delta = crl.delta_since(2);
+        assert!(delta.snapshot);
+        let mut mirror = CertificateRevocationList::new(None);
+        mirror.apply_delta(&delta);
+        assert_eq!(mirror, crl);
+        // …while a recent mirror still syncs incrementally.
+        let recent = crl.delta_since(crl.seq() - 2);
+        assert!(!recent.snapshot);
+        assert_eq!(recent.ops.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_clears_stale_mirror_entries() {
+        let mut crl = CertificateRevocationList::new(Some(60.0));
+        crl.set_log_capacity(2);
+        crl.revoke(VehicleId(1), record(0.0));
+        let mut mirror = crl.clone();
+        // The entry expires and is pruned, then the journal churns past
+        // the mirror's cursor.
+        crl.prune(1000.0);
+        for i in 10..20u32 {
+            crl.revoke(VehicleId(i), record(1000.0));
+        }
+        let delta = crl.delta_since(mirror.seq());
+        assert!(delta.snapshot);
+        mirror.apply_delta(&delta);
+        assert_eq!(mirror, crl);
+        assert!(mirror.record(VehicleId(1)).is_none());
+    }
+
+    #[test]
+    fn prune_journals_removals_deterministically() {
+        let mut a = CertificateRevocationList::new(Some(10.0));
+        let mut b = CertificateRevocationList::new(Some(10.0));
+        // Same entries inserted in different orders.
+        for i in [3u32, 1, 2] {
+            a.revoke(VehicleId(i), record(0.0));
+        }
+        for i in [2u32, 3, 1] {
+            b.revoke(VehicleId(i), record(0.0));
+        }
+        a.prune(100.0);
+        b.prune(100.0);
+        let ops_a: Vec<CrlOp> = a.delta_since(3).ops;
+        let ops_b: Vec<CrlOp> = b.delta_since(3).ops;
+        assert_eq!(ops_a, ops_b);
+    }
+
+    #[test]
+    fn equality_ignores_journal_history() {
+        let mut a = CertificateRevocationList::new(None);
+        let mut b = CertificateRevocationList::new(None);
+        a.revoke(VehicleId(1), record(0.0));
+        a.revoke(VehicleId(2), record(1.0));
+        b.revoke(VehicleId(2), record(1.0));
+        b.revoke(VehicleId(1), record(0.0));
+        assert_eq!(a, b);
     }
 }

@@ -8,7 +8,17 @@
 //! credentials on the certificate revocation list
 //! ([`CertificateRevocationList`]), isolating the attacker. The
 //! [`PseudonymManager`] provides the SCMS linkage from transmitted
-//! pseudonyms back to long-term identities.
+//! pseudonyms back to long-term identities; attach it with
+//! [`MisbehaviorAuthority::with_linkage`] so conviction revokes *all* of
+//! a vehicle's pseudonyms.
+//!
+//! The authority scales to fleet ingest: per-suspect evidence is a
+//! bounded decaying accumulator ([`SuspectEvidence`]) with a
+//! HyperLogLog-backed reporter sketch ([`ReporterSketch`]), batches fan
+//! out across hash-partitioned shards
+//! ([`MisbehaviorAuthority::ingest_batch`], bitwise-identical to serial
+//! ingest), and CRL mirrors sync incrementally by sequence number
+//! ([`CrlDelta`]).
 //!
 //! # Example
 //!
@@ -19,10 +29,16 @@
 
 mod authority;
 mod crl;
+mod evidence;
 mod pseudonym;
 mod report;
+mod sketch;
 
-pub use authority::{AuthorityPolicy, IngestOutcome, MisbehaviorAuthority};
-pub use crl::{CertificateRevocationList, RevocationRecord};
+pub use authority::{
+    AuthorityPolicy, AuthorityStats, BatchReport, Conviction, IngestOutcome, MisbehaviorAuthority,
+};
+pub use crl::{CertificateRevocationList, CrlDelta, CrlOp, RevocationRecord};
+pub use evidence::{Observation, SuspectEvidence};
 pub use pseudonym::{LongTermId, PseudonymManager};
 pub use report::{InvalidMbrError, Mbr};
+pub use sketch::{Hll, ReporterSketch, EXACT_CAP};

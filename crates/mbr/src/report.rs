@@ -30,6 +30,10 @@ pub enum InvalidMbrError {
     ScoreBelowThreshold,
     /// Score or threshold was not a finite number.
     NonFiniteScore,
+    /// Timestamp was NaN or infinite. A NaN timestamp makes every
+    /// window-expiry comparison false, so such a report would otherwise
+    /// pin itself in the corroboration state forever.
+    NonFiniteTimestamp,
     /// Evidence snapshot was empty or the wrong size.
     BadEvidence {
         /// Expected flat length (`w · f`), or 0 if unknown.
@@ -51,6 +55,7 @@ impl std::fmt::Display for InvalidMbrError {
                 write!(f, "reported score does not exceed the threshold")
             }
             InvalidMbrError::NonFiniteScore => write!(f, "score or threshold is not finite"),
+            InvalidMbrError::NonFiniteTimestamp => write!(f, "timestamp is not finite"),
             InvalidMbrError::BadEvidence { expected, got } => {
                 write!(
                     f,
@@ -80,6 +85,9 @@ impl Mbr {
         }
         if !self.score.is_finite() || !self.threshold.is_finite() {
             return Err(InvalidMbrError::NonFiniteScore);
+        }
+        if !self.timestamp.is_finite() {
+            return Err(InvalidMbrError::NonFiniteTimestamp);
         }
         if self.score <= self.threshold {
             return Err(InvalidMbrError::ScoreBelowThreshold);
@@ -148,6 +156,15 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_timestamp_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut r = valid_report();
+            r.timestamp = bad;
+            assert_eq!(r.validate(120), Err(InvalidMbrError::NonFiniteTimestamp));
+        }
+    }
+
+    #[test]
     fn wrong_evidence_len_rejected() {
         let r = valid_report();
         assert_eq!(
@@ -177,6 +194,7 @@ mod tests {
         for e in [
             InvalidMbrError::ScoreBelowThreshold,
             InvalidMbrError::NonFiniteScore,
+            InvalidMbrError::NonFiniteTimestamp,
             InvalidMbrError::SelfReport,
             InvalidMbrError::EvidenceOutOfRange,
         ] {

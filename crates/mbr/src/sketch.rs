@@ -1,0 +1,292 @@
+//! Reporter-cardinality tracking in bounded memory.
+//!
+//! Conviction requires *distinct* corroborating reporters
+//! ([`crate::AuthorityPolicy::min_reporters`]), so the authority must
+//! count how many different observers accused a suspect inside the
+//! corroboration window. The seed implementation rebuilt a `HashSet`
+//! over the full retained report queue on every ingest — O(reports) time
+//! and memory per suspect. At fleet scale a suspect can be accused by
+//! thousands of observers, so this module tracks distinct reporters in
+//! O(1) memory per suspect with a two-mode [`ReporterSketch`]:
+//!
+//! - **Exact mode** — up to [`EXACT_CAP`] `(reporter, last_seen)` pairs
+//!   inline. Conviction thresholds are small (2–3 reporters), and in
+//!   exact mode counts are *precise* and *window-pruned*: a reporter
+//!   whose last accusation aged past the window stops counting. This is
+//!   the mode every conviction decision near the threshold runs in.
+//! - **Sketch mode** — once more than [`EXACT_CAP`] distinct reporters
+//!   are live at once, the set upgrades to a [`Hll`] (HyperLogLog,
+//!   2⁸ = 256 registers, ~6.5 % standard error). Far above any conviction
+//!   threshold the exact count no longer matters; the sketch keeps the
+//!   reporter-count statistic honest at campaign scale (hundreds of
+//!   observers) without per-reporter state. Sketch registers cannot be
+//!   window-pruned; the set resets wholesale with the suspect's evidence
+//!   on a full-window report gap (see `SuspectEvidence`).
+//!
+//! All hashing is an explicit SplitMix64 finalizer, so estimates are a
+//! pure function of the inserted ids — identical across runs, shards,
+//! and serial-vs-batch ingest (the determinism contract the authority's
+//! sharded `ingest_batch` relies on).
+
+use vehigan_sim::VehicleId;
+
+/// Distinct reporters tracked exactly (with per-reporter window pruning)
+/// before a suspect's set upgrades to the HyperLogLog sketch.
+pub const EXACT_CAP: usize = 16;
+
+/// HyperLogLog register-index bits (`m = 2^P` registers).
+const HLL_P: u32 = 8;
+/// HyperLogLog register count.
+const HLL_M: usize = 1 << HLL_P;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix, deterministic and
+/// dependency-free.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A HyperLogLog distinct-count sketch over reporter pseudonyms
+/// (Flajolet et al.; 256 registers, one byte each).
+///
+/// # Examples
+///
+/// ```
+/// use vehigan_mbr::Hll;
+/// use vehigan_sim::VehicleId;
+///
+/// let mut hll = Hll::new();
+/// for i in 0..1000 {
+///     hll.insert(VehicleId(i));
+///     hll.insert(VehicleId(i)); // duplicates don't count
+/// }
+/// let est = hll.estimate();
+/// assert!((est as f64 - 1000.0).abs() / 1000.0 < 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hll {
+    registers: [u8; HLL_M],
+}
+
+impl Default for Hll {
+    fn default() -> Self {
+        Hll::new()
+    }
+}
+
+impl Hll {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        Hll {
+            registers: [0u8; HLL_M],
+        }
+    }
+
+    /// Folds one reporter id into the sketch. Idempotent per id.
+    pub fn insert(&mut self, id: VehicleId) {
+        let h = mix64(id.0 as u64);
+        let idx = (h >> (64 - HLL_P)) as usize;
+        // Rank of the first set bit in the remaining 56 bits (1-based);
+        // an all-zero remainder gets the maximum rank.
+        let rest = h << HLL_P;
+        let rho = (rest.leading_zeros().min(63 - HLL_P) + 1) as u8;
+        if rho > self.registers[idx] {
+            self.registers[idx] = rho;
+        }
+    }
+
+    /// Estimated number of distinct ids inserted, with the standard
+    /// small-range (linear counting) correction.
+    pub fn estimate(&self) -> usize {
+        let m = HLL_M as f64;
+        // alpha_m for m = 256.
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let mut sum = 0.0f64;
+        let mut zeros = 0usize;
+        for &r in &self.registers {
+            sum += f64::exp2(-(r as f64));
+            if r == 0 {
+                zeros += 1;
+            }
+        }
+        let raw = alpha * m * m / sum;
+        let est = if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        };
+        est.round() as usize
+    }
+
+    /// Whether no id has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+}
+
+/// Bounded distinct-reporter set: exact and window-pruned up to
+/// [`EXACT_CAP`] live reporters, HyperLogLog beyond (see module docs).
+#[derive(Debug, Clone)]
+pub enum ReporterSketch {
+    /// Precise mode: `(reporter, last accusation timestamp)` pairs.
+    Exact {
+        /// Live entries (first `len` slots are valid).
+        entries: [(u32, f64); EXACT_CAP],
+        /// Number of valid entries.
+        len: usize,
+    },
+    /// Estimated mode for campaign-scale reporter counts.
+    Sketch(Hll),
+}
+
+impl Default for ReporterSketch {
+    fn default() -> Self {
+        ReporterSketch::new()
+    }
+}
+
+impl ReporterSketch {
+    /// Creates an empty (exact-mode) set.
+    pub fn new() -> Self {
+        ReporterSketch::Exact {
+            entries: [(0u32, 0.0f64); EXACT_CAP],
+            len: 0,
+        }
+    }
+
+    /// Records an accusation by `reporter` whose evidence is current at
+    /// time `t` (the suspect's high-water clock), pruning exact entries
+    /// older than `window_s` and upgrading to the sketch on overflow.
+    pub fn observe(&mut self, reporter: VehicleId, t: f64, window_s: f64) {
+        match self {
+            ReporterSketch::Exact { entries, len } => {
+                // Known reporter: refresh its last-seen clock (monotone).
+                for e in entries[..*len].iter_mut() {
+                    if e.0 == reporter.0 {
+                        if t > e.1 {
+                            e.1 = t;
+                        }
+                        return;
+                    }
+                }
+                // Drop reporters whose last accusation aged out.
+                let mut kept = 0usize;
+                for i in 0..*len {
+                    if t - entries[i].1 <= window_s {
+                        entries[kept] = entries[i];
+                        kept += 1;
+                    }
+                }
+                *len = kept;
+                if *len < EXACT_CAP {
+                    entries[*len] = (reporter.0, t);
+                    *len += 1;
+                } else {
+                    // Overflow: carry every live reporter into the sketch.
+                    let mut hll = Hll::new();
+                    for e in entries[..*len].iter() {
+                        hll.insert(VehicleId(e.0));
+                    }
+                    hll.insert(reporter);
+                    *self = ReporterSketch::Sketch(hll);
+                }
+            }
+            ReporterSketch::Sketch(hll) => hll.insert(reporter),
+        }
+    }
+
+    /// Distinct reporters with evidence inside the window ending at `t`
+    /// (exact mode) or the sketch estimate (sketch mode, unpruned).
+    pub fn count(&self, t: f64, window_s: f64) -> usize {
+        match self {
+            ReporterSketch::Exact { entries, len } => entries[..*len]
+                .iter()
+                .filter(|e| t - e.1 <= window_s)
+                .count(),
+            ReporterSketch::Sketch(hll) => hll.estimate(),
+        }
+    }
+
+    /// Whether the set upgraded to the HyperLogLog sketch.
+    pub fn is_sketch(&self) -> bool {
+        matches!(self, ReporterSketch::Sketch(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_counts_are_exact_and_pruned() {
+        let mut s = ReporterSketch::new();
+        s.observe(VehicleId(1), 0.0, 60.0);
+        s.observe(VehicleId(2), 10.0, 60.0);
+        s.observe(VehicleId(1), 20.0, 60.0); // duplicate refresh
+        assert_eq!(s.count(20.0, 60.0), 2);
+        // Reporter 2's last accusation (t=10) ages out of a window ending
+        // at t=80; reporter 1 (refreshed at t=20) stays.
+        assert_eq!(s.count(80.0, 60.0), 1);
+        assert!(!s.is_sketch());
+    }
+
+    #[test]
+    fn overflow_upgrades_to_sketch() {
+        let mut s = ReporterSketch::new();
+        for i in 0..(EXACT_CAP as u32 + 1) {
+            s.observe(VehicleId(i), 0.0, 60.0);
+        }
+        assert!(s.is_sketch());
+        let est = s.count(0.0, 60.0);
+        let n = EXACT_CAP + 1;
+        assert!(
+            (est as f64 - n as f64).abs() <= 4.0,
+            "estimate {est} far from {n}"
+        );
+    }
+
+    #[test]
+    fn stale_reporters_pruned_before_overflow() {
+        let mut s = ReporterSketch::new();
+        // Fill to the cap with reporters that will all be stale…
+        for i in 0..EXACT_CAP as u32 {
+            s.observe(VehicleId(i), 0.0, 60.0);
+        }
+        // …then a fresh reporter far later: pruning frees every slot, so
+        // the set stays exact.
+        s.observe(VehicleId(99), 1000.0, 60.0);
+        assert!(!s.is_sketch());
+        assert_eq!(s.count(1000.0, 60.0), 1);
+    }
+
+    #[test]
+    fn hll_estimates_within_error_bound() {
+        for (seed, n) in [(1u64, 100usize), (2, 1_000), (3, 10_000)] {
+            let mut hll = Hll::new();
+            for i in 0..n as u64 {
+                hll.insert(VehicleId(
+                    mix64(seed.wrapping_mul(1 << 20).wrapping_add(i)) as u32
+                ));
+            }
+            let est = hll.estimate() as f64;
+            let rel = (est - n as f64).abs() / n as f64;
+            assert!(rel < 0.25, "n={n}: estimate {est} rel err {rel:.3}");
+        }
+    }
+
+    #[test]
+    fn hll_is_deterministic_and_duplicate_insensitive() {
+        let mut a = Hll::new();
+        let mut b = Hll::new();
+        for i in 0..500u32 {
+            a.insert(VehicleId(i));
+            b.insert(VehicleId(i));
+            b.insert(VehicleId(i));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+}

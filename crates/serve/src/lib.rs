@@ -31,6 +31,12 @@
 //!   backlog deterministically under burst, and a [`ServeMode`]
 //!   hysteresis machine steps a `Threshold` policy down to gate-only
 //!   scoring while pressure is sustained.
+//! - **Misbehavior reporting** — with a reporter identity in
+//!   [`ServerConfig::reporter`], every flagged tier-2 escalation emits a
+//!   [`vehigan_mbr::Mbr`] carrying the scored window as evidence;
+//!   [`StreamServer::take_reports`] drains them for forwarding to the
+//!   misbehavior authority, closing the BSM → detection → report →
+//!   revocation loop.
 //! - **Fault resilience** — shard ingest guards
 //!   ([`vehigan_features::IngestGuard`]) reject malformed/stale BSMs
 //!   before they touch window state; panicking ingest workers are

@@ -45,6 +45,7 @@ use vehigan_core::{EnsembleError, VehiGan};
 use vehigan_features::{
     EvictionConfig, IngestGuard, MinMaxScaler, RejectCounters, Tier0Calibration,
 };
+use vehigan_mbr::Mbr;
 use vehigan_sim::{Bsm, VehicleId};
 use vehigan_tensor::Tensor;
 
@@ -191,6 +192,12 @@ pub struct ServerConfig {
     /// path. Ignored under [`EscalationPolicy::Always`] (the reference
     /// path stays pure f32).
     pub tier0: Option<Tier0Calibration>,
+    /// Reporter identity (this RSU's own pseudonym) for misbehavior
+    /// reports. When set, every flagged tier-2 escalation emits an
+    /// [`Mbr`] carrying the scored window as evidence, collected via
+    /// [`StreamServer::take_reports`] for forwarding to the misbehavior
+    /// authority. `None` (the default) disables reporting.
+    pub reporter: Option<VehicleId>,
 }
 
 impl Default for ServerConfig {
@@ -206,6 +213,7 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::unbounded(),
             probation_ticks: 3,
             tier0: None,
+            reporter: None,
         }
     }
 }
@@ -310,6 +318,9 @@ pub struct ServerStats {
     pub member_demotions: u64,
     /// Members reinstated after probation.
     pub member_reinstatements: u64,
+    /// Misbehavior reports emitted from flagged tier-2 escalations
+    /// (zero unless [`ServerConfig::reporter`] is set).
+    pub reports_emitted: u64,
 }
 
 /// Outcome of one [`StreamServer::ingest_batch`] call.
@@ -474,6 +485,9 @@ pub struct StreamServer<'a> {
     window_len: usize,
     window: usize,
     features: usize,
+    reporter: Option<VehicleId>,
+    /// Misbehavior reports emitted since the last `take_reports`.
+    reports: Vec<Mbr>,
     stats: ServerStats,
 }
 
@@ -550,6 +564,8 @@ impl<'a> StreamServer<'a> {
             window_len: config.window * features,
             window: config.window,
             features,
+            reporter: config.reporter,
+            reports: Vec::new(),
             stats: ServerStats::default(),
         })
     }
@@ -779,6 +795,29 @@ impl<'a> StreamServer<'a> {
                 })
                 .collect()
         };
+
+        // Misbehavior reporting: every flagged tier-2 escalation becomes
+        // an MBR carrying the scored window as evidence. Decisions align
+        // index-wise with `batch`/`meta` on both tick branches (tier-0
+        // suppressed windows are never escalated), so decision i's
+        // evidence is batch row i. The scaler clamps rows to [-1, 1], so
+        // emitted reports always pass `Mbr::validate`'s domain check.
+        if let Some(reporter) = self.reporter {
+            let wl = self.window_len;
+            for (i, d) in decisions.iter().enumerate() {
+                if d.flagged && d.escalated && d.vehicle != reporter {
+                    self.reports.push(Mbr {
+                        reporter,
+                        suspect: d.vehicle,
+                        timestamp: d.timestamp,
+                        score: d.score,
+                        threshold: d.threshold,
+                        evidence: batch[i * wl..(i + 1) * wl].to_vec(),
+                    });
+                    self.stats.reports_emitted += 1;
+                }
+            }
+        }
 
         if !dropped_union.is_empty() {
             dropped_union.sort_unstable();
@@ -1068,6 +1107,24 @@ impl<'a> StreamServer<'a> {
     /// The tier-0 calibration the server gates with, if armed.
     pub fn tier0(&self) -> Option<Tier0Calibration> {
         self.tier0
+    }
+
+    /// Sets (or clears) the reporter identity misbehavior reports are
+    /// emitted under. Useful when coverage hands a stream between RSUs
+    /// mid-run; takes effect from the next tick.
+    pub fn set_reporter(&mut self, reporter: Option<VehicleId>) {
+        self.reporter = reporter;
+    }
+
+    /// The reporter identity currently emitting misbehavior reports.
+    pub fn reporter(&self) -> Option<VehicleId> {
+        self.reporter
+    }
+
+    /// Drains the misbehavior reports emitted since the last call (in
+    /// decision order), for forwarding to the misbehavior authority.
+    pub fn take_reports(&mut self) -> Vec<Mbr> {
+        std::mem::take(&mut self.reports)
     }
 }
 

@@ -1,0 +1,152 @@
+//! Misbehavior-report emission (ISSUE 10): a `StreamServer` with a
+//! reporter identity turns every flagged tier-2 escalation into an
+//! `Mbr` that validates at the misbehavior authority, and rotating
+//! observer identities corroborate to a conviction — the BSM →
+//! detection → report → revocation loop end-to-end.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use vehigan_core::{Pipeline, PipelineConfig};
+use vehigan_mbr::{AuthorityPolicy, Mbr, MisbehaviorAuthority};
+use vehigan_serve::{EscalationPolicy, ServerConfig, StreamServer};
+use vehigan_sim::{Bsm, VehicleId};
+use vehigan_tensor::init::seeded_rng;
+use vehigan_vasp::{inject, Attack, AttackParams, AttackPolicy};
+
+fn pipeline() -> MutexGuard<'static, Pipeline> {
+    static SHARED: OnceLock<Mutex<Pipeline>> = OnceLock::new();
+    SHARED
+        .get_or_init(|| {
+            let mut p = Pipeline::run(PipelineConfig::tiny());
+            p.compile_int8().expect("int8 backend compiles");
+            Mutex::new(p)
+        })
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mixed stream over the held-out test fleet: vehicle 0 runs a
+/// persistent position attack, the rest stay honest.
+fn mixed_stream(p: &Pipeline) -> (Vec<Bsm>, VehicleId) {
+    let fleet = p.test_fleet().to_vec();
+    let attack = Attack::by_name("RandomPosition").expect("attack exists");
+    let mut rng = seeded_rng(11);
+    let attacked = inject(
+        &fleet[0],
+        attack,
+        AttackPolicy::Persistent,
+        &AttackParams::default(),
+        &mut rng,
+    );
+    let attacker = attacked.trace.id;
+    let mut stream: Vec<Bsm> = attacked
+        .trace
+        .bsms
+        .iter()
+        .chain(fleet.iter().skip(1).flat_map(|t| &t.bsms))
+        .copied()
+        .collect();
+    stream.sort_by(|a, b| {
+        a.timestamp
+            .partial_cmp(&b.timestamp)
+            .unwrap()
+            .then(a.vehicle_id.cmp(&b.vehicle_id))
+    });
+    (stream, attacker)
+}
+
+fn server_config(p: &Pipeline, reporter: Option<VehicleId>) -> ServerConfig {
+    ServerConfig {
+        n_shards: 4,
+        policy: EscalationPolicy::Always,
+        members: Some((0..p.vehigan.k()).collect()),
+        reporter,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn flagged_escalations_emit_validating_reports() {
+    let p = pipeline();
+    let (stream, _) = mixed_stream(&p);
+    let rsu = VehicleId(1 << 30);
+    let mut server = StreamServer::new(&p.vehigan, p.scaler.clone(), server_config(&p, Some(rsu)))
+        .expect("server builds");
+    let evidence_len = 10 * p.scaler.width();
+
+    let mut flagged_escalations = 0usize;
+    let mut reports: Vec<Mbr> = Vec::new();
+    for chunk in stream.chunks(173) {
+        server.ingest_batch(chunk);
+        for d in server.tick().unwrap() {
+            if d.flagged && d.escalated {
+                flagged_escalations += 1;
+            }
+        }
+        reports.extend(server.take_reports());
+    }
+    assert!(
+        flagged_escalations > 0,
+        "attacked stream produced no flagged escalations"
+    );
+    assert_eq!(reports.len(), flagged_escalations);
+    assert_eq!(server.stats().reports_emitted, flagged_escalations as u64);
+    for r in &reports {
+        assert_eq!(r.reporter, rsu);
+        assert!(
+            r.validate(evidence_len).is_ok(),
+            "emitted report fails authority validation: {:?}",
+            r.validate(evidence_len)
+        );
+    }
+    // Drained means drained.
+    assert!(server.take_reports().is_empty());
+}
+
+#[test]
+fn no_reporter_means_no_reports() {
+    let p = pipeline();
+    let (stream, _) = mixed_stream(&p);
+    let mut server = StreamServer::new(&p.vehigan, p.scaler.clone(), server_config(&p, None))
+        .expect("server builds");
+    for chunk in stream.chunks(200) {
+        server.ingest_batch(chunk);
+        let _ = server.tick().unwrap();
+    }
+    assert!(server.take_reports().is_empty());
+    assert_eq!(server.stats().reports_emitted, 0);
+}
+
+#[test]
+fn rotating_reporters_corroborate_to_a_conviction() {
+    let p = pipeline();
+    let (stream, attacker) = mixed_stream(&p);
+    // Coverage alternates between two RSU identities chunk by chunk, as
+    // when the stream weaves along a cell boundary — so both observers
+    // accuse inside the same corroboration window.
+    let rsu_a = VehicleId(1 << 30);
+    let rsu_b = VehicleId((1 << 30) + 1);
+    let mut server =
+        StreamServer::new(&p.vehigan, p.scaler.clone(), server_config(&p, Some(rsu_a)))
+            .expect("server builds");
+    let mut ma = MisbehaviorAuthority::new(AuthorityPolicy {
+        min_reporters: 2,
+        min_reports: 3,
+        window_s: 60.0,
+        evidence_len: 10 * p.scaler.width(),
+        revocation_validity_s: None,
+    });
+    // Small chunks so the attacker's flagged burst spans several
+    // coverage rotations and both observers accuse inside the window.
+    for (i, chunk) in stream.chunks(61).enumerate() {
+        server.set_reporter(Some(if i % 2 == 0 { rsu_a } else { rsu_b }));
+        server.ingest_batch(chunk);
+        let _ = server.tick().unwrap();
+        let _ = ma.ingest_batch(&server.take_reports());
+    }
+    assert!(
+        ma.crl().is_revoked(attacker, f64::MAX),
+        "attacker not convicted: stats {:?}, crl len {}",
+        ma.stats(),
+        ma.crl().len()
+    );
+}

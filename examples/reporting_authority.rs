@@ -51,7 +51,9 @@ fn main() {
         evidence_len: 120,
         revocation_validity_s: None,
     };
-    let mut ma = MisbehaviorAuthority::new(policy);
+    // Handing the SCMS linkage to the MA means a conviction revokes
+    // *every* pseudonym of the resolved long-term identity.
+    let mut ma = MisbehaviorAuthority::new(policy).with_linkage(scms);
     println!(
         "[setup] MA policy: ≥{} reporters, ≥{} reports within {}s\n",
         policy.min_reporters, policy.min_reports, policy.window_s
@@ -98,7 +100,9 @@ fn main() {
                                 "  MBR from {observer}: pending ({reporters} reporters, {reports} reports)"
                             );
                         }
-                        IngestOutcome::AlreadyRevoked => {}
+                        IngestOutcome::AlreadyRevoked
+                        | IngestOutcome::Extended(_)
+                        | IngestOutcome::StaleDiscarded => {}
                         IngestOutcome::Rejected(e) => println!("  MBR rejected: {e}"),
                     }
                 }
@@ -106,18 +110,27 @@ fn main() {
         }
     }
 
-    let (accepted, rejected) = ma.stats();
-    println!("\nMA processed {accepted} valid reports ({rejected} rejected)");
+    let stats = ma.stats();
+    println!(
+        "\nMA processed {} valid reports ({} rejected)",
+        stats.accepted, stats.rejected
+    );
     match revoked_at {
         Some((pseudonym, t)) => {
-            // Linkage: revoke ALL of the attacker's pseudonyms.
-            let lt = scms.resolve(pseudonym).expect("linked");
+            // Linkage: the MA revoked ALL of the attacker's pseudonyms.
+            let lt = ma.scms().unwrap().resolve(pseudonym).expect("linked");
             println!(
                 "linkage: {pseudonym} → long-term {lt:?}; all pseudonyms: {:?}",
-                scms.pseudonyms_of(lt)
+                ma.scms().unwrap().pseudonyms_of(lt)
             );
             assert!(ma.crl().is_revoked(pseudonym, t));
-            println!("attacker isolated from the V2X network.");
+            assert!(ma.crl().is_revoked(attacker_p1, t));
+            assert!(ma.crl().is_revoked(attacker_p2, t));
+            // Rotating to a fresh pseudonym doesn't help either: the MA
+            // revokes new issues for convicted vehicles at the source.
+            let p3 = ma.issue_pseudonym(attacker_lt, t);
+            assert!(ma.crl().is_revoked(p3, t));
+            println!("rotation {p3} auto-revoked; attacker isolated from the V2X network.");
         }
         None => println!("no conviction at this scale — rerun with a larger training budget."),
     }
